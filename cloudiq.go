@@ -1,0 +1,495 @@
+// Package cloudiq is a from-scratch reproduction of the system described in
+// "Bringing Cloud-Native Storage to SAP IQ" (SIGMOD 2021): a disk-based
+// columnar OLAP engine whose user data lives directly on cloud object
+// stores. Database pages map one-to-one to objects under never-reused keys
+// (taming eventual consistency), a coordinator-run Object Key Generator
+// hands out monotonically increasing key ranges, MVCC garbage collection is
+// driven by per-transaction RF/RB bitmaps, an Object Cache Manager uses
+// locally attached storage as a second cache tier, and snapshots are
+// near-instantaneous because retired pages are retained on the object store
+// for a retention period.
+//
+// A Database is opened over a transaction-log device; cloud dbspaces
+// (object stores) and conventional dbspaces (block devices) are attached to
+// it; tables are created, loaded and queried inside transactions with
+// snapshot isolation. See the examples directory for end-to-end usage.
+package cloudiq
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+
+	"cloudiq/internal/blockdev"
+	"cloudiq/internal/buffer"
+	"cloudiq/internal/catalog"
+	"cloudiq/internal/core"
+	"cloudiq/internal/iomodel"
+	"cloudiq/internal/keygen"
+	"cloudiq/internal/objstore"
+	"cloudiq/internal/ocm"
+	"cloudiq/internal/rfrb"
+	"cloudiq/internal/snapshot"
+	"cloudiq/internal/txn"
+	"cloudiq/internal/wal"
+)
+
+// ErrNoSuchTable is returned when a lookup misses at the reader's snapshot.
+var ErrNoSuchTable = errors.New("cloudiq: no such table")
+
+// Config parameterizes a Database.
+type Config struct {
+	// Node names this node (default "coord"). Single-node databases act as
+	// their own coordinator.
+	Node string
+	// LogDevice holds the transaction log (the system dbspace's core). Nil
+	// selects a fresh in-memory growable device.
+	LogDevice blockdev.Device
+	// AllocKeys, if non-nil, makes this node a secondary: object-key ranges
+	// are requested through it (an RPC to the coordinator) and commit
+	// notifications are sent through Notify.
+	AllocKeys keygen.AllocFunc
+	// Notify delivers commit notifications to the coordinator (secondary
+	// nodes only).
+	Notify txn.CommitNotify
+	// CacheBytes is the buffer manager budget. Zero selects 64 MiB.
+	CacheBytes int64
+	// PrefetchWorkers bounds concurrent prefetch I/O. Zero selects 8.
+	PrefetchWorkers int
+	// Compress enables page-level compression.
+	Compress bool
+	// BlockmapFanout is the blockmap tree fanout. Zero selects 64.
+	BlockmapFanout int
+	// Scale is the simulated-time scale shared with the storage devices.
+	// Nil disables latency simulation inside the engine (retry backoff).
+	Scale *iomodel.Scale
+}
+
+// Database is one node's database instance.
+type Database struct {
+	cfg  Config
+	log  *wal.Log
+	gen  *keygen.Generator // nil on secondary nodes
+	mgr  *txn.Manager
+	cat  *catalog.Catalog
+	pool *buffer.Pool
+
+	mu     sync.Mutex
+	spaces map[string]core.Dbspace
+	caches []*ocm.Cache
+	snap   *snapshot.Manager
+}
+
+// Open creates or reopens a database over cfg.LogDevice. Reopening an
+// existing log requires calling Recover before use.
+func Open(ctx context.Context, cfg Config) (*Database, error) {
+	if cfg.Node == "" {
+		cfg.Node = "coord"
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.BlockmapFanout <= 0 {
+		cfg.BlockmapFanout = 64
+	}
+	if cfg.LogDevice == nil {
+		cfg.LogDevice = blockdev.NewMem(blockdev.Config{Growable: true})
+	}
+	log, err := wal.Open(ctx, cfg.LogDevice)
+	if err != nil {
+		return nil, fmt.Errorf("cloudiq: open log: %w", err)
+	}
+	db := &Database{
+		cfg:    cfg,
+		log:    log,
+		cat:    catalog.New(),
+		pool:   buffer.NewPool(buffer.Config{Capacity: cfg.CacheBytes, PrefetchWorkers: cfg.PrefetchWorkers}),
+		spaces: make(map[string]core.Dbspace),
+	}
+	tcfg := txn.Config{
+		Node:   cfg.Node,
+		Log:    log,
+		Notify: cfg.Notify,
+		ExtraCheckpoint: func() ([]byte, error) {
+			return db.cat.Marshal()
+		},
+		RestoreExtra: func(img []byte) error {
+			cat, err := catalog.Unmarshal(img)
+			if err != nil {
+				return err
+			}
+			db.cat = cat
+			return nil
+		},
+	}
+	if cfg.AllocKeys == nil {
+		db.gen = keygen.NewGenerator(log)
+		tcfg.Keys = db.gen
+	}
+	db.mgr, err = txn.NewManager(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Close drains the node's OCM caches.
+func (db *Database) Close() error {
+	db.mu.Lock()
+	caches := db.caches
+	db.caches = nil
+	db.mu.Unlock()
+	for _, c := range caches {
+		if err := c.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Node returns the node name.
+func (db *Database) Node() string { return db.cfg.Node }
+
+// allocFunc returns the key-range allocator for this node's dbspaces.
+func (db *Database) allocFunc() keygen.AllocFunc {
+	if db.cfg.AllocKeys != nil {
+		return db.cfg.AllocKeys
+	}
+	return func(ctx context.Context, n uint64) (rfrb.Range, error) {
+		return db.gen.Allocate(ctx, db.cfg.Node, n)
+	}
+}
+
+// CloudOptions configures AttachCloudDbspace.
+type CloudOptions struct {
+	// CacheDevice, when non-nil, enables the Object Cache Manager on this
+	// dbspace, backed by the given locally attached device.
+	CacheDevice blockdev.Device
+	// CacheBlockSize is the OCM allocation granularity (default 4096).
+	CacheBlockSize int
+	// ReadRetries / WriteRetries / RetryDelay tune eventual-consistency
+	// retry behaviour; zero values select defaults.
+	ReadRetries  int
+	WriteRetries int
+	// SequentialKeys disables hashed key prefixes (ablation only).
+	SequentialKeys bool
+}
+
+// AttachCloudDbspace creates a cloud dbspace named name over store —
+// the engine-side equivalent of
+// CREATE DBSPACE name USING OBJECT STORE 's3://bucket'.
+func (db *Database) AttachCloudDbspace(name string, store objstore.Store, opts CloudOptions) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.spaces[name]; dup {
+		return fmt.Errorf("cloudiq: dbspace %q already attached", name)
+	}
+	ccfg := core.CloudConfig{
+		Name:         name,
+		Store:        store,
+		Keys:         keygen.NewClient(db.allocFunc()),
+		Namer:        core.KeyNamer{Sequential: opts.SequentialKeys},
+		ReadRetries:  opts.ReadRetries,
+		WriteRetries: opts.WriteRetries,
+		Scale:        db.cfg.Scale,
+	}
+	if opts.CacheDevice != nil {
+		cache, err := ocm.New(ocm.Config{
+			Device:    opts.CacheDevice,
+			Store:     store,
+			BlockSize: opts.CacheBlockSize,
+			Workers:   db.cfg.PrefetchWorkers,
+		})
+		if err != nil {
+			return fmt.Errorf("cloudiq: dbspace %q: %w", name, err)
+		}
+		db.caches = append(db.caches, cache)
+		ccfg.Cache = cache
+	}
+	ds := core.NewCloud(ccfg)
+	db.spaces[name] = ds
+	db.mgr.Register(ds)
+	return nil
+}
+
+// AttachBlockDbspace creates a conventional dbspace over a block device.
+func (db *Database) AttachBlockDbspace(name string, dev blockdev.Device, blockSize int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.spaces[name]; dup {
+		return fmt.Errorf("cloudiq: dbspace %q already attached", name)
+	}
+	ds, err := core.NewBlock(core.BlockConfig{Name: name, Device: dev, BlockSize: blockSize})
+	if err != nil {
+		return err
+	}
+	db.spaces[name] = ds
+	db.mgr.Register(ds)
+	return nil
+}
+
+// space returns an attached dbspace.
+func (db *Database) space(name string) (core.Dbspace, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ds, ok := db.spaces[name]
+	if !ok {
+		return nil, fmt.Errorf("cloudiq: dbspace %q not attached", name)
+	}
+	return ds, nil
+}
+
+// Checkpoint durably snapshots the node's metadata (key-generator state,
+// freelists, catalog), bounding recovery replay.
+func (db *Database) Checkpoint(ctx context.Context) error {
+	return db.mgr.Checkpoint(ctx)
+}
+
+// catalogPublication is the commit-record meta payload.
+type catalogPublication struct {
+	Name    string
+	ID      core.Identity
+	Dropped bool
+}
+
+// Recover replays the transaction log after a crash or restart: key ranges,
+// active sets, freelists, commits (including their catalog publications) and
+// garbage collection are all restored. Dbspaces must be re-attached (with
+// the surviving stores/devices) before calling Recover.
+func (db *Database) Recover(ctx context.Context) error {
+	return db.mgr.Recover(ctx, func(rec wal.Record) error {
+		if rec.Type != wal.RecCommit {
+			return nil
+		}
+		crec, err := txn.UnmarshalCommit(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if len(crec.Meta) == 0 {
+			return nil
+		}
+		var pubs []catalogPublication
+		if err := gob.NewDecoder(bytes.NewReader(crec.Meta)).Decode(&pubs); err != nil {
+			return fmt.Errorf("cloudiq: decode commit meta: %w", err)
+		}
+		seq := db.mgr.CommitSeq()
+		for _, p := range pubs {
+			if err := db.applyPublication(p, seq); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// RecoverAsReader rebuilds this node's view of the database from a shared
+// system dbspace (the coordinator's transaction log) without performing any
+// garbage collection or metadata mutation — the reader-node path of the
+// multiplex (§2).
+func (db *Database) RecoverAsReader(ctx context.Context) error {
+	return db.mgr.RecoverForRead(ctx, func(rec wal.Record) error {
+		if rec.Type != wal.RecCommit {
+			return nil
+		}
+		crec, err := txn.UnmarshalCommit(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if len(crec.Meta) == 0 {
+			return nil
+		}
+		var pubs []catalogPublication
+		if err := gob.NewDecoder(bytes.NewReader(crec.Meta)).Decode(&pubs); err != nil {
+			return fmt.Errorf("cloudiq: decode commit meta: %w", err)
+		}
+		seq := db.mgr.CommitSeq()
+		for _, p := range pubs {
+			if err := db.applyPublication(p, seq); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// OCMStats reports the statistics of every attached Object Cache Manager,
+// in attach order.
+func (db *Database) OCMStats() []ocm.Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]ocm.Stats, len(db.caches))
+	for i, c := range db.caches {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
+// applyPublication folds one catalog change into the in-memory catalog.
+func (db *Database) applyPublication(p catalogPublication, seq uint64) error {
+	if p.Dropped {
+		return db.cat.Drop(p.Name, seq)
+	}
+	return db.cat.Publish(p.Name, p.ID, seq)
+}
+
+// CollectGarbage retires page versions no longer visible to any reader.
+func (db *Database) CollectGarbage(ctx context.Context) error {
+	return db.mgr.CollectGarbage(ctx)
+}
+
+// NotifyCommit is the coordinator-side entry point for commit notifications
+// from secondary nodes.
+func (db *Database) NotifyCommit(ctx context.Context, node string, consumed *rfrb.Bitmap) error {
+	return db.mgr.NotifyCommit(ctx, node, consumed)
+}
+
+// AllocateKeys is the coordinator-side entry point for key-range requests
+// from secondary nodes.
+func (db *Database) AllocateKeys(ctx context.Context, node string, n uint64) (rfrb.Range, error) {
+	if db.gen == nil {
+		return rfrb.Range{}, fmt.Errorf("cloudiq: node %s is not the coordinator", db.cfg.Node)
+	}
+	return db.gen.Allocate(ctx, node, n)
+}
+
+// WriterRestartGC garbage collects a crashed writer's outstanding key
+// allocations (coordinator only).
+func (db *Database) WriterRestartGC(ctx context.Context, node string) error {
+	return db.mgr.WriterRestartGC(ctx, node)
+}
+
+// PoolStats reports buffer-manager cache behaviour.
+func (db *Database) PoolStats() buffer.Stats { return db.pool.Stats() }
+
+// WaitIO quiesces outstanding prefetch I/O and asynchronous OCM cache
+// fills (used by benchmarks).
+func (db *Database) WaitIO() {
+	db.pool.Wait()
+	db.mu.Lock()
+	caches := append([]*ocm.Cache(nil), db.caches...)
+	db.mu.Unlock()
+	for _, c := range caches {
+		c.Quiesce()
+	}
+}
+
+// --- snapshots (§5) ---
+
+// EnableSnapshots routes expired page versions through a snapshot manager
+// with the given retention (in units of now's clock), stored in store.
+// Coordinator only.
+func (db *Database) EnableSnapshots(ctx context.Context, store objstore.Store, retention int64, now func() int64) error {
+	if db.gen == nil {
+		return fmt.Errorf("cloudiq: snapshots require the coordinator")
+	}
+	sm, err := snapshot.New(snapshot.Config{
+		Store:     store,
+		Retention: retention,
+		Now:       now,
+		Reclaim:   db.mgr.Reclaim,
+	})
+	if err != nil {
+		return err
+	}
+	if err := sm.Load(ctx); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.snap = sm
+	db.mu.Unlock()
+	db.mgr.SetRetire(sm.Retire)
+	return nil
+}
+
+func (db *Database) snapshotManager() (*snapshot.Manager, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.snap == nil {
+		return nil, fmt.Errorf("cloudiq: snapshots not enabled")
+	}
+	return db.snap, nil
+}
+
+// TakeSnapshot records a near-instantaneous snapshot: only the catalog and
+// the engine metadata are backed up; no cloud dbspace data is copied.
+func (db *Database) TakeSnapshot(ctx context.Context) (snapshot.SnapInfo, error) {
+	sm, err := db.snapshotManager()
+	if err != nil {
+		return snapshot.SnapInfo{}, err
+	}
+	catImg, err := db.cat.Marshal()
+	if err != nil {
+		return snapshot.SnapInfo{}, err
+	}
+	var sys bytes.Buffer
+	if err := gob.NewEncoder(&sys).Encode(db.mgr.CommitSeq()); err != nil {
+		return snapshot.SnapInfo{}, err
+	}
+	return sm.Snapshot(ctx, catImg, sys.Bytes(), db.gen.MaxAllocated())
+}
+
+// Snapshots lists stored snapshots.
+func (db *Database) Snapshots() ([]snapshot.SnapInfo, error) {
+	sm, err := db.snapshotManager()
+	if err != nil {
+		return nil, err
+	}
+	return sm.Snapshots(), nil
+}
+
+// ExpireSnapshots runs the background deletion pass, reclaiming pages and
+// snapshots whose retention ended.
+func (db *Database) ExpireSnapshots(ctx context.Context) (int, error) {
+	sm, err := db.snapshotManager()
+	if err != nil {
+		return 0, err
+	}
+	return sm.Expire(ctx)
+}
+
+// RestoreSnapshot performs point-in-time restore to snapshot id: the catalog
+// reverts to the snapshot's image and every object key allocated after the
+// snapshot is garbage collected (a single range, thanks to key
+// monotonicity). There must be no active transactions.
+func (db *Database) RestoreSnapshot(ctx context.Context, id uint64) error {
+	sm, err := db.snapshotManager()
+	if err != nil {
+		return err
+	}
+	if n := db.mgr.ActiveCount(); n != 0 {
+		return fmt.Errorf("cloudiq: restore with %d active transactions", n)
+	}
+	info, catImg, _, err := sm.Restore(ctx, id)
+	if err != nil {
+		return err
+	}
+	cat, err := catalog.Unmarshal(catImg)
+	if err != nil {
+		return err
+	}
+	// Garbage collect keys allocated after the snapshot across every cloud
+	// dbspace.
+	gcRange := snapshot.PostRestoreRange(info.MaxKey, db.gen.MaxAllocated())
+	db.mu.Lock()
+	var clouds []core.Dbspace
+	for _, ds := range db.spaces {
+		if ds.IsCloud() {
+			clouds = append(clouds, ds)
+		}
+	}
+	db.mu.Unlock()
+	if gcRange.Len() > 0 {
+		for _, ds := range clouds {
+			if err := ds.Reclaim(ctx, gcRange); err != nil {
+				return fmt.Errorf("cloudiq: post-restore GC on %s: %w", ds.Name(), err)
+			}
+		}
+	}
+	db.mu.Lock()
+	db.cat = cat
+	db.mu.Unlock()
+	return nil
+}

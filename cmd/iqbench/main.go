@@ -1,0 +1,167 @@
+// Command iqbench regenerates the tables and figures of "Bringing
+// Cloud-Native Storage to SAP IQ" (SIGMOD 2021) against the cloudiq engine
+// and its simulated cloud substrate. Absolute numbers are simulated seconds
+// at a reduced scale factor; the shape (who wins, by roughly what factor,
+// where the crossovers fall) is the reproduction target.
+//
+// Usage:
+//
+//	iqbench -exp all                 # everything
+//	iqbench -exp table2 -sf 0.01     # one experiment
+//
+// Experiments: table1, table2, table3, table4, table5, fig6, fig7, fig8,
+// fig9, ablations, all.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cloudiq/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1..table5, fig6..fig9, ablations, all)")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	timeScale := flag.Float64("timescale", 0.2, "real seconds per simulated second (larger = higher fidelity, slower)")
+	seed := flag.Int64("seed", 1, "jitter seed")
+	flag.Parse()
+
+	base := bench.Options{SF: *sf, TimeScale: *timeScale, Seed: *seed}
+	ctx := context.Background()
+	if err := run(ctx, strings.ToLower(*exp), base); err != nil {
+		fmt.Fprintln(os.Stderr, "iqbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, exp string, base bench.Options) error {
+	all := exp == "all"
+	started := time.Now()
+
+	var volumeRuns []bench.VolumeRun
+	needVolumes := all || exp == "table2" || exp == "table3" || exp == "table4"
+
+	if all || exp == "table1" {
+		events, err := bench.RunTable1(ctx)
+		if err != nil {
+			return err
+		}
+		section("Table 1: recovery and garbage collection walkthrough")
+		fmt.Print(bench.FormatTable1(events))
+	}
+
+	if needVolumes {
+		var err error
+		volumeRuns, err = bench.RunVolumeComparison(ctx, base)
+		if err != nil {
+			return err
+		}
+	}
+	if all || exp == "table2" {
+		section("Table 2: load and query times (simulated seconds) — S3 vs EBS vs EFS")
+		fmt.Print(bench.FormatVolumeRuns(volumeRuns))
+	}
+	if all || exp == "table3" {
+		costs, err := bench.Costs(volumeRuns, "m5ad.24xlarge")
+		if err != nil {
+			return err
+		}
+		section("Table 3: compute cost of the load and of the query run")
+		fmt.Print(bench.FormatCosts(costs))
+	}
+	if all || exp == "table4" {
+		var stored int64
+		for _, r := range volumeRuns {
+			if r.Volume == "s3" {
+				stored = r.StoredBytes
+			}
+		}
+		storage, err := bench.StorageCosts(stored)
+		if err != nil {
+			return err
+		}
+		section(fmt.Sprintf("Table 4: monthly data-at-rest cost (%d compressed bytes)", stored))
+		fmt.Print(bench.FormatStorage(storage))
+		// SF-1000-equivalent data volume, for comparison with the paper.
+		exStorage, err := bench.StorageCosts(int64(float64(stored) * 1000 / base.SF))
+		if err != nil {
+			return err
+		}
+		section("Table 4 (extrapolated to SF 1000 data volume)")
+		fmt.Print(bench.FormatStorage(exStorage))
+	}
+
+	if all || exp == "table5" || exp == "fig6" {
+		runs, err := bench.RunOCM(ctx, base)
+		if err != nil {
+			return err
+		}
+		section("Figure 6 / Table 5: impact of the OCM on query execution")
+		fmt.Print(bench.FormatOCM(runs))
+	}
+
+	if all || exp == "fig7" {
+		points, err := bench.RunScaleUp(ctx, base)
+		if err != nil {
+			return err
+		}
+		section("Figure 7: scale-up behavior (16 / 48 / 96 CPUs)")
+		fmt.Print(bench.FormatScaleUp(points))
+	}
+
+	if all || exp == "fig8" {
+		samples, err := bench.RunLoadBandwidth(ctx, base)
+		if err != nil {
+			return err
+		}
+		section("Figure 8: network bandwidth utilization during load")
+		fmt.Print(bench.FormatBandwidth(samples))
+	}
+
+	if all || exp == "fig9" {
+		points, err := bench.RunScaleOut(ctx, base, []int{2, 4, 8})
+		if err != nil {
+			return err
+		}
+		section("Figure 9: scale-out behavior (8 query streams)")
+		fmt.Print(bench.FormatScaleOut(points))
+	}
+
+	if all || exp == "ablations" {
+		prefix, err := bench.AblationPrefixHashing(ctx, 60, base.TimeScale)
+		if err != nil {
+			return err
+		}
+		section("Ablations")
+		fmt.Print(bench.FormatAblation("hashed key prefixes vs sequential (per-prefix throttling)", prefix))
+		ranged, err := bench.AblationKeyRangeSize(ctx, 5000, 2*time.Millisecond, base.TimeScale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatAblation("key-range caching vs one key per coordinator RPC", ranged))
+		retry, err := bench.AblationRetryPolicy(ctx, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatAblation("bounded read retries under eventual consistency", retry))
+	}
+
+	known := map[string]bool{"all": true, "table1": true, "table2": true, "table3": true,
+		"table4": true, "table5": true, "fig6": true, "fig7": true, "fig8": true,
+		"fig9": true, "ablations": true}
+	if !known[exp] {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	fmt.Printf("\ncompleted in %.1fs wall time (sf=%g, timescale=%g)\n",
+		time.Since(started).Seconds(), base.SF, base.TimeScale)
+	return nil
+}
+
+func section(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}

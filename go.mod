@@ -1,0 +1,3 @@
+module cloudiq
+
+go 1.23

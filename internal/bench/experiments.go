@@ -1,0 +1,555 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cloudiq"
+	"cloudiq/internal/cloudcost"
+	"cloudiq/internal/core"
+	"cloudiq/internal/iomodel"
+	"cloudiq/internal/keygen"
+	"cloudiq/internal/objstore"
+	"cloudiq/internal/ocm"
+	"cloudiq/internal/rfrb"
+	"cloudiq/tpch"
+)
+
+// VolumeRun is one row group of Tables 2 and 3: a full load + power run on
+// one storage volume.
+type VolumeRun struct {
+	Volume      string
+	LoadSim     float64
+	Queries     [22]float64
+	GeoMean     float64
+	LoadPuts    int64 // S3 PUT requests during load (user store)
+	LoadGets    int64 // S3 GET requests during load (input + user store)
+	QueryPuts   int64
+	QueryGets   int64
+	StoredBytes int64 // compressed data at rest (S3 run only)
+}
+
+// RunVolumeComparison executes the paper's first experiment: load TPC-H and
+// run the 22 queries with user dbspaces on S3, EBS and EFS (Tables 2–4).
+func RunVolumeComparison(ctx context.Context, base Options) ([]VolumeRun, error) {
+	var out []VolumeRun
+	for _, volume := range []string{"s3", "ebs", "efs"} {
+		opts := base
+		opts.Volume = volume
+		// The paper's default configuration runs with the OCM on the
+		// instance NVMe; it applies to cloud dbspaces only.
+		opts.OCM = volume == "s3"
+		e, err := Setup(ctx, opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s setup: %w", volume, err)
+		}
+		run := VolumeRun{Volume: volume, LoadSim: e.LoadSim}
+		run.LoadGets = e.Input.Metrics().Gets()
+		if e.Store != nil {
+			run.LoadPuts = e.Store.Metrics().Puts()
+			run.LoadGets += e.Store.Metrics().Gets()
+			run.StoredBytes = e.Store.StoredBytes()
+		}
+		prePuts, preGets := int64(0), int64(0)
+		if e.Store != nil {
+			prePuts, preGets = e.Store.Metrics().Puts(), e.Store.Metrics().Gets()
+		}
+		q, err := e.Power(ctx)
+		if err != nil {
+			_ = e.Close()
+			return nil, fmt.Errorf("bench: %s power run: %w", volume, err)
+		}
+		run.Queries = q
+		run.GeoMean = geoMean(q[:])
+		if e.Store != nil {
+			run.QueryPuts = e.Store.Metrics().Puts() - prePuts
+			run.QueryGets = e.Store.Metrics().Gets() - preGets
+		}
+		if err := e.Close(); err != nil {
+			return nil, err
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+func geoMean(xs []float64) float64 {
+	results := make([]tpch.QueryResult, len(xs))
+	for i, x := range xs {
+		results[i] = tpch.QueryResult{Elapsed: time.Duration(x * float64(time.Second))}
+	}
+	return tpch.GeoMean(results).Seconds()
+}
+
+// CostRow is one row of Table 3.
+type CostRow struct {
+	Volume    string
+	LoadCost  float64
+	QueryCost float64
+}
+
+// Costs prices the volume-comparison runs (Table 3): EC2 time for the
+// simulated durations plus S3 request charges.
+func Costs(runs []VolumeRun, instance string) ([]CostRow, error) {
+	p := cloudcost.Default2020()
+	var out []CostRow
+	for _, r := range runs {
+		var queryTotal float64
+		for _, q := range r.Queries {
+			queryTotal += q
+		}
+		loadCompute, err := p.Compute(instance, time.Duration(r.LoadSim*float64(time.Second)))
+		if err != nil {
+			return nil, err
+		}
+		queryCompute, err := p.Compute(instance, time.Duration(queryTotal*float64(time.Second)))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CostRow{
+			Volume:    r.Volume,
+			LoadCost:  loadCompute + p.Requests(r.LoadPuts, r.LoadGets),
+			QueryCost: queryCompute + p.Requests(r.QueryPuts, r.QueryGets),
+		})
+	}
+	return out, nil
+}
+
+// StorageRow is one row of Table 4.
+type StorageRow struct {
+	Volume  string
+	Monthly float64
+}
+
+// StorageCosts prices the compressed data at rest under each volume's rate
+// (Table 4 multiplies the same compressed size by the three monthly rates).
+func StorageCosts(storedBytes int64) ([]StorageRow, error) {
+	p := cloudcost.Default2020()
+	var out []StorageRow
+	for _, v := range []string{"s3", "ebs", "efs"} {
+		m, err := p.StorageMonthly(v, storedBytes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, StorageRow{Volume: v, Monthly: m})
+	}
+	return out, nil
+}
+
+// OCMRun is one instance's half of the second experiment (Figure 6 and
+// Table 5): per-query times with and without the OCM, plus cache counters.
+type OCMRun struct {
+	Instance    string
+	WithoutOCM  [22]float64
+	WithOCM     [22]float64
+	Stats       cloudiq.OCMStats
+	AvertedGets int64 // cache hits = S3 GETs averted
+}
+
+// RunOCM executes the OCM experiment on the given instances (the paper uses
+// m5ad.4xlarge and m5ad.24xlarge).
+func RunOCM(ctx context.Context, base Options, instances ...Instance) ([]OCMRun, error) {
+	if len(instances) == 0 {
+		instances = []Instance{M5ad4xl, M5ad24xl}
+	}
+	var out []OCMRun
+	for _, inst := range instances {
+		run := OCMRun{Instance: inst.Name}
+		for _, withOCM := range []bool{false, true} {
+			opts := base
+			opts.Volume = "s3"
+			opts.Instance = inst
+			opts.OCM = withOCM
+			e, err := Setup(ctx, opts)
+			if err != nil {
+				return nil, err
+			}
+			q, err := e.Power(ctx)
+			if err != nil {
+				_ = e.Close()
+				return nil, err
+			}
+			if withOCM {
+				run.WithOCM = q
+				if st := e.DB.OCMStats(); len(st) > 0 {
+					run.Stats = st[0]
+					run.AvertedGets = st[0].Hits
+				}
+			} else {
+				run.WithoutOCM = q
+			}
+			if err := e.Close(); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+// ScaleUpPoint is one x-value of Figure 7.
+type ScaleUpPoint struct {
+	CPUs     int
+	Instance string
+	LoadSim  float64
+	QuerySim float64
+	TotalSim float64
+}
+
+// RunScaleUp executes the third experiment: the same S3-backed workload on
+// the m5ad instance ladder.
+func RunScaleUp(ctx context.Context, base Options) ([]ScaleUpPoint, error) {
+	var out []ScaleUpPoint
+	for _, inst := range []Instance{M5ad4xl, M5ad12xl, M5ad24xl} {
+		opts := base
+		opts.Volume = "s3"
+		opts.Instance = inst
+		opts.OCM = true
+		e, err := Setup(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		q, err := e.Power(ctx)
+		if err != nil {
+			_ = e.Close()
+			return nil, err
+		}
+		var queryTotal float64
+		for _, x := range q {
+			queryTotal += x
+		}
+		out = append(out, ScaleUpPoint{
+			CPUs:     inst.CPUs,
+			Instance: inst.Name,
+			LoadSim:  e.LoadSim,
+			QuerySim: queryTotal,
+			TotalSim: e.LoadSim + queryTotal,
+		})
+		if err := e.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// BandwidthSample is one point of Figure 8.
+type BandwidthSample struct {
+	SimSecond float64
+	Gbps      float64
+}
+
+// RunLoadBandwidth executes the load on the largest instance while sampling
+// the NIC, reproducing Figure 8's saturation plateau.
+func RunLoadBandwidth(ctx context.Context, base Options) ([]BandwidthSample, error) {
+	opts := base
+	opts.Volume = "s3"
+	opts.Instance = M5ad24xl
+	opts.OCM = true // the paper's configuration; uploads stream continuously
+	opts.SkipLoad = true
+	e, err := Setup(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+
+	var samples []BandwidthSample
+	done := make(chan struct{})
+	sampled := make(chan struct{})
+	const tick = 100 * time.Millisecond
+	go func() {
+		defer close(sampled)
+		start := time.Now()
+		_, prev := e.Net.Stats()
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(tick):
+			}
+			_, bytes := e.Net.Stats()
+			simNow := e.SimSeconds(time.Since(start))
+			simTick := e.SimSeconds(tick)
+			gbps := float64(bytes-prev) * 8 / simTick / 1e9 / e.Opts.BandwidthScale
+			prev = bytes
+			samples = append(samples, BandwidthSample{SimSecond: simNow, Gbps: gbps})
+		}
+	}()
+	loadErr := e.Load(ctx)
+	close(done)
+	<-sampled
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	return samples, nil
+}
+
+// ScaleOutPoint is one x-value of Figure 9.
+type ScaleOutPoint struct {
+	Nodes    int
+	TotalSim float64
+}
+
+// RunScaleOut executes the fourth experiment: 8 query streams balanced over
+// 2, 4 and 8 secondary (reader) nodes, each node with its own buffer pool
+// and network link, all sharing one object store. Combined S3 throughput
+// grows with the node count, which is what the paper credits for the
+// near-ideal scale-out.
+func RunScaleOut(ctx context.Context, base Options, nodeCounts []int) ([]ScaleOutPoint, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{2, 4, 8}
+	}
+	opts := base
+	opts.Volume = "s3"
+	opts.Instance = M5ad4xl
+	// The coordinator loads once; reader environments are rebuilt per point.
+	coord, err := Setup(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+
+	var out []ScaleOutPoint
+	for _, n := range nodeCounts {
+		conns := make([]*tpch.Conn, n)
+		dbs := make([]*cloudiq.Database, n)
+		for i := 0; i < n; i++ {
+			// Each reader gets its own copy of the shared system dbspace,
+			// its own NIC, buffer pool and OCM, against the shared store.
+			logCopy, err := copyDevice(ctx, coord.LogDev)
+			if err != nil {
+				return nil, err
+			}
+			// Reader NICs are scaled down further so the experiment runs in
+			// the network-bound regime the paper's scale-out depends on
+			// (aggregate S3 throughput growing with node count).
+			nic := netResource(coord.Scale, M5ad4xl, opts.withDefaults().BandwidthScale/5)
+			store := &nodeStore{inner: coord.Store, nic: nic}
+			// Reader caches follow the paper's RAM-to-data ratio at SF 1000
+			// (m5ad.4xlarge holds only a small slice of the dataset), which
+			// keeps the streams object-store-bound.
+			readerCache := int64(float64(estDataBytes(opts.withDefaults().SF)) * 0.02)
+			if readerCache < 256<<10 {
+				readerCache = 256 << 10
+			}
+			db, err := cloudiq.Open(ctx, cloudiq.Config{
+				LogDevice:       logCopy,
+				CacheBytes:      readerCache,
+				PrefetchWorkers: M5ad4xl.CPUs,
+				Compress:        true,
+				Scale:           coord.Scale,
+				Node:            fmt.Sprintf("r%d", i+1),
+				AllocKeys: func(ctx context.Context, n uint64) (rfrb.Range, error) {
+					return rfrb.Range{}, fmt.Errorf("bench: reader nodes do not allocate keys")
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := db.AttachCloudDbspace("user", store, cloudiq.CloudOptions{}); err != nil {
+				return nil, err
+			}
+			if err := db.RecoverAsReader(ctx); err != nil {
+				return nil, err
+			}
+			conn, err := tpch.OpenConn(ctx, db.Begin(), "user")
+			if err != nil {
+				return nil, err
+			}
+			dbs[i] = db
+			conns[i] = conn
+		}
+		start := time.Now()
+		if _, err := tpch.RunStreams(ctx, conns, tpch.Streams(8, 42)); err != nil {
+			return nil, err
+		}
+		out = append(out, ScaleOutPoint{Nodes: n, TotalSim: coord.SimSeconds(time.Since(start))})
+		coord.Scale.Set(0)
+		for _, db := range dbs {
+			_ = db.Close()
+		}
+		coord.Scale.Set(opts.withDefaults().TimeScale)
+	}
+	return out, nil
+}
+
+// --- ablations (design choices DESIGN.md calls out) ---
+
+// AblationResult is a generic (variant, simulated seconds, note) row.
+type AblationResult struct {
+	Variant string
+	SimSec  float64
+	Note    string
+}
+
+// AblationPrefixHashing writes and reads back n pages with hashed vs
+// sequential key prefixes under S3's per-prefix request throttling.
+func AblationPrefixHashing(ctx context.Context, n int, timeScale float64) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, sequential := range []bool{false, true} {
+		scale := iomodel.NewScale(timeScale)
+		store := objstore.NewMem(objstore.Config{
+			ReadLatency:  iomodel.Latency{Base: s3ReadLatency},
+			WriteLatency: iomodel.Latency{Base: s3WriteLatency},
+			PrefixRate:   200, // harsh throttle to expose the effect quickly
+			Scale:        scale,
+		})
+		db, err := cloudiq.Open(ctx, cloudiq.Config{Scale: scale})
+		if err != nil {
+			return nil, err
+		}
+		if err := db.AttachCloudDbspace("user", store, cloudiq.CloudOptions{SequentialKeys: sequential}); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		tx := db.Begin()
+		tbl, err := tx.CreateTable(ctx, "user", "t", cloudiq.Schema{
+			Cols: []cloudiq.ColumnDef{{Name: "x", Typ: cloudiq.Int64}},
+		}, cloudiq.TableOptions{SegRows: 8})
+		if err != nil {
+			return nil, err
+		}
+		batch := cloudiq.NewBatch(tbl.Schema())
+		for i := 0; i < n*8; i++ {
+			batch.Vecs[0].AppendInt(int64(i))
+		}
+		if err := tbl.Append(ctx, batch); err != nil {
+			return nil, err
+		}
+		if err := tx.Commit(ctx); err != nil {
+			return nil, err
+		}
+		name := "hashed"
+		if sequential {
+			name = "sequential"
+		}
+		out = append(out, AblationResult{
+			Variant: name,
+			SimSec:  time.Since(start).Seconds() / timeScale,
+			Note:    fmt.Sprintf("%d pages", n),
+		})
+		_ = db.Close()
+	}
+	return out, nil
+}
+
+// AblationKeyRangeSize compares cached range allocation against one-key-per-
+// RPC allocation, charging a simulated RPC round trip.
+func AblationKeyRangeSize(ctx context.Context, keys int, rpcLatency time.Duration, timeScale float64) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, ranged := range []bool{true, false} {
+		scale := iomodel.NewScale(timeScale)
+		gen := keygen.NewGenerator(nil)
+		rpcs := 0
+		alloc := func(ctx context.Context, n uint64) (rfrb.Range, error) {
+			rpcs++
+			scale.Sleep(rpcLatency)
+			if !ranged {
+				n = 1
+			}
+			return gen.Allocate(ctx, "w1", n)
+		}
+		client := keygen.NewClient(alloc)
+		start := time.Now()
+		for i := 0; i < keys; i++ {
+			if _, err := client.NextKey(ctx); err != nil {
+				return nil, err
+			}
+		}
+		name := "range-cached"
+		if !ranged {
+			name = "one-key-per-rpc"
+		}
+		out = append(out, AblationResult{
+			Variant: name,
+			SimSec:  time.Since(start).Seconds() / timeScale,
+			Note:    fmt.Sprintf("%d keys, %d RPCs", keys, rpcs),
+		})
+	}
+	return out, nil
+}
+
+// AblationRetryPolicy measures the read path with and without bounded
+// retries against a store exhibiting not-found windows on fresh keys:
+// without retries reads fail; with retries they succeed at a small latency
+// premium.
+func AblationRetryPolicy(ctx context.Context, pages int) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, retries := range []int{1, 8} {
+		store := objstore.NewMem(objstore.Config{
+			Consistency: objstore.Consistency{NewKeyMissReads: 2},
+		})
+		gen := keygen.NewGenerator(nil)
+		client := keygen.NewClient(func(ctx context.Context, n uint64) (rfrb.Range, error) {
+			return gen.Allocate(ctx, "n", n)
+		})
+		ds := newCloudDbspaceForAblation(store, client, retries)
+		failures := 0
+		for i := 0; i < pages; i++ {
+			e, err := ds.WritePage(ctx, []byte{byte(i)}, core.WriteThrough)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := ds.ReadPage(ctx, e); err != nil {
+				failures++
+			}
+		}
+		name := fmt.Sprintf("retries=%d", retries)
+		out = append(out, AblationResult{
+			Variant: name,
+			SimSec:  0,
+			Note:    fmt.Sprintf("%d/%d reads failed", failures, pages),
+		})
+	}
+	return out, nil
+}
+
+// AblationOCMWriteMode measures the churn-phase latency benefit of
+// write-back over write-through for a burst of page writes (§4: the churn
+// phase is the longest part of a transaction and must be optimized).
+func AblationOCMWriteMode(ctx context.Context, pages int, timeScale float64) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, mode := range []string{"write-back", "write-through"} {
+		scale := iomodel.NewScale(timeScale)
+		store := objstore.NewMem(objstore.Config{
+			WriteLatency: iomodel.Latency{Base: s3WriteLatency},
+			Scale:        scale,
+		})
+		ssd := newSSD(scale, 1, 64<<20, 7)
+		cache, err := ocm.New(ocm.Config{Device: ssd, Store: store})
+		if err != nil {
+			return nil, err
+		}
+		data := make([]byte, 4096)
+		start := time.Now()
+		for i := 0; i < pages; i++ {
+			key := fmt.Sprintf("p/%06d", i)
+			if mode == "write-back" {
+				err = cache.PutBack(ctx, key, data)
+			} else {
+				err = cache.PutThrough(ctx, key, data)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		churn := time.Since(start).Seconds() / timeScale
+		// Commit phase: everything must still reach the store.
+		var keys []string
+		for i := 0; i < pages; i++ {
+			keys = append(keys, fmt.Sprintf("p/%06d", i))
+		}
+		if err := cache.FlushForCommit(ctx, keys); err != nil {
+			return nil, err
+		}
+		total := time.Since(start).Seconds() / timeScale
+		scale.Set(0)
+		_ = cache.Close()
+		out = append(out, AblationResult{
+			Variant: mode,
+			SimSec:  churn,
+			Note:    fmt.Sprintf("%d pages; durable after %.2fs", pages, total),
+		})
+	}
+	return out, nil
+}

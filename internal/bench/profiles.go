@@ -1,0 +1,70 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§6). It wires the simulated cloud
+// substrate — an S3-like object store, EBS/EFS-like volumes, local NVMe and
+// per-instance network links, all with 2020-era performance constants — to
+// the cloudiq engine and the TPC-H workload, measures simulated time, and
+// prices the runs with the cloudcost model.
+//
+// Scale substitution: experiments run at a small TPC-H scale factor with
+// bandwidth-type constants scaled down by the same ratio, preserving the
+// data-size-to-bandwidth ratios (and therefore who wins and by roughly what
+// factor) while keeping per-request latencies at their real values.
+package bench
+
+import (
+	"time"
+
+	"cloudiq/internal/iomodel"
+)
+
+// Instance models one EC2 instance type from the paper's evaluation. Byte
+// capacities are expressed as fractions of the dataset so they follow the
+// scale factor, mirroring the paper's RAM-to-data and SSD-to-data ratios at
+// SF 1000 (m5ad.24xlarge: 384 GiB RAM ≈ half the compressed data;
+// m5ad.4xlarge: 64 GiB RAM ≈ 8%).
+type Instance struct {
+	Name string
+	CPUs int
+	// CacheFrac sizes the buffer manager as a fraction of the dataset.
+	CacheFrac float64
+	// SSDFrac sizes the OCM's local NVMe as a fraction of the dataset.
+	SSDFrac float64
+	// NetBytesPerSec is the effective network bandwidth before scaling.
+	// The 24xlarge value is the ~9 Gbit/s plateau the paper observed
+	// (intrinsic to the engine's 512 KB page limit), not the 20 Gbit/s NIC.
+	NetBytesPerSec float64
+}
+
+// The instance ladder of the paper's experiments.
+var (
+	M5ad4xl  = Instance{Name: "m5ad.4xlarge", CPUs: 16, CacheFrac: 0.08, SSDFrac: 1.5, NetBytesPerSec: 0.31e9}
+	M5ad12xl = Instance{Name: "m5ad.12xlarge", CPUs: 48, CacheFrac: 0.25, SSDFrac: 2.5, NetBytesPerSec: 0.90e9}
+	M5ad24xl = Instance{Name: "m5ad.24xlarge", CPUs: 96, CacheFrac: 0.50, SSDFrac: 4.0, NetBytesPerSec: 1.125e9}
+	R5Large  = Instance{Name: "r5.large", CPUs: 2, CacheFrac: 0.02, SSDFrac: 0, NetBytesPerSec: 0.1e9}
+)
+
+// Device performance constants (2020-era, before scaling).
+const (
+	s3ReadLatency  = 15 * time.Millisecond
+	s3WriteLatency = 25 * time.Millisecond
+	s3PerReqRate   = 85e6 // per-request transfer rate on S3 (bytes/s)
+	s3PrefixRate   = 3500 // requests/s/prefix before throttling
+
+	ebsLatency = 500 * time.Microsecond
+	ebsIOPS    = 3000  // gp2, 1 TB volume
+	ebsRate    = 250e6 // bytes/s
+	efsLatency = 3 * time.Millisecond
+	// EFS IOPS scale with utilized space (§6 fn. 5); at the experiments'
+	// small utilization the baseline is low.
+	efsIOPS = 500
+	efsRate = 100e6
+
+	ssdLatency = 80 * time.Microsecond
+	ssdPerOp   = 20 * time.Microsecond
+	ssdRate    = 1.5e9
+)
+
+// netResource builds an instance's NIC as a shared capacity.
+func netResource(scale *iomodel.Scale, inst Instance, bwScale float64) *iomodel.Resource {
+	return iomodel.NewResource(scale, 0, inst.NetBytesPerSec*bwScale)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is active. Its 5–20×
+// CPU inflation distorts simulated-time measurements, so timing-shape
+// assertions are skipped under -race (the experiments still execute).
+const raceEnabled = true

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudiq/internal/core"
+	"cloudiq/internal/keygen"
+	"cloudiq/internal/objstore"
+)
+
+func newCloudDbspaceForAblation(store objstore.Store, client *keygen.Client, retries int) *core.CloudDbspace {
+	return core.NewCloud(core.CloudConfig{Name: "ablation", Store: store, Keys: client, ReadRetries: retries})
+}
+
+// FormatTable renders rows as an aligned text table.
+func FormatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// FormatVolumeRuns renders Table 2 (load + per-query simulated seconds).
+func FormatVolumeRuns(runs []VolumeRun) string {
+	header := []string{"volume", "load", "geomean"}
+	for q := 1; q <= 22; q++ {
+		header = append(header, fmt.Sprintf("Q%d", q))
+	}
+	var rows [][]string
+	for _, r := range runs {
+		row := []string{strings.ToUpper(r.Volume), fmt.Sprintf("%.2f", r.LoadSim), fmt.Sprintf("%.2f", r.GeoMean)}
+		for _, q := range r.Queries {
+			row = append(row, fmt.Sprintf("%.2f", q))
+		}
+		rows = append(rows, row)
+	}
+	return FormatTable(header, rows)
+}
+
+// FormatCosts renders Table 3.
+func FormatCosts(rows []CostRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{strings.ToUpper(r.Volume),
+			fmt.Sprintf("%.4f", r.LoadCost), fmt.Sprintf("%.4f", r.QueryCost)})
+	}
+	return FormatTable([]string{"volume", "load cost (USD)", "query cost (USD)"}, out)
+}
+
+// FormatStorage renders Table 4.
+func FormatStorage(rows []StorageRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{strings.ToUpper(r.Volume), fmt.Sprintf("%.4f", r.Monthly)})
+	}
+	return FormatTable([]string{"volume", "monthly storage cost (USD)"}, out)
+}
+
+// FormatOCM renders Table 5 and the Figure 6 series.
+func FormatOCM(runs []OCMRun) string {
+	var sb strings.Builder
+	for _, r := range runs {
+		fmt.Fprintf(&sb, "instance %s\n", r.Instance)
+		var rows [][]string
+		for q := 0; q < 22; q++ {
+			delta := ""
+			if r.WithoutOCM[q] > 0 {
+				delta = fmt.Sprintf("%+.1f%%", (r.WithOCM[q]/r.WithoutOCM[q]-1)*100)
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("Q%d", q+1),
+				fmt.Sprintf("%.3f", r.WithoutOCM[q]),
+				fmt.Sprintf("%.3f", r.WithOCM[q]),
+				delta,
+			})
+		}
+		sb.WriteString(FormatTable([]string{"query", "no OCM (s)", "OCM (s)", "delta"}, rows))
+		total := r.Stats.Hits + r.Stats.Misses
+		pct := func(n int64) string {
+			if total == 0 {
+				return "0%"
+			}
+			return fmt.Sprintf("%.1f%%", float64(n)/float64(total)*100)
+		}
+		sb.WriteString(FormatTable(
+			[]string{"", "objects", "percentage"},
+			[][]string{
+				{"cache misses", fmt.Sprint(r.Stats.Misses), pct(r.Stats.Misses)},
+				{"cache hits", fmt.Sprint(r.Stats.Hits), pct(r.Stats.Hits)},
+				{"evictions", fmt.Sprint(r.Stats.Evictions), ""},
+			}))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FormatScaleUp renders Figure 7's series.
+func FormatScaleUp(points []ScaleUpPoint) string {
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprint(p.CPUs), p.Instance,
+			fmt.Sprintf("%.2f", p.LoadSim),
+			fmt.Sprintf("%.2f", p.QuerySim),
+			fmt.Sprintf("%.2f", p.TotalSim),
+		})
+	}
+	return FormatTable([]string{"CPUs", "instance", "load (s)", "queries (s)", "total (s)"}, rows)
+}
+
+// FormatBandwidth renders Figure 8's series.
+func FormatBandwidth(samples []BandwidthSample) string {
+	var rows [][]string
+	for _, s := range samples {
+		bar := strings.Repeat("#", int(s.Gbps))
+		rows = append(rows, []string{fmt.Sprintf("%.1f", s.SimSecond), fmt.Sprintf("%.2f", s.Gbps), bar})
+	}
+	return FormatTable([]string{"sim second", "Gbit/s", ""}, rows)
+}
+
+// FormatScaleOut renders Figure 9's series.
+func FormatScaleOut(points []ScaleOutPoint) string {
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{fmt.Sprint(p.Nodes), fmt.Sprintf("%.2f", p.TotalSim)})
+	}
+	return FormatTable([]string{"secondary nodes", "8-stream total (s)"}, rows)
+}
+
+// FormatAblation renders an ablation comparison.
+func FormatAblation(title string, rows []AblationResult) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Variant, fmt.Sprintf("%.3f", r.SimSec), r.Note})
+	}
+	return title + "\n" + FormatTable([]string{"variant", "sim seconds", "note"}, out)
+}

@@ -1,0 +1,165 @@
+package blockdev
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cloudiq/internal/iomodel"
+)
+
+func ctxb() context.Context { return context.Background() }
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := NewMem(Config{Capacity: 1024})
+	want := []byte("columnar")
+	if err := d.WriteAt(ctxb(), want, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := d.ReadAt(ctxb(), got, 100); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("ReadAt = %q, want %q", got, want)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d := NewMem(Config{Capacity: 10})
+	if err := d.WriteAt(ctxb(), make([]byte, 20), 0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("oversized write err = %v, want ErrOutOfRange", err)
+	}
+	if err := d.ReadAt(ctxb(), make([]byte, 5), 8); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("overhanging read err = %v, want ErrOutOfRange", err)
+	}
+	if err := d.ReadAt(ctxb(), make([]byte, 1), -1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("negative-offset read err = %v, want ErrOutOfRange", err)
+	}
+	if err := d.WriteAt(ctxb(), make([]byte, 1), -1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("negative-offset write err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestGrowableDevice(t *testing.T) {
+	d := NewMem(Config{Capacity: 4, Growable: true})
+	if err := d.WriteAt(ctxb(), []byte("abcdef"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Size(); got != 8 {
+		t.Fatalf("Size = %d, want 8", got)
+	}
+	got := make([]byte, 6)
+	if err := d.ReadAt(ctxb(), got, 2); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcdef" {
+		t.Fatalf("ReadAt = %q", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := NewMem(Config{Capacity: 100})
+	_ = d.WriteAt(ctxb(), make([]byte, 10), 0)
+	_ = d.ReadAt(ctxb(), make([]byte, 4), 0)
+	s := d.Stats()
+	if s.Writes() != 1 || s.Reads() != 1 || s.BytesWritten() != 10 || s.BytesRead() != 4 {
+		t.Fatalf("stats: w=%d r=%d bw=%d br=%d", s.Writes(), s.Reads(), s.BytesWritten(), s.BytesRead())
+	}
+	s.Reset()
+	if s.Writes() != 0 || s.BytesRead() != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	d := NewMem(Config{Capacity: 10})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := d.ReadAt(ctx, make([]byte, 1), 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReadAt err = %v", err)
+	}
+	if err := d.WriteAt(ctx, make([]byte, 1), 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WriteAt err = %v", err)
+	}
+}
+
+func TestInjectedWriteFailure(t *testing.T) {
+	d := NewMem(Config{Capacity: 10, FailWrites: func(off int64) bool { return off == 5 }})
+	if err := d.WriteAt(ctxb(), []byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(ctxb(), []byte{1}, 5); err == nil {
+		t.Fatal("expected injected failure")
+	}
+}
+
+func TestQueueContentionSlowsReadsUnderWriteLoad(t *testing.T) {
+	// The OCM brown-out in miniature: with a shared device queue, reads
+	// charge more simulated time when they queue behind writes.
+	scale := iomodel.NewScale(0)
+	queue := iomodel.NewResource(scale, time.Millisecond, 0)
+	d := NewMem(Config{Capacity: 1 << 20, Queue: queue, Scale: scale})
+
+	_ = d.ReadAt(ctxb(), make([]byte, 8), 0)
+	if got := scale.Charged(); got != time.Millisecond {
+		t.Fatalf("lone read charged %v, want 1ms", got)
+	}
+	scale.ResetCharged()
+	for i := 0; i < 9; i++ {
+		_ = d.WriteAt(ctxb(), make([]byte, 8), int64(i*8))
+	}
+	_ = d.ReadAt(ctxb(), make([]byte, 8), 0)
+	if got, want := scale.Charged(), 10*time.Millisecond; got != want {
+		t.Fatalf("read behind 9 writes charged %v total, want %v", got, want)
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	d := NewMem(Config{Capacity: 1 << 16})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			buf := []byte{byte(w)}
+			for i := 0; i < 500; i++ {
+				if err := d.WriteAt(ctxb(), buf, int64(w*1000+i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 1)
+			for i := 0; i < 500; i++ {
+				if err := d.ReadAt(ctxb(), buf, int64(w*1000+i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestPropertyWriteReadIdentity(t *testing.T) {
+	d := NewMem(Config{Capacity: 0, Growable: true})
+	f := func(data []byte, off uint16) bool {
+		if err := d.WriteAt(ctxb(), data, int64(off)); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := d.ReadAt(ctxb(), got, int64(off)); err != nil {
+			return false
+		}
+		return string(got) == string(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,502 @@
+// Package buffer implements SAP IQ's buffer manager: a RAM cache of
+// decompressed logical pages with LRU eviction, per-transaction dirty-page
+// tracking, and prefetching. New pages are born in the cache (§3.1); dirty
+// pages are flushed to permanent storage on eviction (write-back through the
+// OCM during the churn phase) and before commit (write-through), with every
+// flush allocating a fresh physical location and recording the superseded
+// one in the transaction's RF bitmap.
+package buffer
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cloudiq/internal/core"
+)
+
+// ErrReadOnly is returned when writing through a read-only object handle.
+var ErrReadOnly = errors.New("buffer: object opened read-only")
+
+// Config parameterizes a Pool.
+type Config struct {
+	// Capacity is the cache budget in bytes of decompressed page data.
+	Capacity int64
+	// PrefetchWorkers bounds concurrent prefetch I/O. Zero selects 8.
+	PrefetchWorkers int
+}
+
+// Stats counts cache behaviour.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Flushes   int64 // dirty pages written out (eviction or commit)
+}
+
+type pageKey struct {
+	obj     uint64
+	logical uint64
+}
+
+type page struct {
+	key     pageKey
+	owner   *Object
+	data    []byte
+	dirty   bool
+	loading bool
+	pins    int
+	lru     *list.Element
+}
+
+// Pool is the buffer manager. It is safe for concurrent use.
+type Pool struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pages   map[pageKey]*page
+	lruList *list.List // front = most recent
+	size    int64
+	nextObj uint64
+	stats   Stats
+
+	prefetchSem chan struct{}
+}
+
+// NewPool returns a Pool with the given configuration.
+func NewPool(cfg Config) *Pool {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 64 << 20
+	}
+	if cfg.PrefetchWorkers <= 0 {
+		cfg.PrefetchWorkers = 8
+	}
+	p := &Pool{
+		cfg:         cfg,
+		pages:       make(map[pageKey]*page),
+		lruList:     list.New(),
+		prefetchSem: make(chan struct{}, cfg.PrefetchWorkers),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Size reports the bytes of page data currently cached.
+func (p *Pool) Size() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.size
+}
+
+// Object is a handle to one paged object — a blockmap and the dbspace its
+// pages live in — opened either read-only (a reader's snapshot) or writable
+// on behalf of a transaction (sink records the allocation/free events).
+type Object struct {
+	pool  *Pool
+	id    uint64
+	ds    core.Dbspace
+	bm    *core.Blockmap
+	sink  core.FlushSink
+	codec Codec
+
+	mu    sync.Mutex
+	dirty map[uint64]*page // logical -> dirty page (subset of pool cache)
+	// flushed records pages this handle (i.e. this transaction) already
+	// wrote out, enabling the §3.1 in-place optimization on conventional
+	// dbspaces: a page re-flushed within the same transaction/savepoint may
+	// overwrite its own blocks. Cloud dbspaces never take this path — every
+	// flush there is versioned under a fresh key.
+	flushed map[uint64]core.Entry
+}
+
+// OpenObject registers an object with the pool. sink may be nil, making the
+// handle read-only. codec may be nil for uncompressed pages.
+func (p *Pool) OpenObject(ds core.Dbspace, bm *core.Blockmap, sink core.FlushSink, codec Codec) *Object {
+	if codec == nil {
+		codec = NopCodec{}
+	}
+	p.mu.Lock()
+	p.nextObj++
+	id := p.nextObj
+	p.mu.Unlock()
+	return &Object{pool: p, id: id, ds: ds, bm: bm, sink: sink, codec: codec}
+}
+
+// Blockmap exposes the object's blockmap (commit needs to flush it).
+func (o *Object) Blockmap() *core.Blockmap { return o.bm }
+
+// Read returns the page's decompressed contents. The returned slice is the
+// cached image and must not be modified; use Write to modify a page.
+func (o *Object) Read(ctx context.Context, logical uint64) ([]byte, error) {
+	p := o.pool
+	key := pageKey{o.id, logical}
+	p.mu.Lock()
+	for {
+		pg, ok := p.pages[key]
+		if !ok {
+			break
+		}
+		if pg.loading {
+			p.cond.Wait()
+			continue
+		}
+		pg.pins++
+		p.touch(pg)
+		p.stats.Hits++
+		data := pg.data
+		pg.pins--
+		p.mu.Unlock()
+		return data, nil
+	}
+	// Miss: install a loading placeholder and fetch outside the lock.
+	pg := &page{key: key, owner: o, loading: true}
+	p.pages[key] = pg
+	p.stats.Misses++
+	p.mu.Unlock()
+
+	data, err := o.load(ctx, logical)
+
+	p.mu.Lock()
+	pg.loading = false
+	if err != nil {
+		delete(p.pages, key)
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return nil, err
+	}
+	pg.data = data
+	pg.lru = p.lruList.PushFront(pg)
+	p.size += int64(len(data))
+	p.cond.Broadcast()
+	p.evictLocked(ctx)
+	p.mu.Unlock()
+	return data, nil
+}
+
+// load fetches and decompresses the stored page image.
+func (o *Object) load(ctx context.Context, logical uint64) ([]byte, error) {
+	entry, err := o.bm.Get(ctx, logical)
+	if err != nil {
+		return nil, err
+	}
+	if entry.IsZero() {
+		return nil, fmt.Errorf("buffer: object %d has no page %d", o.id, logical)
+	}
+	stored, err := o.ds.ReadPage(ctx, entry)
+	if err != nil {
+		return nil, err
+	}
+	data, err := o.codec.Decompress(stored)
+	if err != nil {
+		return nil, fmt.Errorf("buffer: page %d of object %d: %w", logical, o.id, err)
+	}
+	return data, nil
+}
+
+// Write installs data as the new contents of the page, marking it dirty in
+// the cache. The page is born in RAM; permanent storage sees it on eviction
+// or commit.
+func (o *Object) Write(ctx context.Context, logical uint64, data []byte) error {
+	if o.sink == nil {
+		return ErrReadOnly
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p := o.pool
+	key := pageKey{o.id, logical}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+
+	p.mu.Lock()
+	for {
+		pg, ok := p.pages[key]
+		if !ok {
+			pg = &page{key: key, owner: o}
+			p.pages[key] = pg
+			pg.lru = p.lruList.PushFront(pg)
+			break
+		}
+		if pg.loading {
+			p.cond.Wait()
+			continue
+		}
+		p.size -= int64(len(pg.data))
+		p.touch(pg)
+		break
+	}
+	pg := p.pages[key]
+	pg.data = cp
+	pg.dirty = true
+	p.size += int64(len(cp))
+
+	o.mu.Lock()
+	if o.dirty == nil {
+		o.dirty = make(map[uint64]*page)
+	}
+	o.dirty[logical] = pg
+	o.mu.Unlock()
+
+	p.evictLocked(ctx)
+	p.mu.Unlock()
+	return nil
+}
+
+// touch moves pg to the LRU front. Called with p.mu held.
+func (p *Pool) touch(pg *page) {
+	if pg.lru != nil {
+		p.lruList.MoveToFront(pg.lru)
+	}
+}
+
+// evictLocked brings the cache back under budget. Dirty victims are flushed
+// in write-back mode first. Called with p.mu held; may drop and retake it.
+func (p *Pool) evictLocked(ctx context.Context) {
+	for p.size > p.cfg.Capacity {
+		var victim *page
+		for el := p.lruList.Back(); el != nil; el = el.Prev() {
+			pg := el.Value.(*page)
+			if pg.pins > 0 || pg.loading {
+				continue
+			}
+			victim = pg
+			break
+		}
+		if victim == nil {
+			return // everything pinned; stay over budget
+		}
+		if victim.dirty {
+			// Eviction-time flush uses write-back mode (churn phase). The
+			// page stays in the index marked loading so concurrent access
+			// to it blocks until the flush lands in the blockmap.
+			victim.loading = true
+			if victim.lru != nil {
+				p.lruList.Remove(victim.lru)
+				victim.lru = nil
+			}
+			p.mu.Unlock()
+			err := victim.owner.flushPage(ctx, victim, core.WriteBack)
+			p.mu.Lock()
+			victim.loading = false
+			if err != nil {
+				// The page cannot be dropped without losing data; put it
+				// back and stay over budget.
+				victim.lru = p.lruList.PushFront(victim)
+				p.cond.Broadcast()
+				return
+			}
+			delete(p.pages, victim.key)
+			p.size -= int64(len(victim.data))
+			p.cond.Broadcast()
+			p.stats.Flushes++
+			p.stats.Evictions++
+			continue
+		}
+		p.removeLocked(victim)
+		p.stats.Evictions++
+	}
+}
+
+// removeLocked unlinks pg from the cache. Called with p.mu held.
+func (p *Pool) removeLocked(pg *page) {
+	if pg.lru != nil {
+		p.lruList.Remove(pg.lru)
+		pg.lru = nil
+	}
+	delete(p.pages, pg.key)
+	p.size -= int64(len(pg.data))
+}
+
+// flushPage writes one dirty page to permanent storage and updates the
+// blockmap, recording the allocation (and any superseded location) with the
+// transaction's bitmaps. On conventional dbspaces, a page this transaction
+// already flushed is rewritten in place when the new image fits its block
+// run (§3.1); on cloud dbspaces every flush allocates a fresh key.
+func (o *Object) flushPage(ctx context.Context, pg *page, mode core.WriteMode) error {
+	stored := o.codec.Compress(pg.data)
+
+	o.mu.Lock()
+	prev, rewritable := o.flushed[pg.key.logical]
+	o.mu.Unlock()
+	if rewritable {
+		if bds, isBlock := o.ds.(*core.BlockDbspace); isBlock {
+			entry, inPlace, err := bds.Rewrite(ctx, prev, stored)
+			if err != nil {
+				return err
+			}
+			if inPlace {
+				// Same extent, possibly new size: no allocation events.
+				if _, err := o.bm.Set(ctx, pg.key.logical, entry); err != nil {
+					return err
+				}
+				return o.finishFlush(pg, entry)
+			}
+			// Did not fit: a fresh run was allocated; the previous one is
+			// superseded within this transaction.
+			if _, err := o.bm.Set(ctx, pg.key.logical, entry); err != nil {
+				return err
+			}
+			o.sink.NoteAllocated(entry)
+			o.sink.NoteFreed(prev)
+			return o.finishFlush(pg, entry)
+		}
+	}
+
+	entry, err := o.ds.WritePage(ctx, stored, mode)
+	if err != nil {
+		return err
+	}
+	old, err := o.bm.Set(ctx, pg.key.logical, entry)
+	if err != nil {
+		return err
+	}
+	o.sink.NoteAllocated(entry)
+	if !old.IsZero() {
+		o.sink.NoteFreed(old)
+	}
+	return o.finishFlush(pg, entry)
+}
+
+func (o *Object) finishFlush(pg *page, entry core.Entry) error {
+	pg.dirty = false
+	o.mu.Lock()
+	if o.flushed == nil {
+		o.flushed = make(map[uint64]core.Entry)
+	}
+	o.flushed[pg.key.logical] = entry
+	delete(o.dirty, pg.key.logical)
+	o.mu.Unlock()
+	return nil
+}
+
+// FlushForCommit writes out every dirty page of the object in write-through
+// mode — in parallel, masking per-request storage latency exactly as the
+// paper's load engine does — and then flushes the blockmap's copy-on-write
+// cascade, returning the new identity for the catalog. This is the
+// commit-phase half of §4.
+func (o *Object) FlushForCommit(ctx context.Context) (core.Identity, error) {
+	if o.sink == nil {
+		return core.Identity{}, ErrReadOnly
+	}
+	o.mu.Lock()
+	dirty := make([]*page, 0, len(o.dirty))
+	for _, pg := range o.dirty {
+		dirty = append(dirty, pg)
+	}
+	o.mu.Unlock()
+
+	workers := o.pool.cfg.PrefetchWorkers
+	if workers > len(dirty) {
+		workers = len(dirty)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	work := make(chan *page)
+	errs := make(chan error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pg := range work {
+				if failed.Load() {
+					continue // drain; first error wins
+				}
+				o.pool.mu.Lock()
+				stillDirty := pg.dirty
+				o.pool.mu.Unlock()
+				if !stillDirty {
+					continue
+				}
+				if err := o.flushPage(ctx, pg, core.WriteThrough); err != nil {
+					failed.Store(true)
+					select {
+					case errs <- err:
+					default:
+					}
+					continue
+				}
+				o.pool.mu.Lock()
+				o.pool.stats.Flushes++
+				o.pool.mu.Unlock()
+			}
+		}()
+	}
+	for _, pg := range dirty {
+		work <- pg
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return core.Identity{}, err
+	default:
+	}
+	return o.bm.Flush(ctx, o.sink)
+}
+
+// DirtyCount reports the object's dirty pages awaiting flush.
+func (o *Object) DirtyCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.dirty)
+}
+
+// Discard drops every cached page of the object (dirty pages included) —
+// the rollback path: permanent storage is reclaimed via the RB bitmap, RAM
+// via this call.
+func (o *Object) Discard() {
+	p := o.pool
+	p.mu.Lock()
+	for key, pg := range p.pages {
+		if key.obj == o.id && !pg.loading && pg.pins == 0 {
+			p.removeLocked(pg)
+		}
+	}
+	p.mu.Unlock()
+	o.mu.Lock()
+	o.dirty = nil
+	o.mu.Unlock()
+}
+
+// Prefetch schedules asynchronous loads of the given logical pages,
+// bounded by the pool's prefetch worker budget, and returns immediately.
+// Prefetching is how parallel I/O masks object-store latency (§6).
+func (o *Object) Prefetch(ctx context.Context, logicals []uint64) {
+	for _, logical := range logicals {
+		logical := logical
+		select {
+		case o.pool.prefetchSem <- struct{}{}:
+		case <-ctx.Done():
+			return
+		}
+		go func() {
+			defer func() { <-o.pool.prefetchSem }()
+			_, _ = o.Read(ctx, logical)
+		}()
+	}
+}
+
+// Wait blocks until all prefetch slots are idle; used by tests and the
+// experiment harness to quiesce I/O.
+func (p *Pool) Wait() {
+	for i := 0; i < cap(p.prefetchSem); i++ {
+		p.prefetchSem <- struct{}{}
+	}
+	for i := 0; i < cap(p.prefetchSem); i++ {
+		<-p.prefetchSem
+	}
+}

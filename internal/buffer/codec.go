@@ -1,0 +1,62 @@
+package buffer
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Codec compresses page images before they reach permanent storage and
+// decompresses them into the buffer cache. Pages are cached decompressed
+// (§2); the stored size recorded in the blockmap is the compressed size.
+type Codec interface {
+	// Compress returns the stored form of src.
+	Compress(src []byte) []byte
+	// Decompress reverses Compress.
+	Decompress(src []byte) ([]byte, error)
+}
+
+// NopCodec stores pages uncompressed.
+type NopCodec struct{}
+
+// Compress implements Codec.
+func (NopCodec) Compress(src []byte) []byte { return src }
+
+// Decompress implements Codec.
+func (NopCodec) Decompress(src []byte) ([]byte, error) { return src, nil }
+
+// FlateCodec applies DEFLATE page-level compression, the reproduction's
+// stand-in for SAP IQ's page compression.
+type FlateCodec struct {
+	// Level is the flate compression level; 0 selects flate.DefaultCompression.
+	Level int
+}
+
+// Compress implements Codec.
+func (c FlateCodec) Compress(src []byte) []byte {
+	level := c.Level
+	if level == 0 {
+		level = flate.DefaultCompression
+	}
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, level)
+	if err != nil {
+		// Only an invalid level can fail; fall back to default.
+		w, _ = flate.NewWriter(&buf, flate.DefaultCompression)
+	}
+	_, _ = w.Write(src)
+	_ = w.Close()
+	return buf.Bytes()
+}
+
+// Decompress implements Codec.
+func (c FlateCodec) Decompress(src []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("buffer: decompress page: %w", err)
+	}
+	return out, nil
+}

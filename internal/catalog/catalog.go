@@ -1,0 +1,145 @@
+// Package catalog implements the system catalog: the versioned mapping from
+// object names (tables) to blockmap identities. Identities live on strongly
+// consistent storage (the system dbspace) and are updated in place (§3.1);
+// versioning at this level is what gives the engine table-level MVCC —
+// a reader at snapshot s sees, for each table, the identity published by the
+// last commit at or before s.
+package catalog
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cloudiq/internal/core"
+)
+
+// Version is one published identity of a named object.
+type Version struct {
+	Seq uint64 // commit sequence that published it
+	ID  core.Identity
+	// Dropped marks a deletion: lookups at or after Seq see no object.
+	Dropped bool
+}
+
+// Catalog is the versioned name → identity map. It is safe for concurrent
+// use.
+type Catalog struct {
+	mu      sync.RWMutex
+	objects map[string][]Version // ascending by Seq
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{objects: make(map[string][]Version)}
+}
+
+// Publish records id as the version of name as of commit sequence seq.
+// Sequences must be published in non-decreasing order per name.
+func (c *Catalog) Publish(name string, id core.Identity, seq uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vs := c.objects[name]
+	if len(vs) > 0 && vs[len(vs)-1].Seq > seq {
+		return fmt.Errorf("catalog: publish %s at seq %d after seq %d", name, seq, vs[len(vs)-1].Seq)
+	}
+	c.objects[name] = append(vs, Version{Seq: seq, ID: id})
+	return nil
+}
+
+// Drop records the deletion of name as of seq.
+func (c *Catalog) Drop(name string, seq uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vs := c.objects[name]
+	if len(vs) == 0 {
+		return fmt.Errorf("catalog: drop of unknown object %q", name)
+	}
+	if vs[len(vs)-1].Seq > seq {
+		return fmt.Errorf("catalog: drop %s at seq %d after seq %d", name, seq, vs[len(vs)-1].Seq)
+	}
+	c.objects[name] = append(vs, Version{Seq: seq, Dropped: true})
+	return nil
+}
+
+// Lookup returns the identity of name visible at snapshot snap.
+func (c *Catalog) Lookup(name string, snap uint64) (core.Identity, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	vs := c.objects[name]
+	// Last version with Seq <= snap.
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].Seq > snap })
+	if i == 0 {
+		return core.Identity{}, false
+	}
+	v := vs[i-1]
+	if v.Dropped {
+		return core.Identity{}, false
+	}
+	return v.ID, true
+}
+
+// Names returns the objects visible at snapshot snap, sorted.
+func (c *Catalog) Names(snap uint64) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var names []string
+	for name, vs := range c.objects {
+		i := sort.Search(len(vs), func(i int) bool { return vs[i].Seq > snap })
+		if i > 0 && !vs[i-1].Dropped {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Prune discards versions that are invisible to every snapshot at or after
+// oldest: for each name, all versions strictly older than the last version
+// with Seq <= oldest.
+func (c *Catalog) Prune(oldest uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, vs := range c.objects {
+		i := sort.Search(len(vs), func(i int) bool { return vs[i].Seq > oldest })
+		if i == 0 {
+			continue
+		}
+		kept := vs[i-1:]
+		if len(kept) == 1 && kept[0].Dropped {
+			delete(c.objects, name)
+			continue
+		}
+		c.objects[name] = append([]Version(nil), kept...)
+	}
+}
+
+// VersionCount reports the stored versions of name (for tests and tooling).
+func (c *Catalog) VersionCount(name string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.objects[name])
+}
+
+// Marshal serializes the catalog (stored in the system dbspace, updated in
+// place).
+func (c *Catalog) Marshal() ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c.objects); err != nil {
+		return nil, fmt.Errorf("catalog: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal restores a catalog from Marshal output.
+func Unmarshal(data []byte) (*Catalog, error) {
+	c := New()
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&c.objects); err != nil {
+		return nil, fmt.Errorf("catalog: decode: %w", err)
+	}
+	return c, nil
+}

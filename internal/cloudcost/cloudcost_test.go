@@ -1,0 +1,55 @@
+package cloudcost
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestStorageMonthlyReproducesTable4Ratios(t *testing.T) {
+	p := Default2020()
+	// The paper's Table 4 prices ~518 GB of compressed TPC-H SF1000 data:
+	// S3 $12.05, EBS $51.80, EFS $155.40 — ratios ~1 : 4.3 : 13.
+	bytes := int64(518 * (1 << 30))
+	s3, err := p.StorageMonthly("s3", bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ebs, _ := p.StorageMonthly("ebs", bytes)
+	efs, _ := p.StorageMonthly("efs", bytes)
+	if math.Abs(s3-11.91) > 0.2 || math.Abs(ebs-51.8) > 0.2 || math.Abs(efs-155.4) > 0.5 {
+		t.Fatalf("monthly costs = %.2f / %.2f / %.2f", s3, ebs, efs)
+	}
+	if ebs/s3 < 4 || ebs/s3 > 4.6 {
+		t.Fatalf("EBS/S3 ratio = %.2f", ebs/s3)
+	}
+	if efs/s3 < 12 || efs/s3 > 14 {
+		t.Fatalf("EFS/S3 ratio = %.2f", efs/s3)
+	}
+	if _, err := p.StorageMonthly("floppy", 1); err == nil {
+		t.Fatal("unknown volume accepted")
+	}
+}
+
+func TestRequests(t *testing.T) {
+	p := Default2020()
+	// The paper: 2,807,368 averted GETs were worth $1.12.
+	got := p.Requests(0, 2_807_368)
+	if math.Abs(got-1.12) > 0.01 {
+		t.Fatalf("averted GET savings = %.4f, want ~1.12", got)
+	}
+	if p.Requests(1000, 0) != 0.005 {
+		t.Fatalf("PUT pricing wrong")
+	}
+}
+
+func TestCompute(t *testing.T) {
+	p := Default2020()
+	got, err := p.Compute("m5ad.24xlarge", 2*time.Hour)
+	if err != nil || math.Abs(got-10.848) > 1e-9 {
+		t.Fatalf("compute = %v, %v", got, err)
+	}
+	if _, err := p.Compute("cray-1", time.Hour); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+}

@@ -1,0 +1,360 @@
+package column
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Encoding identifies how a segment's values are laid out on the page.
+type Encoding uint8
+
+// Segment encodings. The chooser picks the cheapest applicable one.
+const (
+	// EncPlainInt stores fixed 64-bit integers.
+	EncPlainInt Encoding = iota
+	// EncBitPackedInt stores (value - min) in the minimal bit width — SAP
+	// IQ's n-bit representation.
+	EncBitPackedInt
+	// EncRLEInt stores (value, runLength) pairs; chosen for long runs.
+	EncRLEInt
+	// EncPlainFloat stores IEEE-754 bits.
+	EncPlainFloat
+	// EncPlainString stores length-prefixed bytes.
+	EncPlainString
+	// EncDictString stores a sorted dictionary plus n-bit packed codes.
+	EncDictString
+)
+
+func (e Encoding) String() string {
+	switch e {
+	case EncPlainInt:
+		return "plain-int"
+	case EncBitPackedInt:
+		return "nbit-int"
+	case EncRLEInt:
+		return "rle-int"
+	case EncPlainFloat:
+		return "plain-float"
+	case EncPlainString:
+		return "plain-string"
+	case EncDictString:
+		return "dict-string"
+	default:
+		return fmt.Sprintf("encoding(%d)", uint8(e))
+	}
+}
+
+// EncodeSegment serializes v, choosing an encoding from its statistics.
+// The layout is [type u8][encoding u8][count u32][payload].
+func EncodeSegment(v *Vector) []byte {
+	n := v.Len()
+	hdr := make([]byte, 6)
+	hdr[0] = byte(v.Typ)
+	binary.LittleEndian.PutUint32(hdr[2:], uint32(n))
+	switch v.Typ {
+	case Int64:
+		enc, payload := encodeInts(v.I64)
+		hdr[1] = byte(enc)
+		return append(hdr, payload...)
+	case Float64:
+		hdr[1] = byte(EncPlainFloat)
+		payload := make([]byte, 8*n)
+		for i, f := range v.F64 {
+			binary.LittleEndian.PutUint64(payload[8*i:], math.Float64bits(f))
+		}
+		return append(hdr, payload...)
+	default:
+		enc, payload := encodeStrings(v.Str)
+		hdr[1] = byte(enc)
+		return append(hdr, payload...)
+	}
+}
+
+// DecodeSegment reverses EncodeSegment.
+func DecodeSegment(data []byte) (*Vector, error) {
+	if len(data) < 6 {
+		return nil, fmt.Errorf("column: segment too short (%d bytes)", len(data))
+	}
+	typ := Type(data[0])
+	enc := Encoding(data[1])
+	n := int(binary.LittleEndian.Uint32(data[2:]))
+	payload := data[6:]
+	v := NewVector(typ)
+	switch enc {
+	case EncPlainInt:
+		if len(payload) < 8*n {
+			return nil, fmt.Errorf("column: plain-int truncated")
+		}
+		v.I64 = make([]int64, n)
+		for i := range v.I64 {
+			v.I64[i] = int64(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+	case EncBitPackedInt:
+		vals, err := unpackInts(payload, n)
+		if err != nil {
+			return nil, err
+		}
+		v.I64 = vals
+	case EncRLEInt:
+		vals, err := decodeRLE(payload, n)
+		if err != nil {
+			return nil, err
+		}
+		v.I64 = vals
+	case EncPlainFloat:
+		if len(payload) < 8*n {
+			return nil, fmt.Errorf("column: plain-float truncated")
+		}
+		v.F64 = make([]float64, n)
+		for i := range v.F64 {
+			v.F64[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+	case EncPlainString:
+		strs, err := decodePlainStrings(payload, n)
+		if err != nil {
+			return nil, err
+		}
+		v.Str = strs
+	case EncDictString:
+		strs, err := decodeDictStrings(payload, n)
+		if err != nil {
+			return nil, err
+		}
+		v.Str = strs
+	default:
+		return nil, fmt.Errorf("column: unknown encoding %d", enc)
+	}
+	return v, nil
+}
+
+// --- integers ---
+
+func encodeInts(vals []int64) (Encoding, []byte) {
+	if len(vals) == 0 {
+		return EncPlainInt, nil
+	}
+	minV, maxV := vals[0], vals[0]
+	runs := 1
+	for i, x := range vals {
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+		if i > 0 && vals[i] != vals[i-1] {
+			runs++
+		}
+	}
+	// RLE wins when runs are long (16 bytes per run vs ~width/8 per value).
+	if runs*16 < len(vals) {
+		return EncRLEInt, encodeRLE(vals)
+	}
+	span := uint64(maxV) - uint64(minV)
+	width := bits.Len64(span)
+	// The packer accumulates into a 64-bit word with up to 7 residual bits,
+	// so widths above 56 would overflow; such spans gain little anyway.
+	if width > 56 {
+		return EncPlainInt, plainInts(vals)
+	}
+	return EncBitPackedInt, packInts(vals, minV, width)
+}
+
+func plainInts(vals []int64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, x := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+// packInts stores [min i64][width u8][bitstream]. A width of 0 means every
+// value equals min.
+func packInts(vals []int64, minV int64, width int) []byte {
+	out := make([]byte, 9, 9+(len(vals)*width+7)/8)
+	binary.LittleEndian.PutUint64(out, uint64(minV))
+	out[8] = byte(width)
+	if width == 0 {
+		return out
+	}
+	var acc uint64
+	var nbits int
+	for _, x := range vals {
+		acc |= (uint64(x) - uint64(minV)) << nbits
+		nbits += width
+		for nbits >= 8 {
+			out = append(out, byte(acc))
+			acc >>= 8
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc))
+	}
+	return out
+}
+
+func unpackInts(payload []byte, n int) ([]int64, error) {
+	if len(payload) < 9 {
+		return nil, fmt.Errorf("column: nbit-int truncated header")
+	}
+	minV := int64(binary.LittleEndian.Uint64(payload))
+	width := int(payload[8])
+	vals := make([]int64, n)
+	if width == 0 {
+		for i := range vals {
+			vals[i] = minV
+		}
+		return vals, nil
+	}
+	need := (n*width + 7) / 8
+	stream := payload[9:]
+	if len(stream) < need {
+		return nil, fmt.Errorf("column: nbit-int stream truncated: %d < %d", len(stream), need)
+	}
+	var acc uint64
+	var nbits, pos int
+	mask := uint64(1)<<width - 1
+	for i := 0; i < n; i++ {
+		for nbits < width {
+			acc |= uint64(stream[pos]) << nbits
+			pos++
+			nbits += 8
+		}
+		vals[i] = int64(uint64(minV) + (acc & mask))
+		acc >>= width
+		nbits -= width
+	}
+	return vals, nil
+}
+
+func encodeRLE(vals []int64) []byte {
+	var out []byte
+	i := 0
+	for i < len(vals) {
+		j := i
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		out = binary.LittleEndian.AppendUint64(out, uint64(vals[i]))
+		out = binary.LittleEndian.AppendUint64(out, uint64(j-i))
+		i = j
+	}
+	return out
+}
+
+func decodeRLE(payload []byte, n int) ([]int64, error) {
+	vals := make([]int64, 0, n)
+	for off := 0; off+16 <= len(payload); off += 16 {
+		v := int64(binary.LittleEndian.Uint64(payload[off:]))
+		run := int(binary.LittleEndian.Uint64(payload[off+8:]))
+		if run <= 0 || len(vals)+run > n {
+			return nil, fmt.Errorf("column: rle run of %d overflows %d values", run, n)
+		}
+		for k := 0; k < run; k++ {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) != n {
+		return nil, fmt.Errorf("column: rle decoded %d of %d values", len(vals), n)
+	}
+	return vals, nil
+}
+
+// --- strings ---
+
+func encodePlainStrings(vals []string) []byte {
+	var out []byte
+	for _, s := range vals {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+		out = append(out, s...)
+	}
+	return out
+}
+
+func decodePlainStrings(payload []byte, n int) ([]string, error) {
+	vals := make([]string, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		if off+4 > len(payload) {
+			return nil, fmt.Errorf("column: plain-string truncated at value %d", i)
+		}
+		l := int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+		if off+l > len(payload) {
+			return nil, fmt.Errorf("column: plain-string value %d overflows payload", i)
+		}
+		vals[i] = string(payload[off : off+l])
+		off += l
+	}
+	return vals, nil
+}
+
+// encodeStrings dictionary-encodes when the dictionary pays for itself.
+func encodeStrings(vals []string) (Encoding, []byte) {
+	if len(vals) == 0 {
+		return EncPlainString, nil
+	}
+	dict := make(map[string]int)
+	for _, s := range vals {
+		dict[s] = 0
+	}
+	// A dictionary helps when cardinality is well below the value count.
+	if len(dict)*2 >= len(vals) {
+		return EncPlainString, encodePlainStrings(vals)
+	}
+	words := make([]string, 0, len(dict))
+	for s := range dict {
+		words = append(words, s)
+	}
+	sort.Strings(words)
+	for i, s := range words {
+		dict[s] = i
+	}
+	width := bits.Len64(uint64(len(words) - 1))
+	codes := make([]int64, len(vals))
+	for i, s := range vals {
+		codes[i] = int64(dict[s])
+	}
+	var out []byte
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(words)))
+	out = append(out, encodePlainStrings(words)...)
+	out = append(out, packInts(codes, 0, width)...)
+	return EncDictString, out
+}
+
+func decodeDictStrings(payload []byte, n int) ([]string, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("column: dict-string truncated")
+	}
+	nw := int(binary.LittleEndian.Uint32(payload))
+	off := 4
+	words := make([]string, nw)
+	for i := 0; i < nw; i++ {
+		if off+4 > len(payload) {
+			return nil, fmt.Errorf("column: dict truncated at word %d", i)
+		}
+		l := int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+		if off+l > len(payload) {
+			return nil, fmt.Errorf("column: dict word %d overflows payload", i)
+		}
+		words[i] = string(payload[off : off+l])
+		off += l
+	}
+	codes, err := unpackInts(payload[off:], n)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]string, n)
+	for i, c := range codes {
+		if c < 0 || int(c) >= nw {
+			return nil, fmt.Errorf("column: dict code %d out of range %d", c, nw)
+		}
+		vals[i] = words[c]
+	}
+	return vals, nil
+}

@@ -1,0 +1,157 @@
+package column
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ZoneMap records the min/max of one column within one segment, enabling
+// early pruning of pages a predicate cannot match [19]. String bounds are
+// truncated to zoneStrLen bytes, which keeps them conservative.
+type ZoneMap struct {
+	Typ    Type
+	MinI64 int64
+	MaxI64 int64
+	MinF64 float64
+	MaxF64 float64
+	MinStr string
+	MaxStr string
+}
+
+const zoneStrLen = 16
+
+// BuildZoneMap computes the zone map of v. An empty vector yields a zone map
+// that prunes everything.
+func BuildZoneMap(v *Vector) ZoneMap {
+	z := ZoneMap{Typ: v.Typ}
+	switch v.Typ {
+	case Int64:
+		if len(v.I64) == 0 {
+			z.MinI64, z.MaxI64 = math.MaxInt64, math.MinInt64
+			return z
+		}
+		z.MinI64, z.MaxI64 = v.I64[0], v.I64[0]
+		for _, x := range v.I64 {
+			if x < z.MinI64 {
+				z.MinI64 = x
+			}
+			if x > z.MaxI64 {
+				z.MaxI64 = x
+			}
+		}
+	case Float64:
+		if len(v.F64) == 0 {
+			z.MinF64, z.MaxF64 = math.MaxFloat64, -math.MaxFloat64
+			return z
+		}
+		z.MinF64, z.MaxF64 = v.F64[0], v.F64[0]
+		for _, x := range v.F64 {
+			if x < z.MinF64 {
+				z.MinF64 = x
+			}
+			if x > z.MaxF64 {
+				z.MaxF64 = x
+			}
+		}
+	default:
+		if len(v.Str) == 0 {
+			z.MinStr, z.MaxStr = "\xff", ""
+			return z
+		}
+		minS, maxS := v.Str[0], v.Str[0]
+		for _, s := range v.Str {
+			if s < minS {
+				minS = s
+			}
+			if s > maxS {
+				maxS = s
+			}
+		}
+		z.MinStr = truncMin(minS)
+		z.MaxStr = truncMax(maxS)
+	}
+	return z
+}
+
+// truncMin truncates a lower bound (still a valid lower bound).
+func truncMin(s string) string {
+	if len(s) > zoneStrLen {
+		return s[:zoneStrLen]
+	}
+	return s
+}
+
+// truncMax truncates an upper bound conservatively by padding with 0xFF so
+// the truncated bound is not below any value it covers.
+func truncMax(s string) string {
+	if len(s) > zoneStrLen {
+		return s[:zoneStrLen] + "\xff"
+	}
+	return s
+}
+
+// MayContainI64 reports whether any value in [lo, hi] could be present.
+// An empty segment's zone map (inverted bounds) matches nothing.
+func (z ZoneMap) MayContainI64(lo, hi int64) bool {
+	return z.Typ == Int64 && z.MinI64 <= z.MaxI64 && hi >= z.MinI64 && lo <= z.MaxI64
+}
+
+// MayContainF64 reports whether any value in [lo, hi] could be present.
+func (z ZoneMap) MayContainF64(lo, hi float64) bool {
+	return z.Typ == Float64 && z.MinF64 <= z.MaxF64 && hi >= z.MinF64 && lo <= z.MaxF64
+}
+
+// MayContainStr reports whether any value in [lo, hi] could be present.
+func (z ZoneMap) MayContainStr(lo, hi string) bool {
+	return z.Typ == String && z.MinStr <= z.MaxStr && hi >= z.MinStr && lo <= z.MaxStr
+}
+
+// zone map wire size: type + 2×i64 + 2×f64 + 2×(len u16 + ≤17 bytes)
+func (z ZoneMap) marshalInto(buf []byte) []byte {
+	buf = append(buf, byte(z.Typ))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(z.MinI64))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(z.MaxI64))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(z.MinF64))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(z.MaxF64))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(z.MinStr)))
+	buf = append(buf, z.MinStr...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(z.MaxStr)))
+	buf = append(buf, z.MaxStr...)
+	return buf
+}
+
+// MarshalZoneMap serializes z.
+func MarshalZoneMap(z ZoneMap) []byte { return z.marshalInto(nil) }
+
+// UnmarshalZoneMap decodes a zone map, returning the bytes consumed.
+func UnmarshalZoneMap(data []byte) (ZoneMap, int, error) {
+	var z ZoneMap
+	if len(data) < 37 {
+		return z, 0, fmt.Errorf("column: zone map truncated (%d bytes)", len(data))
+	}
+	z.Typ = Type(data[0])
+	z.MinI64 = int64(binary.LittleEndian.Uint64(data[1:]))
+	z.MaxI64 = int64(binary.LittleEndian.Uint64(data[9:]))
+	z.MinF64 = math.Float64frombits(binary.LittleEndian.Uint64(data[17:]))
+	z.MaxF64 = math.Float64frombits(binary.LittleEndian.Uint64(data[25:]))
+	off := 33
+	for i := 0; i < 2; i++ {
+		if off+2 > len(data) {
+			return z, 0, fmt.Errorf("column: zone map string bound truncated")
+		}
+		l := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		if off+l > len(data) {
+			return z, 0, fmt.Errorf("column: zone map string bound overflows")
+		}
+		s := string(data[off : off+l])
+		off += l
+		if i == 0 {
+			z.MinStr = s
+		} else {
+			z.MaxStr = s
+		}
+	}
+	return z, off, nil
+}

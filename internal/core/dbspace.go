@@ -1,0 +1,394 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"cloudiq/internal/blockdev"
+	"cloudiq/internal/freelist"
+	"cloudiq/internal/iomodel"
+	"cloudiq/internal/keygen"
+	"cloudiq/internal/mt"
+	"cloudiq/internal/objstore"
+	"cloudiq/internal/rfrb"
+)
+
+// ErrRetriesExhausted is returned when a cloud page cannot be read or
+// written within the configured retry budget. The caller (the buffer
+// manager, on behalf of a transaction) responds by rolling the transaction
+// back (§4).
+var ErrRetriesExhausted = errors.New("core: retries exhausted")
+
+// WriteMode selects how a page flush interacts with the Object Cache
+// Manager (§4). During the churn phase evictions use WriteBack to keep
+// latency at local-SSD levels; during the commit phase the buffer manager
+// switches to WriteThrough so pages reach permanent storage synchronously.
+type WriteMode int
+
+const (
+	// WriteThrough writes synchronously to permanent storage.
+	WriteThrough WriteMode = iota
+	// WriteBack writes synchronously to the local cache (when present) and
+	// asynchronously to permanent storage; durability is established later
+	// by FlushForCommit.
+	WriteBack
+)
+
+// Dbspace is the storage unit databases are built from: a collection of
+// pages on either an object store (cloud dbspace) or a block device
+// (conventional dbspace).
+type Dbspace interface {
+	// Name returns the dbspace name.
+	Name() string
+	// IsCloud reports whether pages live on an object store.
+	IsCloud() bool
+	// WritePage stores data at a freshly allocated location — an object key
+	// never used before, or a newly allocated block run — and returns its
+	// entry. Cloud dbspaces never overwrite an existing key.
+	WritePage(ctx context.Context, data []byte, mode WriteMode) (Entry, error)
+	// ReadPage fetches the stored bytes for e, retrying object-not-found
+	// errors caused by eventual consistency up to the configured budget.
+	ReadPage(ctx context.Context, e Entry) ([]byte, error)
+	// FlushForCommit blocks until every WriteBack page in the given extents
+	// is durable on permanent storage, prioritizing their uploads. It is a
+	// no-op for conventional dbspaces (their writes are already durable).
+	FlushForCommit(ctx context.Context, extents []rfrb.Range) error
+	// Reclaim physically deletes the extent covered by r: object keys are
+	// deleted (idempotently — unconsumed keys in the range are simply
+	// polled, per Table 1), block runs are released to the freelist.
+	Reclaim(ctx context.Context, r rfrb.Range) error
+}
+
+// PageCache is the slice of the Object Cache Manager a cloud dbspace uses.
+// *ocm.Cache implements it.
+type PageCache interface {
+	Get(ctx context.Context, key string) ([]byte, error)
+	PutBack(ctx context.Context, key string, data []byte) error
+	PutThrough(ctx context.Context, key string, data []byte) error
+	FlushForCommit(ctx context.Context, keys []string) error
+	Delete(ctx context.Context, key string) error
+}
+
+// KeyNamer maps a 64-bit object key to the full key used on the object
+// store. The default prepends a randomized prefix derived from a Mersenne
+// Twister hash of the key (§3.1); Sequential mode disables the hash and is
+// used by the prefix-throttling ablation bench.
+type KeyNamer struct {
+	Sequential bool
+}
+
+// Name renders the store key for key.
+func (n KeyNamer) Name(key uint64) string {
+	if n.Sequential {
+		return fmt.Sprintf("seq/%016x", key)
+	}
+	return fmt.Sprintf("%04x/%016x", mt.Hash64(key)>>48, key)
+}
+
+// CloudConfig parameterizes a cloud dbspace.
+type CloudConfig struct {
+	Name  string
+	Store objstore.Store
+	Keys  *keygen.Client
+	Namer KeyNamer
+
+	// Cache, when non-nil, is the Object Cache Manager all page I/O is
+	// routed through.
+	Cache PageCache
+
+	// ReadRetries bounds retry-until-found for eventually consistent reads;
+	// WriteRetries bounds retries of failed uploads before the transaction
+	// is rolled back. Zero values select defaults.
+	ReadRetries  int
+	WriteRetries int
+	// RetryDelay is the simulated backoff between attempts.
+	RetryDelay time.Duration
+	// Scale drives the backoff sleeps. Nil disables sleeping.
+	Scale *iomodel.Scale
+}
+
+const (
+	defaultReadRetries  = 10
+	defaultWriteRetries = 3
+)
+
+// CloudDbspace stores each page as one object under a never-reused key.
+type CloudDbspace struct {
+	cfg   CloudConfig
+	scale *iomodel.Scale
+}
+
+var _ Dbspace = (*CloudDbspace)(nil)
+
+// NewCloud returns a cloud dbspace over cfg.Store drawing keys from cfg.Keys.
+func NewCloud(cfg CloudConfig) *CloudDbspace {
+	if cfg.ReadRetries <= 0 {
+		cfg.ReadRetries = defaultReadRetries
+	}
+	if cfg.WriteRetries <= 0 {
+		cfg.WriteRetries = defaultWriteRetries
+	}
+	scale := cfg.Scale
+	if scale == nil {
+		scale = iomodel.NewScale(0)
+	}
+	return &CloudDbspace{cfg: cfg, scale: scale}
+}
+
+// Name implements Dbspace.
+func (d *CloudDbspace) Name() string { return d.cfg.Name }
+
+// IsCloud implements Dbspace.
+func (d *CloudDbspace) IsCloud() bool { return true }
+
+// WritePage implements Dbspace: it obtains a fresh key from the Object Key
+// Generator instead of consulting a freelist, then uploads under that key.
+// A failed upload is retried under the same key — the key was never visible,
+// so reusing it preserves the never-write-twice invariant. With an OCM
+// configured, WriteBack routes through the cache's write-back path and
+// WriteThrough through its write-through path.
+func (d *CloudDbspace) WritePage(ctx context.Context, data []byte, mode WriteMode) (Entry, error) {
+	key, err := d.cfg.Keys.NextKey(ctx)
+	if err != nil {
+		return Entry{}, fmt.Errorf("dbspace %s: %w", d.cfg.Name, err)
+	}
+	name := d.cfg.Namer.Name(key)
+	entry := Entry{Loc: key, Size: uint32(len(data))}
+	if d.cfg.Cache != nil {
+		if mode == WriteBack {
+			if err := d.cfg.Cache.PutBack(ctx, name, data); err != nil {
+				return Entry{}, fmt.Errorf("dbspace %s: write-back key %#x: %w", d.cfg.Name, key, err)
+			}
+		} else {
+			if err := d.cfg.Cache.PutThrough(ctx, name, data); err != nil {
+				return Entry{}, fmt.Errorf("dbspace %s: write-through key %#x: %w", d.cfg.Name, key, err)
+			}
+		}
+		return entry, nil
+	}
+	var lastErr error
+	for attempt := 0; attempt < d.cfg.WriteRetries; attempt++ {
+		if attempt > 0 {
+			d.scale.Sleep(d.cfg.RetryDelay)
+		}
+		if lastErr = d.cfg.Store.Put(ctx, name, data); lastErr == nil {
+			return entry, nil
+		}
+		if ctx.Err() != nil {
+			return Entry{}, ctx.Err()
+		}
+	}
+	return Entry{}, fmt.Errorf("dbspace %s: write key %#x: %w: %v", d.cfg.Name, key, ErrRetriesExhausted, lastErr)
+}
+
+// FlushForCommit implements Dbspace: with an OCM configured it promotes and
+// awaits the uploads of every key in the given extents; otherwise writes
+// were already synchronous and nothing remains to do. Extents may include
+// keys that were never flushed (the RB bitmap records whole allocated
+// ranges); those are skipped by the cache.
+func (d *CloudDbspace) FlushForCommit(ctx context.Context, extents []rfrb.Range) error {
+	if d.cfg.Cache == nil {
+		return nil
+	}
+	var keys []string
+	for _, r := range extents {
+		for k := r.Start; k < r.End; k++ {
+			keys = append(keys, d.cfg.Namer.Name(k))
+		}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	if err := d.cfg.Cache.FlushForCommit(ctx, keys); err != nil {
+		return fmt.Errorf("dbspace %s: %w", d.cfg.Name, err)
+	}
+	return nil
+}
+
+// ReadPage implements Dbspace. An object-not-found error is assumed to be an
+// eventual-consistency artifact — the never-write-twice policy guarantees a
+// stored page has exactly one version — so the read is retried up to the
+// configured budget before failing.
+func (d *CloudDbspace) ReadPage(ctx context.Context, e Entry) ([]byte, error) {
+	if !e.IsCloud() {
+		return nil, fmt.Errorf("dbspace %s: entry %v is not a cloud entry", d.cfg.Name, e)
+	}
+	name := d.cfg.Namer.Name(e.Loc)
+	var lastErr error
+	for attempt := 0; attempt < d.cfg.ReadRetries; attempt++ {
+		if attempt > 0 {
+			d.scale.Sleep(d.cfg.RetryDelay)
+		}
+		data, err := d.get(ctx, name)
+		if err == nil {
+			if len(data) != int(e.Size) {
+				return nil, fmt.Errorf("dbspace %s: key %#x: stored %d bytes, entry says %d",
+					d.cfg.Name, e.Loc, len(data), e.Size)
+			}
+			return data, nil
+		}
+		lastErr = err
+		if !errors.Is(err, objstore.ErrNotFound) {
+			return nil, fmt.Errorf("dbspace %s: read key %#x: %w", d.cfg.Name, e.Loc, err)
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("dbspace %s: read key %#x: %w: %v", d.cfg.Name, e.Loc, ErrRetriesExhausted, lastErr)
+}
+
+// get routes a read through the OCM when configured, else to the store.
+func (d *CloudDbspace) get(ctx context.Context, name string) ([]byte, error) {
+	if d.cfg.Cache != nil {
+		return d.cfg.Cache.Get(ctx, name)
+	}
+	return d.cfg.Store.Get(ctx, name)
+}
+
+// Reclaim implements Dbspace: every key in the range is deleted. Deletion is
+// idempotent, so polling keys that were never flushed (or already collected
+// by a rollback) is safe — Table 1's clock-150 walk does exactly this.
+func (d *CloudDbspace) Reclaim(ctx context.Context, r rfrb.Range) error {
+	for key := r.Start; key < r.End; key++ {
+		if !rfrb.IsCloudKey(key) {
+			return fmt.Errorf("dbspace %s: reclaim %#x: not a cloud key", d.cfg.Name, key)
+		}
+		name := d.cfg.Namer.Name(key)
+		var err error
+		if d.cfg.Cache != nil {
+			err = d.cfg.Cache.Delete(ctx, name)
+		} else {
+			err = d.cfg.Store.Delete(ctx, name)
+		}
+		if err != nil {
+			return fmt.Errorf("dbspace %s: reclaim %#x: %w", d.cfg.Name, key, err)
+		}
+	}
+	return nil
+}
+
+// BlockConfig parameterizes a conventional dbspace.
+type BlockConfig struct {
+	Name      string
+	Device    blockdev.Device
+	BlockSize int
+	// MaxBlocks caps the blocks a single page may occupy (the paper's pages
+	// span 1–16 blocks). Zero selects 16.
+	MaxBlocks int
+	// Blocks is the number of blocks the dbspace manages. Zero derives it
+	// from the device size.
+	Blocks uint64
+}
+
+// BlockDbspace stores pages as contiguous block runs tracked by a freelist.
+type BlockDbspace struct {
+	cfg  BlockConfig
+	free *freelist.List
+}
+
+var _ Dbspace = (*BlockDbspace)(nil)
+
+// NewBlock returns a conventional dbspace over cfg.Device.
+func NewBlock(cfg BlockConfig) (*BlockDbspace, error) {
+	if cfg.BlockSize <= 0 {
+		return nil, fmt.Errorf("dbspace %s: block size %d", cfg.Name, cfg.BlockSize)
+	}
+	if cfg.MaxBlocks <= 0 {
+		cfg.MaxBlocks = 16
+	}
+	if cfg.Blocks == 0 {
+		cfg.Blocks = uint64(cfg.Device.Size()) / uint64(cfg.BlockSize)
+	}
+	if cfg.Blocks == 0 {
+		return nil, fmt.Errorf("dbspace %s: zero capacity", cfg.Name)
+	}
+	if rfrb.IsCloudKey(cfg.Blocks) {
+		return nil, fmt.Errorf("dbspace %s: %d blocks collides with the reserved cloud-key range", cfg.Name, cfg.Blocks)
+	}
+	return &BlockDbspace{cfg: cfg, free: freelist.New(cfg.Blocks)}, nil
+}
+
+// Name implements Dbspace.
+func (d *BlockDbspace) Name() string { return d.cfg.Name }
+
+// IsCloud implements Dbspace.
+func (d *BlockDbspace) IsCloud() bool { return false }
+
+// Freelist exposes the allocator (checkpointing needs its image).
+func (d *BlockDbspace) Freelist() *freelist.List { return d.free }
+
+// RestoreFreelist replaces the allocator with a checkpointed image during
+// crash recovery.
+func (d *BlockDbspace) RestoreFreelist(l *freelist.List) { d.free = l }
+
+// WritePage implements Dbspace, allocating a fresh block run.
+func (d *BlockDbspace) WritePage(ctx context.Context, data []byte, _ WriteMode) (Entry, error) {
+	n := (len(data) + d.cfg.BlockSize - 1) / d.cfg.BlockSize
+	if n == 0 {
+		n = 1
+	}
+	if n > d.cfg.MaxBlocks {
+		return Entry{}, fmt.Errorf("dbspace %s: page of %d bytes needs %d blocks, max %d",
+			d.cfg.Name, len(data), n, d.cfg.MaxBlocks)
+	}
+	start, err := d.free.Allocate(uint64(n))
+	if err != nil {
+		return Entry{}, fmt.Errorf("dbspace %s: %w", d.cfg.Name, err)
+	}
+	if err := d.cfg.Device.WriteAt(ctx, data, int64(start)*int64(d.cfg.BlockSize)); err != nil {
+		_ = d.free.Free(start, uint64(n))
+		return Entry{}, fmt.Errorf("dbspace %s: write blocks %d+%d: %w", d.cfg.Name, start, n, err)
+	}
+	return Entry{Loc: start, Size: uint32(len(data)), Blocks: uint16(n)}, nil
+}
+
+// Rewrite updates a page in place when the new image fits in the existing
+// block run — the in-place optimization available to conventional dbspaces
+// for pages modified within the same transaction/savepoint (§3.1). It
+// returns the updated entry, or falls back to a fresh write (in which case
+// the caller must treat the old entry as superseded).
+func (d *BlockDbspace) Rewrite(ctx context.Context, e Entry, data []byte) (Entry, bool, error) {
+	if e.IsCloud() || len(data) > int(e.Blocks)*d.cfg.BlockSize {
+		fresh, err := d.WritePage(ctx, data, WriteThrough)
+		return fresh, false, err
+	}
+	if err := d.cfg.Device.WriteAt(ctx, data, int64(e.Loc)*int64(d.cfg.BlockSize)); err != nil {
+		return Entry{}, false, fmt.Errorf("dbspace %s: rewrite blocks %d: %w", d.cfg.Name, e.Loc, err)
+	}
+	e.Size = uint32(len(data))
+	return e, true, nil
+}
+
+// ReadPage implements Dbspace.
+func (d *BlockDbspace) ReadPage(ctx context.Context, e Entry) ([]byte, error) {
+	if e.IsCloud() {
+		return nil, fmt.Errorf("dbspace %s: entry %v is a cloud entry", d.cfg.Name, e)
+	}
+	buf := make([]byte, e.Size)
+	if err := d.cfg.Device.ReadAt(ctx, buf, int64(e.Loc)*int64(d.cfg.BlockSize)); err != nil {
+		return nil, fmt.Errorf("dbspace %s: read blocks %d+%d: %w", d.cfg.Name, e.Loc, e.Blocks, err)
+	}
+	return buf, nil
+}
+
+// FlushForCommit implements Dbspace: conventional writes are already
+// durable, so there is nothing to flush.
+func (d *BlockDbspace) FlushForCommit(ctx context.Context, _ []rfrb.Range) error {
+	return ctx.Err()
+}
+
+// Reclaim implements Dbspace, releasing the block run to the freelist.
+// Release tolerates already-free blocks, matching the idempotent polling
+// semantics of the cloud path.
+func (d *BlockDbspace) Reclaim(ctx context.Context, r rfrb.Range) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := d.free.Release(r.Start, r.Len()); err != nil {
+		return fmt.Errorf("dbspace %s: %w", d.cfg.Name, err)
+	}
+	return nil
+}

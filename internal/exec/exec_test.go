@@ -1,0 +1,425 @@
+package exec
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cloudiq/internal/buffer"
+	"cloudiq/internal/column"
+	"cloudiq/internal/core"
+	"cloudiq/internal/keygen"
+	"cloudiq/internal/objstore"
+	"cloudiq/internal/rfrb"
+	"cloudiq/internal/table"
+)
+
+func ctxb() context.Context { return context.Background() }
+
+func batchOf(t *testing.T, cols []table.ColumnDef, build func(b *table.Batch)) *table.Batch {
+	if t != nil {
+		t.Helper()
+	}
+	b := table.NewBatch(table.Schema{Cols: cols})
+	build(b)
+	return b
+}
+
+func intCol(name string) table.ColumnDef { return table.ColumnDef{Name: name, Typ: column.Int64} }
+func fltCol(name string) table.ColumnDef { return table.ColumnDef{Name: name, Typ: column.Float64} }
+func strCol(name string) table.ColumnDef { return table.ColumnDef{Name: name, Typ: column.String} }
+
+func sampleBatch(t *testing.T) *table.Batch {
+	return batchOf(t, []table.ColumnDef{intCol("id"), fltCol("price"), strCol("tag")}, func(b *table.Batch) {
+		for i := 0; i < 6; i++ {
+			b.Vecs[0].AppendInt(int64(i))
+			b.Vecs[1].AppendFloat(float64(i) * 10)
+			b.Vecs[2].AppendStr([]string{"red", "blue"}[i%2])
+		}
+	})
+}
+
+func TestExprArithmeticAndComparison(t *testing.T) {
+	b := sampleBatch(t)
+	v, err := Add(Col("id"), ConstI(100)).Eval(b)
+	if err != nil || v.I64[3] != 103 {
+		t.Fatalf("Add = %v, %v", v, err)
+	}
+	v, err = Mul(Col("price"), ConstF(2)).Eval(b)
+	if err != nil || v.F64[2] != 40 {
+		t.Fatalf("Mul = %v, %v", v, err)
+	}
+	v, err = Div(Col("price"), ConstI(2)).Eval(b) // mixed types promote
+	if err != nil || v.F64[4] != 20 {
+		t.Fatalf("Div = %v, %v", v, err)
+	}
+	v, err = Sub(Col("id"), ConstI(1)).Eval(b)
+	if err != nil || v.I64[0] != -1 {
+		t.Fatalf("Sub = %v, %v", v, err)
+	}
+	v, err = Ge(Col("id"), ConstI(4)).Eval(b)
+	if err != nil || !reflect.DeepEqual(v.I64, []int64{0, 0, 0, 0, 1, 1}) {
+		t.Fatalf("Ge = %v, %v", v.I64, err)
+	}
+	v, err = Eq(Col("tag"), ConstS("red")).Eval(b)
+	if err != nil || !reflect.DeepEqual(v.I64, []int64{1, 0, 1, 0, 1, 0}) {
+		t.Fatalf("Eq = %v", v.I64)
+	}
+	v, err = And(Lt(Col("id"), ConstI(4)), Ne(Col("tag"), ConstS("red"))).Eval(b)
+	if err != nil || !reflect.DeepEqual(v.I64, []int64{0, 1, 0, 1, 0, 0}) {
+		t.Fatalf("And = %v", v.I64)
+	}
+	v, err = Not(Or(Eq(Col("id"), ConstI(0)), Gt(Col("id"), ConstI(3)))).Eval(b)
+	if err != nil || !reflect.DeepEqual(v.I64, []int64{0, 1, 1, 1, 0, 0}) {
+		t.Fatalf("NotOr = %v", v.I64)
+	}
+	if _, err := Add(Col("tag"), ConstI(1)).Eval(b); err == nil {
+		t.Fatal("string arithmetic accepted")
+	}
+	if _, err := Eq(Col("tag"), ConstI(1)).Eval(b); err == nil {
+		t.Fatal("string/int comparison accepted")
+	}
+	if _, err := Col("ghost").Eval(b); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestLikePatterns(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"PROMO BRUSHED", "PROMO%", true},
+		{"STANDARD", "PROMO%", false},
+		{"large brass bolt", "%brass%", true},
+		{"forest green", "forest%", true},
+		{"xspecialyrequestsz", "%special%requests%", true},
+		{"specialrequests", "%special%requests%", true},
+		{"requests special", "%special%requests%", false},
+		{"exact", "exact", true},
+		{"exac", "exact", false},
+		{"MEDIUM POLISHED BRASS", "%BRASS", true},
+	}
+	for _, c := range cases {
+		if got := matchLike(c.s, c.p); got != c.want {
+			t.Errorf("matchLike(%q, %q) = %v", c.s, c.p, got)
+		}
+	}
+	b := sampleBatch(t)
+	v, err := Like(Col("tag"), "%ed").Eval(b)
+	if err != nil || v.I64[0] != 1 || v.I64[1] != 0 {
+		t.Fatalf("Like = %v, %v", v.I64, err)
+	}
+	v, _ = NotLike(Col("tag"), "%ed").Eval(b)
+	if v.I64[0] != 0 || v.I64[1] != 1 {
+		t.Fatalf("NotLike = %v", v.I64)
+	}
+}
+
+func TestInCaseSubstrYear(t *testing.T) {
+	b := sampleBatch(t)
+	v, err := InS(Col("tag"), "red", "green").Eval(b)
+	if err != nil || v.I64[0] != 1 || v.I64[1] != 0 {
+		t.Fatalf("InS = %v", v.I64)
+	}
+	v, err = Case(Eq(Col("tag"), ConstS("red")), Col("price"), ConstF(0)).Eval(b)
+	if err != nil || v.F64[2] != 20 || v.F64[3] != 0 {
+		t.Fatalf("Case = %v", v.F64)
+	}
+	v, err = Case(Eq(Col("id"), ConstI(1)), ConstI(7), ConstI(9)).Eval(b)
+	if err != nil || v.I64[1] != 7 || v.I64[0] != 9 {
+		t.Fatalf("int Case = %v", v.I64)
+	}
+	v, err = Substr(Col("tag"), 1, 2).Eval(b)
+	if err != nil || v.Str[0] != "re" || v.Str[1] != "bl" {
+		t.Fatalf("Substr = %v", v.Str)
+	}
+	days := column.DateToDays(1995, 6, 15)
+	db := batchOf(t, []table.ColumnDef{intCol("d")}, func(b *table.Batch) { b.Vecs[0].AppendInt(days) })
+	v, err = Year(Col("d")).Eval(db)
+	if err != nil || v.I64[0] != 1995 {
+		t.Fatalf("Year = %v", v.I64)
+	}
+}
+
+func TestFilterProjectSortLimit(t *testing.T) {
+	b := sampleBatch(t)
+	f, err := FilterBatch(b, Ge(Col("id"), ConstI(2)))
+	if err != nil || f.Rows() != 4 {
+		t.Fatalf("filter = %d rows, %v", f.Rows(), err)
+	}
+	p, err := Project(f, []NamedExpr{
+		{Name: "double", Expr: Mul(Col("price"), ConstF(2))},
+		{Name: "tag", Expr: Col("tag")},
+	})
+	if err != nil || len(p.Vecs) != 2 || p.Vecs[0].F64[0] != 40 {
+		t.Fatalf("project = %+v, %v", p, err)
+	}
+	s, err := Sort(b, []SortKey{{Col: "tag"}, {Col: "id", Desc: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Col("tag").Str[0] != "blue" || s.Col("id").I64[0] != 5 {
+		t.Fatalf("sort head = %v %v", s.Col("tag").Str, s.Col("id").I64)
+	}
+	l := Limit(s, 2)
+	if l.Rows() != 2 {
+		t.Fatalf("limit = %d", l.Rows())
+	}
+	if Limit(l, 10).Rows() != 2 {
+		t.Fatal("limit beyond size changed batch")
+	}
+}
+
+func TestHashJoinInner(t *testing.T) {
+	orders := batchOf(t, []table.ColumnDef{intCol("o_custkey"), fltCol("o_total")}, func(b *table.Batch) {
+		for _, o := range []struct {
+			ck int64
+			t  float64
+		}{{1, 10}, {2, 20}, {1, 30}, {9, 40}} {
+			b.Vecs[0].AppendInt(o.ck)
+			b.Vecs[1].AppendFloat(o.t)
+		}
+	})
+	custs := batchOf(t, []table.ColumnDef{intCol("c_custkey"), strCol("c_name")}, func(b *table.Batch) {
+		b.Vecs[0].AppendInt(1)
+		b.Vecs[1].AppendStr("alice")
+		b.Vecs[0].AppendInt(2)
+		b.Vecs[1].AppendStr("bob")
+	})
+	out, err := HashJoin(ctxb(), SliceSource(custs), []string{"c_custkey"}, SliceSource(orders), []string{"o_custkey"}, Inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 3 {
+		t.Fatalf("inner join rows = %d", out.Rows())
+	}
+	// Probe columns first, then build columns; row for o_custkey=2 carries bob.
+	for r := 0; r < out.Rows(); r++ {
+		ck := out.Col("o_custkey").I64[r]
+		name := out.Col("c_name").Str[r]
+		if (ck == 1 && name != "alice") || (ck == 2 && name != "bob") {
+			t.Fatalf("row %d: custkey %d name %s", r, ck, name)
+		}
+	}
+}
+
+func TestHashJoinLeftOuterSemiAnti(t *testing.T) {
+	left := batchOf(t, []table.ColumnDef{intCol("k")}, func(b *table.Batch) {
+		for _, v := range []int64{1, 2, 3} {
+			b.Vecs[0].AppendInt(v)
+		}
+	})
+	right := batchOf(t, []table.ColumnDef{intCol("rk"), strCol("val")}, func(b *table.Batch) {
+		b.Vecs[0].AppendInt(2)
+		b.Vecs[1].AppendStr("two")
+	})
+	lo, err := HashJoin(ctxb(), SliceSource(right), []string{"rk"}, SliceSource(left), []string{"k"}, LeftOuter)
+	if err != nil || lo.Rows() != 3 {
+		t.Fatalf("left outer rows = %d, %v", lo.Rows(), err)
+	}
+	for r := 0; r < 3; r++ {
+		k := lo.Col("k").I64[r]
+		val := lo.Col("val").Str[r]
+		if (k == 2 && val != "two") || (k != 2 && val != "") {
+			t.Fatalf("left outer row %d: k=%d val=%q", r, k, val)
+		}
+	}
+	semi, err := HashJoin(ctxb(), SliceSource(right), []string{"rk"}, SliceSource(left), []string{"k"}, Semi)
+	if err != nil || semi.Rows() != 1 || semi.Col("k").I64[0] != 2 {
+		t.Fatalf("semi = %+v, %v", semi, err)
+	}
+	anti, err := HashJoin(ctxb(), SliceSource(right), []string{"rk"}, SliceSource(left), []string{"k"}, Anti)
+	if err != nil || anti.Rows() != 2 {
+		t.Fatalf("anti rows = %d, %v", anti.Rows(), err)
+	}
+}
+
+func TestHashJoinMultiKeyAndDuplicates(t *testing.T) {
+	build := batchOf(t, []table.ColumnDef{intCol("a"), strCol("b"), intCol("payload")}, func(b *table.Batch) {
+		b.Vecs[0].AppendInt(1)
+		b.Vecs[1].AppendStr("x")
+		b.Vecs[2].AppendInt(100)
+		b.Vecs[0].AppendInt(1)
+		b.Vecs[1].AppendStr("x")
+		b.Vecs[2].AppendInt(200)
+	})
+	probe := batchOf(t, []table.ColumnDef{intCol("pa"), strCol("pb")}, func(b *table.Batch) {
+		b.Vecs[0].AppendInt(1)
+		b.Vecs[1].AppendStr("x")
+		b.Vecs[0].AppendInt(1)
+		b.Vecs[1].AppendStr("y")
+	})
+	out, err := HashJoin(ctxb(), SliceSource(build), []string{"a", "b"}, SliceSource(probe), []string{"pa", "pb"}, Inner)
+	if err != nil || out.Rows() != 2 {
+		t.Fatalf("multi-key join rows = %d, %v", out.Rows(), err)
+	}
+}
+
+func TestHashAggGlobalAndGrouped(t *testing.T) {
+	b := sampleBatch(t) // ids 0..5, price = id*10, tags red/blue
+	out, err := HashAgg(ctxb(), SliceSource(b), nil, []Agg{
+		{Func: Count, As: "n"},
+		{Func: Sum, Expr: Col("price"), As: "total"},
+		{Func: Avg, Expr: Col("id"), As: "avg_id"},
+		{Func: Min, Expr: Col("tag"), As: "min_tag"},
+		{Func: Max, Expr: Col("id"), As: "max_id"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 1 || out.Col("n").I64[0] != 6 || out.Col("total").F64[0] != 150 {
+		t.Fatalf("global agg = %+v", out)
+	}
+	if out.Col("avg_id").F64[0] != 2.5 || out.Col("min_tag").Str[0] != "blue" || out.Col("max_id").I64[0] != 5 {
+		t.Fatalf("global agg = %+v", out)
+	}
+
+	grouped, err := HashAgg(ctxb(), SliceSource(b), []string{"tag"}, []Agg{
+		{Func: Count, As: "n"},
+		{Func: Sum, Expr: Col("id"), As: "ids"},
+	})
+	if err != nil || grouped.Rows() != 2 {
+		t.Fatalf("grouped = %+v, %v", grouped, err)
+	}
+	for r := 0; r < 2; r++ {
+		tag := grouped.Col("tag").Str[r]
+		ids := grouped.Col("ids").I64[r]
+		if (tag == "red" && ids != 6) || (tag == "blue" && ids != 9) {
+			t.Fatalf("group %s ids = %d", tag, ids)
+		}
+	}
+}
+
+func TestHashAggCountDistinctAndEmptyInput(t *testing.T) {
+	b := sampleBatch(t)
+	out, err := HashAgg(ctxb(), SliceSource(b), nil, []Agg{
+		{Func: CountDistinct, Expr: Col("tag"), As: "tags"},
+	})
+	if err != nil || out.Col("tags").I64[0] != 2 {
+		t.Fatalf("distinct = %+v, %v", out, err)
+	}
+	empty, err := HashAgg(ctxb(), SliceSource(), nil, []Agg{{Func: Count, As: "n"}})
+	if err != nil || empty.Rows() != 1 || empty.Col("n").I64[0] != 0 {
+		t.Fatalf("empty global agg = %+v, %v", empty, err)
+	}
+}
+
+// end-to-end scan over a real stored table.
+func TestScanWithZonePruningAndFilter(t *testing.T) {
+	store := objstore.NewMem(objstore.Config{})
+	gen := keygen.NewGenerator(nil)
+	client := keygen.NewClient(func(ctx context.Context, n uint64) (rfrb.Range, error) {
+		return gen.Allocate(ctx, "n", n)
+	})
+	ds := core.NewCloud(core.CloudConfig{Name: "user", Store: store, Keys: client})
+	pool := buffer.NewPool(buffer.Config{Capacity: 8 << 20})
+	bm, _ := core.NewBlockmap(ds, 16)
+	obj := pool.OpenObject(ds, bm, core.LockedSink(core.BitmapSink{RB: &rfrb.Bitmap{}, RF: &rfrb.Bitmap{}}), nil)
+	tbl, err := table.Create("t", obj, table.Schema{Cols: []table.ColumnDef{intCol("id"), strCol("tag")}}, table.Options{SegRows: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := table.NewBatch(tbl.Schema())
+	for i := 0; i < 1000; i++ {
+		batch.Vecs[0].AppendInt(int64(i))
+		batch.Vecs[1].AppendStr([]string{"a", "b"}[i%2])
+	}
+	if err := tbl.Append(ctxb(), batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Commit(ctxb()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zone predicate restricts to ids 250..349 => exactly one segment.
+	src, err := Scan(tbl, []string{"id", "tag"}, ScanOptions{
+		Zones:  []ZonePred{ZoneI("id", 250, 349)},
+		Filter: And(Ge(Col("id"), ConstI(250)), Lt(Col("id"), ConstI(350))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(ctxb(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 100 {
+		t.Fatalf("rows = %d, want 100", out.Rows())
+	}
+	// Only segments 2 and 3 overlap [250,349]: at most 2 of 10 segments
+	// read (2 columns each), plus meta/blockmap traffic.
+	if gets := store.Metrics().Gets(); gets > 12 {
+		t.Fatalf("scan issued %d GETs; zone pruning not effective", gets)
+	}
+	if _, err := Scan(tbl, []string{"nope"}, ScanOptions{}); err == nil {
+		t.Fatal("scan of unknown column accepted")
+	}
+	if _, err := Scan(tbl, []string{"id"}, ScanOptions{Zones: []ZonePred{ZoneI("nope", 0, 1)}}); err == nil {
+		t.Fatal("zone predicate on unknown column accepted")
+	}
+}
+
+func TestZonePredVariants(t *testing.T) {
+	zi := column.BuildZoneMap(&column.Vector{Typ: column.Int64, I64: []int64{5, 10}})
+	zf := column.BuildZoneMap(&column.Vector{Typ: column.Float64, F64: []float64{1.5, 2.5}})
+	zs := column.BuildZoneMap(&column.Vector{Typ: column.String, Str: []string{"b", "d"}})
+	if !ZoneI("c", 7, 8).ok(zi) || ZoneI("c", 11, 20).ok(zi) {
+		t.Fatal("ZoneI pruning wrong")
+	}
+	if !ZoneF("c", 2, 3).ok(zf) || ZoneF("c", 3, 4).ok(zf) {
+		t.Fatal("ZoneF pruning wrong")
+	}
+	if !ZoneS("c", "c", "c").ok(zs) || ZoneS("c", "e", "f").ok(zs) {
+		t.Fatal("ZoneS pruning wrong")
+	}
+}
+
+func TestPropertyFilterMatchesManualScan(t *testing.T) {
+	f := func(vals []int16, threshold int16) bool {
+		b := batchOf(nil, []table.ColumnDef{intCol("x")}, func(b *table.Batch) {
+			for _, v := range vals {
+				b.Vecs[0].AppendInt(int64(v))
+			}
+		})
+		out, err := FilterBatch(b, Gt(Col("x"), ConstI(int64(threshold))))
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, v := range vals {
+			if v > threshold {
+				want++
+			}
+		}
+		return out.Rows() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySortIsOrdered(t *testing.T) {
+	f := func(vals []int32) bool {
+		b := batchOf(nil, []table.ColumnDef{intCol("x")}, func(b *table.Batch) {
+			for _, v := range vals {
+				b.Vecs[0].AppendInt(int64(v))
+			}
+		})
+		out, err := Sort(b, []SortKey{{Col: "x"}})
+		if err != nil {
+			return false
+		}
+		got := out.Col("x").I64
+		for i := 1; i < len(got); i++ {
+			if got[i-1] > got[i] {
+				return false
+			}
+		}
+		return len(got) == len(vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,722 @@
+package exec
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"cloudiq/internal/column"
+	"cloudiq/internal/table"
+)
+
+// Source streams batches; Next returns (nil, nil) at end of stream.
+type Source interface {
+	Next(ctx context.Context) (*table.Batch, error)
+}
+
+// ZonePred prunes segments whose zone map cannot match.
+type ZonePred struct {
+	Col string
+	ok  func(z column.ZoneMap) bool
+}
+
+// ZoneI prunes on an int64 range [lo, hi].
+func ZoneI(col string, lo, hi int64) ZonePred {
+	return ZonePred{Col: col, ok: func(z column.ZoneMap) bool { return z.MayContainI64(lo, hi) }}
+}
+
+// ZoneF prunes on a float range [lo, hi].
+func ZoneF(col string, lo, hi float64) ZonePred {
+	return ZonePred{Col: col, ok: func(z column.ZoneMap) bool { return z.MayContainF64(lo, hi) }}
+}
+
+// ZoneS prunes on a string range [lo, hi].
+func ZoneS(col string, lo, hi string) ZonePred {
+	return ZonePred{Col: col, ok: func(z column.ZoneMap) bool { return z.MayContainStr(lo, hi) }}
+}
+
+// ScanOptions tunes a table scan.
+type ScanOptions struct {
+	// Filter, if non-nil, is applied to every segment batch.
+	Filter Expr
+	// Zones prune whole segments before any I/O.
+	Zones []ZonePred
+	// Prefetch is the segment read-ahead window. Zero selects 4.
+	Prefetch int
+}
+
+type scanSource struct {
+	tbl      *table.Table
+	cols     []int
+	colNames []string
+	opts     ScanOptions
+	segs     []int // surviving segments after zone pruning
+	pos      int
+	fetched  int
+}
+
+// Scan streams the named columns of t, pruning segments by zone maps and
+// prefetching ahead of the consumer — the paper's parallel-I/O recipe for
+// masking object-store latency.
+func Scan(t *table.Table, cols []string, opts ScanOptions) (Source, error) {
+	s := &scanSource{tbl: t, colNames: cols, opts: opts}
+	if s.opts.Prefetch <= 0 {
+		s.opts.Prefetch = 4
+	}
+	for _, name := range cols {
+		i := t.Schema().ColIndex(name)
+		if i < 0 {
+			return nil, fmt.Errorf("exec: scan of %s: no column %q", t.Name(), name)
+		}
+		s.cols = append(s.cols, i)
+	}
+	for seg := 0; seg < t.Segments(); seg++ {
+		sm := t.Seg(seg)
+		keep := true
+		for _, zp := range opts.Zones {
+			ci := t.Schema().ColIndex(zp.Col)
+			if ci < 0 {
+				return nil, fmt.Errorf("exec: zone predicate on unknown column %q", zp.Col)
+			}
+			if !zp.ok(sm.Zones[ci]) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			s.segs = append(s.segs, seg)
+		}
+	}
+	return s, nil
+}
+
+func (s *scanSource) Next(ctx context.Context) (*table.Batch, error) {
+	for {
+		if s.pos >= len(s.segs) {
+			return nil, nil
+		}
+		// Keep the read-ahead window full.
+		for s.fetched < s.pos+s.opts.Prefetch && s.fetched < len(s.segs) {
+			s.tbl.PrefetchSegments(ctx, []int{s.segs[s.fetched]}, s.cols)
+			s.fetched++
+		}
+		b, err := s.tbl.ReadSegment(ctx, s.segs[s.pos], s.cols)
+		if err != nil {
+			return nil, err
+		}
+		s.pos++
+		if s.opts.Filter != nil {
+			// Empty filtered batches are still returned: their schema lets
+			// downstream operators (joins, aggregations) type their output
+			// even when every row was filtered out.
+			b, err = FilterBatch(b, s.opts.Filter)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	}
+}
+
+// SliceSource feeds pre-materialized batches as a Source.
+func SliceSource(batches ...*table.Batch) Source {
+	return &sliceSource{batches: batches}
+}
+
+type sliceSource struct {
+	batches []*table.Batch
+	pos     int
+}
+
+func (s *sliceSource) Next(ctx context.Context) (*table.Batch, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.pos >= len(s.batches) {
+		return nil, nil
+	}
+	b := s.batches[s.pos]
+	s.pos++
+	return b, nil
+}
+
+// Collect drains src into one batch.
+func Collect(ctx context.Context, src Source) (*table.Batch, error) {
+	var out *table.Batch
+	for {
+		b, err := src.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if out == nil {
+			out = &table.Batch{Schema: b.Schema, Vecs: make([]*column.Vector, len(b.Vecs))}
+			for i, v := range b.Vecs {
+				nv := column.NewVector(v.Typ)
+				out.Vecs[i] = nv
+			}
+		}
+		for i, v := range b.Vecs {
+			for r := 0; r < v.Len(); r++ {
+				out.Vecs[i].Append(v, r)
+			}
+		}
+	}
+	if out == nil {
+		return &table.Batch{}, nil
+	}
+	return out, nil
+}
+
+// FilterBatch returns the rows of b where pred is non-zero.
+func FilterBatch(b *table.Batch, pred Expr) (*table.Batch, error) {
+	pv, err := pred.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if pv.Typ != column.Int64 {
+		return nil, fmt.Errorf("exec: filter predicate yields %v", pv.Typ)
+	}
+	var rows []int
+	for i, x := range pv.I64 {
+		if x != 0 {
+			rows = append(rows, i)
+		}
+	}
+	out := &table.Batch{Schema: b.Schema, Vecs: make([]*column.Vector, len(b.Vecs))}
+	for i, v := range b.Vecs {
+		out.Vecs[i] = v.Gather(rows)
+	}
+	return out, nil
+}
+
+// NamedExpr pairs an output column name with its expression.
+type NamedExpr struct {
+	Name string
+	Expr Expr
+}
+
+// Project evaluates the expressions over b into a new batch.
+func Project(b *table.Batch, exprs []NamedExpr) (*table.Batch, error) {
+	out := &table.Batch{}
+	for _, ne := range exprs {
+		v, err := ne.Expr.Eval(b)
+		if err != nil {
+			return nil, fmt.Errorf("exec: project %s: %w", ne.Name, err)
+		}
+		out.Schema.Cols = append(out.Schema.Cols, table.ColumnDef{Name: ne.Name, Typ: v.Typ})
+		out.Vecs = append(out.Vecs, v)
+	}
+	return out, nil
+}
+
+// --- key encoding for joins and grouping ---
+
+func keyCols(b *table.Batch, names []string) ([]*column.Vector, error) {
+	vecs := make([]*column.Vector, len(names))
+	for i, n := range names {
+		ci := b.Schema.ColIndex(n)
+		if ci < 0 {
+			return nil, fmt.Errorf("exec: key column %q missing", n)
+		}
+		vecs[i] = b.Vecs[ci]
+	}
+	return vecs, nil
+}
+
+func rowKey(buf []byte, vecs []*column.Vector, row int) []byte {
+	for _, v := range vecs {
+		switch v.Typ {
+		case column.Int64:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.I64[row]))
+		case column.Float64:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F64[row]))
+		default:
+			buf = append(buf, v.Str[row]...)
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// JoinType selects join semantics. The preserved side is always the probe.
+type JoinType uint8
+
+// Supported join types.
+const (
+	// Inner emits build ⨝ probe matches.
+	Inner JoinType = iota
+	// LeftOuter emits every probe row, zero-filling build columns on a miss.
+	LeftOuter
+	// Semi emits probe rows with at least one match (probe columns only).
+	Semi
+	// Anti emits probe rows with no match (probe columns only).
+	Anti
+)
+
+// HashJoin builds a hash table over build and probes it with probe. Output
+// columns are the probe columns followed by the build columns (for Inner
+// and LeftOuter); column names must be disjoint, which TPC-H's prefixed
+// names guarantee.
+func HashJoin(ctx context.Context, build Source, buildKeys []string, probe Source, probeKeys []string, typ JoinType) (*table.Batch, error) {
+	bb, err := Collect(ctx, build)
+	if err != nil {
+		return nil, err
+	}
+	buildEmpty := len(bb.Vecs) == 0
+	if buildEmpty && typ == Inner {
+		return &table.Batch{}, nil
+	}
+	ht := make(map[string][]int)
+	var kb []byte
+	if !buildEmpty {
+		bvecs, err := keyCols(bb, buildKeys)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < bb.Rows(); r++ {
+			kb = rowKey(kb[:0], bvecs, r)
+			ht[string(kb)] = append(ht[string(kb)], r)
+		}
+	}
+
+	var out *table.Batch
+	initOut := func(pb *table.Batch) {
+		out = &table.Batch{}
+		out.Schema.Cols = append(out.Schema.Cols, pb.Schema.Cols...)
+		for _, v := range pb.Vecs {
+			out.Vecs = append(out.Vecs, column.NewVector(v.Typ))
+		}
+		if typ == Inner || typ == LeftOuter {
+			out.Schema.Cols = append(out.Schema.Cols, bb.Schema.Cols...)
+			for _, v := range bb.Vecs {
+				out.Vecs = append(out.Vecs, column.NewVector(v.Typ))
+			}
+		}
+	}
+
+	for {
+		pb, err := probe.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if pb == nil {
+			break
+		}
+		if len(pb.Vecs) == 0 {
+			continue // schemaless empty batch
+		}
+		if out == nil {
+			initOut(pb)
+		}
+		pvecs, err := keyCols(pb, probeKeys)
+		if err != nil {
+			return nil, err
+		}
+		np := len(pb.Vecs)
+		for r := 0; r < pb.Rows(); r++ {
+			kb = rowKey(kb[:0], pvecs, r)
+			matches := ht[string(kb)]
+			switch typ {
+			case Semi:
+				if len(matches) > 0 {
+					for c, v := range pb.Vecs {
+						out.Vecs[c].Append(v, r)
+					}
+				}
+			case Anti:
+				if len(matches) == 0 {
+					for c, v := range pb.Vecs {
+						out.Vecs[c].Append(v, r)
+					}
+				}
+			case LeftOuter:
+				if len(matches) == 0 {
+					for c, v := range pb.Vecs {
+						out.Vecs[c].Append(v, r)
+					}
+					for c, v := range bb.Vecs {
+						appendZero(out.Vecs[np+c], v.Typ)
+					}
+					continue
+				}
+				fallthrough
+			default: // Inner (and LeftOuter with matches)
+				for _, m := range matches {
+					for c, v := range pb.Vecs {
+						out.Vecs[c].Append(v, r)
+					}
+					for c, v := range bb.Vecs {
+						out.Vecs[np+c].Append(v, m)
+					}
+				}
+			}
+		}
+	}
+	if out == nil {
+		return &table.Batch{}, nil
+	}
+	return out, nil
+}
+
+func appendZero(v *column.Vector, t column.Type) {
+	switch t {
+	case column.Int64:
+		v.AppendInt(0)
+	case column.Float64:
+		v.AppendFloat(0)
+	default:
+		v.AppendStr("")
+	}
+}
+
+// --- aggregation ---
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+// Supported aggregates.
+const (
+	Sum AggFunc = iota
+	Avg
+	Min
+	Max
+	Count
+	CountDistinct
+)
+
+// Agg is one aggregate column: Func over Expr (nil for Count(*)), emitted
+// as As.
+type Agg struct {
+	Func AggFunc
+	Expr Expr
+	As   string
+}
+
+type aggState struct {
+	sumF     float64
+	sumI     int64
+	count    int64
+	minF     float64
+	maxF     float64
+	minI     int64
+	maxI     int64
+	minS     string
+	maxS     string
+	seen     bool
+	distinct map[string]struct{}
+	typ      column.Type
+}
+
+type group struct {
+	keyVals []any
+	states  []*aggState
+}
+
+// HashAgg groups src by the named columns and computes the aggregates.
+// With no group columns, a single global group is produced (even on empty
+// input, matching SQL aggregate semantics).
+func HashAgg(ctx context.Context, src Source, groupBy []string, aggs []Agg) (*table.Batch, error) {
+	groups := make(map[string]*group)
+	var order []string // deterministic-ish output: first-seen order
+	var groupTypes []column.Type
+
+	for {
+		b, err := src.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if len(b.Vecs) == 0 {
+			continue // schemaless empty batch
+		}
+		gvecs, err := keyCols(b, groupBy)
+		if err != nil {
+			return nil, err
+		}
+		if groupTypes == nil {
+			for _, v := range gvecs {
+				groupTypes = append(groupTypes, v.Typ)
+			}
+		}
+		// Evaluate aggregate inputs once per batch.
+		inputs := make([]*column.Vector, len(aggs))
+		for i, a := range aggs {
+			if a.Expr == nil {
+				continue
+			}
+			v, err := a.Expr.Eval(b)
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = v
+		}
+		var kb []byte
+		for r := 0; r < b.Rows(); r++ {
+			kb = rowKey(kb[:0], gvecs, r)
+			g, ok := groups[string(kb)]
+			if !ok {
+				g = &group{states: make([]*aggState, len(aggs))}
+				for i := range g.states {
+					g.states[i] = &aggState{}
+				}
+				for _, v := range gvecs {
+					switch v.Typ {
+					case column.Int64:
+						g.keyVals = append(g.keyVals, v.I64[r])
+					case column.Float64:
+						g.keyVals = append(g.keyVals, v.F64[r])
+					default:
+						g.keyVals = append(g.keyVals, v.Str[r])
+					}
+				}
+				groups[string(kb)] = g
+				order = append(order, string(kb))
+			}
+			for i, a := range aggs {
+				updateAgg(g.states[i], a, inputs[i], r)
+			}
+		}
+	}
+
+	if len(groupBy) == 0 && len(groups) == 0 {
+		g := &group{states: make([]*aggState, len(aggs))}
+		for i := range g.states {
+			g.states[i] = &aggState{}
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	out := &table.Batch{}
+	for i, name := range groupBy {
+		// With zero input batches the group types are unknown; default to
+		// Int64 — the result has no rows, so only the names matter.
+		t := column.Int64
+		if i < len(groupTypes) {
+			t = groupTypes[i]
+		}
+		out.Schema.Cols = append(out.Schema.Cols, table.ColumnDef{Name: name, Typ: t})
+		out.Vecs = append(out.Vecs, column.NewVector(t))
+	}
+	for i, a := range aggs {
+		t := aggOutputType(a, groups, order, i)
+		out.Schema.Cols = append(out.Schema.Cols, table.ColumnDef{Name: a.As, Typ: t})
+		out.Vecs = append(out.Vecs, column.NewVector(t))
+	}
+	for _, k := range order {
+		g := groups[k]
+		for i := range groupBy {
+			switch v := g.keyVals[i].(type) {
+			case int64:
+				out.Vecs[i].AppendInt(v)
+			case float64:
+				out.Vecs[i].AppendFloat(v)
+			case string:
+				out.Vecs[i].AppendStr(v)
+			}
+		}
+		for i, a := range aggs {
+			emitAgg(out.Vecs[len(groupBy)+i], g.states[i], a)
+		}
+	}
+	return out, nil
+}
+
+func updateAgg(st *aggState, a Agg, input *column.Vector, r int) {
+	if a.Func == Count && a.Expr == nil {
+		st.count++
+		return
+	}
+	st.typ = input.Typ
+	switch a.Func {
+	case CountDistinct:
+		if st.distinct == nil {
+			st.distinct = make(map[string]struct{})
+		}
+		st.distinct[string(rowKey(nil, []*column.Vector{input}, r))] = struct{}{}
+	case Count:
+		st.count++
+	case Sum, Avg:
+		st.count++
+		switch input.Typ {
+		case column.Int64:
+			st.sumI += input.I64[r]
+			st.sumF += float64(input.I64[r])
+		default:
+			st.sumF += input.F64[r]
+		}
+	case Min, Max:
+		st.count++
+		switch input.Typ {
+		case column.Int64:
+			x := input.I64[r]
+			if !st.seen || x < st.minI {
+				st.minI = x
+			}
+			if !st.seen || x > st.maxI {
+				st.maxI = x
+			}
+		case column.Float64:
+			x := input.F64[r]
+			if !st.seen || x < st.minF {
+				st.minF = x
+			}
+			if !st.seen || x > st.maxF {
+				st.maxF = x
+			}
+		default:
+			x := input.Str[r]
+			if !st.seen || x < st.minS {
+				st.minS = x
+			}
+			if !st.seen || x > st.maxS {
+				st.maxS = x
+			}
+		}
+		st.seen = true
+	}
+}
+
+func aggOutputType(a Agg, groups map[string]*group, order []string, i int) column.Type {
+	switch a.Func {
+	case Count, CountDistinct:
+		return column.Int64
+	case Avg:
+		return column.Float64
+	}
+	// Sum/Min/Max follow the input type; inspect any group.
+	for _, k := range order {
+		st := groups[k].states[i]
+		if st.count > 0 || st.seen {
+			return st.typ
+		}
+	}
+	return column.Float64
+}
+
+func emitAgg(v *column.Vector, st *aggState, a Agg) {
+	switch a.Func {
+	case Count:
+		v.AppendInt(st.count)
+	case CountDistinct:
+		v.AppendInt(int64(len(st.distinct)))
+	case Avg:
+		if st.count == 0 {
+			v.AppendFloat(0)
+		} else {
+			v.AppendFloat(st.sumF / float64(st.count))
+		}
+	case Sum:
+		if v.Typ == column.Int64 {
+			v.AppendInt(st.sumI)
+		} else {
+			v.AppendFloat(st.sumF)
+		}
+	case Min:
+		switch v.Typ {
+		case column.Int64:
+			v.AppendInt(st.minI)
+		case column.Float64:
+			v.AppendFloat(st.minF)
+		default:
+			v.AppendStr(st.minS)
+		}
+	case Max:
+		switch v.Typ {
+		case column.Int64:
+			v.AppendInt(st.maxI)
+		case column.Float64:
+			v.AppendFloat(st.maxF)
+		default:
+			v.AppendStr(st.maxS)
+		}
+	}
+}
+
+// --- sort & limit ---
+
+// SortKey orders by one column.
+type SortKey struct {
+	Col  string
+	Desc bool
+}
+
+// Sort returns b ordered by the keys (stable).
+func Sort(b *table.Batch, keys []SortKey) (*table.Batch, error) {
+	type keyVec struct {
+		v    *column.Vector
+		desc bool
+	}
+	kvs := make([]keyVec, len(keys))
+	for i, k := range keys {
+		ci := b.Schema.ColIndex(k.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("exec: sort key %q missing", k.Col)
+		}
+		kvs[i] = keyVec{b.Vecs[ci], k.Desc}
+	}
+	rows := make([]int, b.Rows())
+	for i := range rows {
+		rows[i] = i
+	}
+	sort.SliceStable(rows, func(x, y int) bool {
+		rx, ry := rows[x], rows[y]
+		for _, kv := range kvs {
+			var c int
+			switch kv.v.Typ {
+			case column.Int64:
+				a, b := kv.v.I64[rx], kv.v.I64[ry]
+				if a < b {
+					c = -1
+				} else if a > b {
+					c = 1
+				}
+			case column.Float64:
+				a, b := kv.v.F64[rx], kv.v.F64[ry]
+				if a < b {
+					c = -1
+				} else if a > b {
+					c = 1
+				}
+			default:
+				a, b := kv.v.Str[rx], kv.v.Str[ry]
+				if a < b {
+					c = -1
+				} else if a > b {
+					c = 1
+				}
+			}
+			if kv.desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	out := &table.Batch{Schema: b.Schema, Vecs: make([]*column.Vector, len(b.Vecs))}
+	for i, v := range b.Vecs {
+		out.Vecs[i] = v.Gather(rows)
+	}
+	return out, nil
+}
+
+// Limit returns the first n rows of b.
+func Limit(b *table.Batch, n int) *table.Batch {
+	if b.Rows() <= n {
+		return b
+	}
+	out := &table.Batch{Schema: b.Schema, Vecs: make([]*column.Vector, len(b.Vecs))}
+	for i, v := range b.Vecs {
+		out.Vecs[i] = v.Slice(0, n)
+	}
+	return out
+}

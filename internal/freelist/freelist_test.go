@@ -1,0 +1,254 @@
+package freelist
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocateAndFree(t *testing.T) {
+	l := New(128)
+	a, err := l.Allocate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Allocate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("two allocations returned the same start")
+	}
+	if got := l.InUse(); got != 8 {
+		t.Fatalf("InUse = %d, want 8", got)
+	}
+	if err := l.Free(a, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.InUse(); got != 4 {
+		t.Fatalf("InUse after free = %d, want 4", got)
+	}
+}
+
+func TestAllocationsAreContiguousAndDisjoint(t *testing.T) {
+	l := New(1024)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 64; i++ {
+		start, err := l.Allocate(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := start; b < start+16; b++ {
+			if seen[b] {
+				t.Fatalf("block %d allocated twice", b)
+			}
+			seen[b] = true
+			if !l.IsUsed(b) {
+				t.Fatalf("block %d not marked used", b)
+			}
+		}
+	}
+	if _, err := l.Allocate(1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("allocation on full list: err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestReuseAfterFree(t *testing.T) {
+	l := New(16)
+	a, _ := l.Allocate(16)
+	if err := l.Free(a, 16); err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Allocate(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Fatalf("expected reuse of freed run, got %d want %d", b, a)
+	}
+}
+
+func TestFragmentationFindsGap(t *testing.T) {
+	l := New(32)
+	a, _ := l.Allocate(8)
+	_, _ = l.Allocate(8)
+	_ = l.Free(a, 8)
+	// Only an 8-block gap at `a` and 16 at the tail remain.
+	got, err := l.Allocate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 16 && got != a {
+		t.Fatalf("Allocate(8) = %d, expected gap at %d or tail at 16", got, a)
+	}
+	if _, err := l.Allocate(16); err == nil {
+		// After consuming either gap, a 16-run must still fit or fail
+		// consistently; verify bookkeeping by exhausting.
+		for {
+			if _, err := l.Allocate(1); err != nil {
+				break
+			}
+		}
+	}
+	if l.InUse() > l.Blocks() {
+		t.Fatalf("InUse %d exceeds Blocks %d", l.InUse(), l.Blocks())
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	l := New(8)
+	a, _ := l.Allocate(2)
+	if err := l.Free(a, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Free(a, 2); err == nil {
+		t.Fatal("double free not detected")
+	}
+}
+
+func TestFreeOutOfRange(t *testing.T) {
+	l := New(8)
+	if err := l.Free(7, 2); err == nil {
+		t.Fatal("out-of-range free not detected")
+	}
+}
+
+func TestZeroLengthAllocate(t *testing.T) {
+	l := New(8)
+	if _, err := l.Allocate(0); err == nil {
+		t.Fatal("zero-length allocation not rejected")
+	}
+}
+
+func TestMarkUsedIdempotent(t *testing.T) {
+	l := New(64)
+	if err := l.MarkUsed(10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.MarkUsed(12, 4); err != nil { // overlaps previous
+		t.Fatal(err)
+	}
+	if got := l.InUse(); got != 6 {
+		t.Fatalf("InUse = %d, want 6", got)
+	}
+	if err := l.MarkUsed(62, 4); err == nil {
+		t.Fatal("out-of-range MarkUsed not detected")
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	l := New(200)
+	var runs []uint64
+	for i := 0; i < 10; i++ {
+		s, err := l.Allocate(uint64(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, s)
+	}
+	_ = l.Free(runs[3], 4)
+
+	restored, err := Unmarshal(l.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Blocks() != l.Blocks() || restored.InUse() != l.InUse() {
+		t.Fatalf("restored blocks/inuse = %d/%d, want %d/%d",
+			restored.Blocks(), restored.InUse(), l.Blocks(), l.InUse())
+	}
+	for i := uint64(0); i < l.Blocks(); i++ {
+		if restored.IsUsed(i) != l.IsUsed(i) {
+			t.Fatalf("bit %d differs after round trip", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	l := New(64)
+	_, _ = l.Allocate(3)
+	img := l.Marshal()
+	img[8]++ // corrupt the in-use count
+	if _, err := Unmarshal(img); err == nil {
+		t.Fatal("corrupt in-use count accepted")
+	}
+	img2 := l.Marshal()
+	if _, err := Unmarshal(img2[:17]); err == nil {
+		t.Fatal("truncated bitmap accepted")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	l := New(64)
+	a, _ := l.Allocate(8)
+	c := l.Clone()
+	_ = l.Free(a, 8)
+	if !c.IsUsed(a) {
+		t.Fatal("freeing in the original mutated the clone")
+	}
+	if c.InUse() != 8 {
+		t.Fatalf("clone InUse = %d, want 8", c.InUse())
+	}
+}
+
+func TestConcurrentAllocateFree(t *testing.T) {
+	l := New(1 << 14)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s, err := l.Allocate(3)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l.Free(s, 3); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.InUse(); got != 0 {
+		t.Fatalf("InUse after balanced alloc/free = %d, want 0", got)
+	}
+}
+
+func TestPropertyAllocateFreeInvariant(t *testing.T) {
+	// Allocating k runs and freeing them all returns the list to empty,
+	// and InUse always equals the sum of live runs.
+	f := func(sizes []uint8) bool {
+		l := New(4096)
+		type run struct{ start, n uint64 }
+		var live []run
+		var total uint64
+		for _, sz := range sizes {
+			n := uint64(sz%16) + 1
+			s, err := l.Allocate(n)
+			if err != nil {
+				return false
+			}
+			live = append(live, run{s, n})
+			total += n
+			if l.InUse() != total {
+				return false
+			}
+		}
+		for _, r := range live {
+			if err := l.Free(r.start, r.n); err != nil {
+				return false
+			}
+		}
+		return l.InUse() == 0
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package index implements the High-Group (HG) index [21]: a sorted
+// directory of distinct key values, each pointing at a compressed bitmap of
+// the row ids holding that value — combining B+-tree-style ordered lookup
+// with bitmap scalability. Row-id bitmaps reuse the engine's range-coalesced
+// bitmap representation.
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"cloudiq/internal/column"
+	"cloudiq/internal/rfrb"
+)
+
+// HG is a High-Group index over one column. Build it incrementally with Add
+// and query with Lookup/LookupRange. HG is not safe for concurrent mutation;
+// lookups after construction are safe concurrently.
+type HG struct {
+	typ column.Type
+
+	intKeys map[int64]*rfrb.Bitmap
+	strKeys map[string]*rfrb.Bitmap
+
+	sortedI []int64  // built lazily for range lookups
+	sortedS []string // built lazily
+	dirty   bool
+}
+
+// NewHG returns an empty index for keys of type t (Int64 or String; float
+// keys are not indexable, matching IQ's HG applicability).
+func NewHG(t column.Type) (*HG, error) {
+	switch t {
+	case column.Int64:
+		return &HG{typ: t, intKeys: make(map[int64]*rfrb.Bitmap)}, nil
+	case column.String:
+		return &HG{typ: t, strKeys: make(map[string]*rfrb.Bitmap)}, nil
+	default:
+		return nil, fmt.Errorf("index: HG does not support %v keys", t)
+	}
+}
+
+// Type returns the key type.
+func (h *HG) Type() column.Type { return h.typ }
+
+// Add indexes v's values as rows [baseRow, baseRow+len).
+func (h *HG) Add(v *column.Vector, baseRow uint64) error {
+	if v.Typ != h.typ {
+		return fmt.Errorf("index: adding %v values to an HG over %v", v.Typ, h.typ)
+	}
+	h.dirty = true
+	switch h.typ {
+	case column.Int64:
+		for i, x := range v.I64 {
+			b := h.intKeys[x]
+			if b == nil {
+				b = &rfrb.Bitmap{}
+				h.intKeys[x] = b
+			}
+			b.AddKey(baseRow + uint64(i))
+		}
+	default:
+		for i, s := range v.Str {
+			b := h.strKeys[s]
+			if b == nil {
+				b = &rfrb.Bitmap{}
+				h.strKeys[s] = b
+			}
+			b.AddKey(baseRow + uint64(i))
+		}
+	}
+	return nil
+}
+
+// Cardinality returns the number of distinct keys.
+func (h *HG) Cardinality() int {
+	if h.typ == column.Int64 {
+		return len(h.intKeys)
+	}
+	return len(h.strKeys)
+}
+
+func (h *HG) ensureSorted() {
+	if !h.dirty {
+		return
+	}
+	h.dirty = false
+	if h.typ == column.Int64 {
+		h.sortedI = h.sortedI[:0]
+		for k := range h.intKeys {
+			h.sortedI = append(h.sortedI, k)
+		}
+		sort.Slice(h.sortedI, func(i, j int) bool { return h.sortedI[i] < h.sortedI[j] })
+		return
+	}
+	h.sortedS = h.sortedS[:0]
+	for k := range h.strKeys {
+		h.sortedS = append(h.sortedS, k)
+	}
+	sort.Strings(h.sortedS)
+}
+
+// LookupInt returns the rows holding exactly key, or nil.
+func (h *HG) LookupInt(key int64) *rfrb.Bitmap {
+	if h.typ != column.Int64 {
+		return nil
+	}
+	return h.intKeys[key]
+}
+
+// LookupStr returns the rows holding exactly key, or nil.
+func (h *HG) LookupStr(key string) *rfrb.Bitmap {
+	if h.typ != column.String {
+		return nil
+	}
+	return h.strKeys[key]
+}
+
+// LookupRangeInt unions the postings of all keys in [lo, hi].
+func (h *HG) LookupRangeInt(lo, hi int64) *rfrb.Bitmap {
+	out := &rfrb.Bitmap{}
+	if h.typ != column.Int64 {
+		return out
+	}
+	h.ensureSorted()
+	i := sort.Search(len(h.sortedI), func(i int) bool { return h.sortedI[i] >= lo })
+	for ; i < len(h.sortedI) && h.sortedI[i] <= hi; i++ {
+		out.Union(h.intKeys[h.sortedI[i]])
+	}
+	return out
+}
+
+// LookupRangeStr unions the postings of all keys in [lo, hi].
+func (h *HG) LookupRangeStr(lo, hi string) *rfrb.Bitmap {
+	out := &rfrb.Bitmap{}
+	if h.typ != column.String {
+		return out
+	}
+	h.ensureSorted()
+	i := sort.Search(len(h.sortedS), func(i int) bool { return h.sortedS[i] >= lo })
+	for ; i < len(h.sortedS) && h.sortedS[i] <= hi; i++ {
+		out.Union(h.strKeys[h.sortedS[i]])
+	}
+	return out
+}
+
+// Marshal serializes the index: key count, then sorted (key, postings).
+func (h *HG) Marshal() []byte {
+	h.ensureSorted()
+	buf := []byte{byte(h.typ)}
+	if h.typ == column.Int64 {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.sortedI)))
+		for _, k := range h.sortedI {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+			img := h.intKeys[k].Marshal()
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(img)))
+			buf = append(buf, img...)
+		}
+		return buf
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.sortedS)))
+	for _, k := range h.sortedS {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(k)))
+		buf = append(buf, k...)
+		img := h.strKeys[k].Marshal()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(img)))
+		buf = append(buf, img...)
+	}
+	return buf
+}
+
+// Unmarshal restores an index from Marshal output.
+func Unmarshal(data []byte) (*HG, error) {
+	if len(data) < 5 {
+		return nil, fmt.Errorf("index: image too short (%d bytes)", len(data))
+	}
+	h, err := NewHG(column.Type(data[0]))
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(data[1:]))
+	off := 5
+	for i := 0; i < n; i++ {
+		var intKey int64
+		var strKey string
+		if h.typ == column.Int64 {
+			if off+12 > len(data) {
+				return nil, fmt.Errorf("index: truncated at key %d", i)
+			}
+			intKey = int64(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		} else {
+			if off+2 > len(data) {
+				return nil, fmt.Errorf("index: truncated at key %d", i)
+			}
+			l := int(binary.LittleEndian.Uint16(data[off:]))
+			off += 2
+			if off+l+4 > len(data) {
+				return nil, fmt.Errorf("index: truncated at key %d", i)
+			}
+			strKey = string(data[off : off+l])
+			off += l
+		}
+		bl := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if off+bl > len(data) {
+			return nil, fmt.Errorf("index: postings for key %d overflow image", i)
+		}
+		b, err := rfrb.Unmarshal(data[off : off+bl])
+		if err != nil {
+			return nil, fmt.Errorf("index: postings for key %d: %w", i, err)
+		}
+		off += bl
+		if h.typ == column.Int64 {
+			h.intKeys[intKey] = b
+		} else {
+			h.strKeys[strKey] = b
+		}
+	}
+	h.dirty = true
+	return h, nil
+}

@@ -1,0 +1,168 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cloudiq/internal/column"
+)
+
+func TestIntLookup(t *testing.T) {
+	h, err := NewHG(column.Int64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &column.Vector{Typ: column.Int64, I64: []int64{5, 3, 5, 7, 3, 5}}
+	if err := h.Add(v, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.LookupInt(5); got == nil || got.Count() != 3 || !got.Contains(0) || !got.Contains(2) || !got.Contains(5) {
+		t.Fatalf("LookupInt(5) = %v", got)
+	}
+	if got := h.LookupInt(99); got != nil {
+		t.Fatalf("LookupInt(99) = %v", got)
+	}
+	if h.Cardinality() != 3 {
+		t.Fatalf("Cardinality = %d", h.Cardinality())
+	}
+}
+
+func TestAddWithBaseRowAcrossSegments(t *testing.T) {
+	h, _ := NewHG(column.Int64)
+	seg1 := &column.Vector{Typ: column.Int64, I64: []int64{1, 2}}
+	seg2 := &column.Vector{Typ: column.Int64, I64: []int64{2, 1}}
+	_ = h.Add(seg1, 0)
+	_ = h.Add(seg2, 100)
+	got := h.LookupInt(2)
+	if got.Count() != 2 || !got.Contains(1) || !got.Contains(100) {
+		t.Fatalf("LookupInt(2) = %v", got)
+	}
+}
+
+func TestRangeLookupInt(t *testing.T) {
+	h, _ := NewHG(column.Int64)
+	_ = h.Add(&column.Vector{Typ: column.Int64, I64: []int64{10, 20, 30, 40}}, 0)
+	got := h.LookupRangeInt(15, 35)
+	if got.Count() != 2 || !got.Contains(1) || !got.Contains(2) {
+		t.Fatalf("range = %v", got)
+	}
+	if h.LookupRangeInt(100, 200).Count() != 0 {
+		t.Fatal("empty range matched")
+	}
+	// Adding after a range lookup must refresh the sorted directory.
+	_ = h.Add(&column.Vector{Typ: column.Int64, I64: []int64{25}}, 10)
+	if got := h.LookupRangeInt(15, 35); got.Count() != 3 {
+		t.Fatalf("post-add range = %v", got)
+	}
+}
+
+func TestStringLookupAndRange(t *testing.T) {
+	h, err := NewHG(column.String)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &column.Vector{Typ: column.String, Str: []string{"ASIA", "EUROPE", "ASIA", "AFRICA"}}
+	_ = h.Add(v, 0)
+	if got := h.LookupStr("ASIA"); got.Count() != 2 {
+		t.Fatalf("LookupStr = %v", got)
+	}
+	if got := h.LookupRangeStr("AFRICA", "ASIA"); got.Count() != 3 {
+		t.Fatalf("range = %v", got)
+	}
+	if h.LookupInt(1) != nil {
+		t.Fatal("int lookup on string index returned postings")
+	}
+}
+
+func TestFloatKeysRejected(t *testing.T) {
+	if _, err := NewHG(column.Float64); err == nil {
+		t.Fatal("float HG accepted")
+	}
+}
+
+func TestTypeMismatchAdd(t *testing.T) {
+	h, _ := NewHG(column.Int64)
+	if err := h.Add(&column.Vector{Typ: column.String, Str: []string{"x"}}, 0); err == nil {
+		t.Fatal("mismatched Add accepted")
+	}
+}
+
+func TestMarshalRoundTripInt(t *testing.T) {
+	h, _ := NewHG(column.Int64)
+	rnd := rand.New(rand.NewSource(1))
+	vals := make([]int64, 500)
+	for i := range vals {
+		vals[i] = int64(rnd.Intn(50))
+	}
+	_ = h.Add(&column.Vector{Typ: column.Int64, I64: vals}, 0)
+	got, err := Unmarshal(h.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality() != h.Cardinality() {
+		t.Fatalf("cardinality %d vs %d", got.Cardinality(), h.Cardinality())
+	}
+	for k := int64(0); k < 50; k++ {
+		a, b := h.LookupInt(k), got.LookupInt(k)
+		if (a == nil) != (b == nil) {
+			t.Fatalf("key %d presence differs", k)
+		}
+		if a != nil && a.String() != b.String() {
+			t.Fatalf("key %d postings differ: %v vs %v", k, a, b)
+		}
+	}
+}
+
+func TestMarshalRoundTripString(t *testing.T) {
+	h, _ := NewHG(column.String)
+	_ = h.Add(&column.Vector{Typ: column.String, Str: []string{"b", "a", "b", "c"}}, 7)
+	got, err := Unmarshal(h.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LookupStr("b").String() != h.LookupStr("b").String() {
+		t.Fatal("postings differ after round trip")
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	if _, err := Unmarshal([]byte{0}); err == nil {
+		t.Fatal("short image accepted")
+	}
+	if _, err := Unmarshal([]byte{9, 0, 0, 0, 0}); err == nil {
+		t.Fatal("bad type accepted")
+	}
+	h, _ := NewHG(column.Int64)
+	_ = h.Add(&column.Vector{Typ: column.Int64, I64: []int64{1, 2, 3}}, 0)
+	img := h.Marshal()
+	if _, err := Unmarshal(img[:len(img)-4]); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+}
+
+func TestPropertyLookupMatchesScan(t *testing.T) {
+	f := func(raw []uint8) bool {
+		vals := make([]int64, len(raw))
+		for i, r := range raw {
+			vals[i] = int64(r % 16)
+		}
+		h, _ := NewHG(column.Int64)
+		if err := h.Add(&column.Vector{Typ: column.Int64, I64: vals}, 0); err != nil {
+			return false
+		}
+		for key := int64(0); key < 16; key++ {
+			b := h.LookupInt(key)
+			for row, v := range vals {
+				inIndex := b != nil && b.Contains(uint64(row))
+				if inIndex != (v == key) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

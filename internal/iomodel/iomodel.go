@@ -1,0 +1,127 @@
+// Package iomodel provides the timing substrate shared by the simulated
+// storage devices: latency models, token-bucket rate limits for IOPS and
+// bandwidth, and a global time scale that maps simulated I/O service time to
+// real sleeping so that concurrency effects (parallel I/O masking latency,
+// bandwidth saturation) remain physically real while experiments stay fast.
+package iomodel
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Scale maps simulated durations to real sleeps. A factor of 0 disables
+// sleeping entirely (unit-test mode); a factor of 0.001 makes one simulated
+// second cost one real millisecond. Scale also accumulates the total
+// simulated time charged, which experiment harnesses report as "simulated
+// seconds" regardless of the factor in effect.
+type Scale struct {
+	factor  atomic.Uint64 // math.Float64bits of the factor
+	charged atomic.Int64  // total simulated nanoseconds charged
+}
+
+// NewScale returns a Scale with the given factor.
+func NewScale(factor float64) *Scale {
+	s := &Scale{}
+	s.Set(factor)
+	return s
+}
+
+// Set changes the scale factor.
+func (s *Scale) Set(factor float64) {
+	s.factor.Store(math.Float64bits(factor))
+}
+
+// Factor reports the current scale factor.
+func (s *Scale) Factor() float64 {
+	return math.Float64frombits(s.factor.Load())
+}
+
+// Sleep charges d of simulated time and blocks for d scaled by the factor.
+// It returns immediately (after charging) when the factor is zero or d is
+// non-positive.
+func (s *Scale) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.charged.Add(int64(d))
+	f := s.Factor()
+	if f <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(d) * f))
+}
+
+// Charged reports the total simulated time charged through this Scale.
+func (s *Scale) Charged() time.Duration {
+	return time.Duration(s.charged.Load())
+}
+
+// ResetCharged zeroes the charged-time accumulator.
+func (s *Scale) ResetCharged() {
+	s.charged.Store(0)
+}
+
+// Rand is a concurrency-safe seeded uniform source shared by the device
+// models so that experiments are reproducible.
+type Rand struct {
+	mu  sync.Mutex
+	src *rand.Rand
+}
+
+// NewRand returns a Rand seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{src: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *Rand) Float64() float64 {
+	r.mu.Lock()
+	v := r.src.Float64()
+	r.mu.Unlock()
+	return v
+}
+
+// Int63n returns a uniform value in [0,n).
+func (r *Rand) Int63n(n int64) int64 {
+	r.mu.Lock()
+	v := r.src.Int63n(n)
+	r.mu.Unlock()
+	return v
+}
+
+// Latency describes the service time of a single I/O against a device:
+// a fixed per-request cost plus a transfer cost derived from a throughput
+// rate, with optional uniform jitter expressed as a fraction of the base
+// (0.1 = ±10%).
+type Latency struct {
+	Base        time.Duration // per-request latency
+	BytesPerSec float64       // transfer rate; 0 means transfers are free
+	Jitter      float64       // fraction of Base applied as ± uniform jitter
+}
+
+// Duration computes the service time of an I/O of n bytes. rnd may be nil,
+// in which case no jitter is applied.
+func (l Latency) Duration(n int, rnd *Rand) time.Duration {
+	d := l.Base + TransferTime(n, l.BytesPerSec)
+	if l.Jitter > 0 && rnd != nil {
+		j := (rnd.Float64()*2 - 1) * l.Jitter * float64(l.Base)
+		d += time.Duration(j)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// TransferTime returns the time to move n bytes at the given rate. A
+// non-positive rate means the transfer is instantaneous.
+func TransferTime(n int, bytesPerSecond float64) time.Duration {
+	if bytesPerSecond <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / bytesPerSecond * float64(time.Second))
+}

@@ -1,0 +1,122 @@
+package keygen
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"cloudiq/internal/rfrb"
+)
+
+// AllocFunc requests a key range of size n for the client's node. Locally it
+// is a direct call into the Generator (the coordinator "does not need to
+// make an RPC call on self"); on secondary nodes it is an RPC.
+type AllocFunc func(ctx context.Context, n uint64) (rfrb.Range, error)
+
+// Client is the per-node key cache. When the cached range is exhausted it
+// requests a new one, adapting the request size to the node's consumption
+// rate: a refill that arrives while the previous range was drained quickly
+// doubles the next request (up to MaxRangeSize); sustained idleness shrinks
+// it back toward DefaultRangeSize. Client is safe for concurrent use.
+type Client struct {
+	alloc AllocFunc
+
+	mu        sync.Mutex
+	cur       rfrb.Range // [cur.Start, cur.End) remaining cached keys
+	rangeSize uint64
+	refills   int64
+	handedOut int64
+}
+
+// NewClient returns a Client drawing ranges through alloc.
+func NewClient(alloc AllocFunc) *Client {
+	return &Client{alloc: alloc, rangeSize: DefaultRangeSize}
+}
+
+// NextKey returns the next unique object key, refilling the cache as needed.
+func (c *Client) NextKey(ctx context.Context) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur.Start >= c.cur.End {
+		if err := c.refillLocked(ctx); err != nil {
+			return 0, err
+		}
+	}
+	k := c.cur.Start
+	c.cur.Start++
+	c.handedOut++
+	return k, nil
+}
+
+// NextRange returns a contiguous run of n keys, spanning refills if needed.
+// The returned ranges are contiguous internally but the run as a whole may
+// be split across cached ranges.
+func (c *Client) NextRange(ctx context.Context, n uint64) ([]rfrb.Range, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("keygen: zero-length key request")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []rfrb.Range
+	for n > 0 {
+		if c.cur.Start >= c.cur.End {
+			if err := c.refillLocked(ctx); err != nil {
+				return nil, err
+			}
+		}
+		take := c.cur.End - c.cur.Start
+		if take > n {
+			take = n
+		}
+		out = append(out, rfrb.Range{Start: c.cur.Start, End: c.cur.Start + take})
+		c.cur.Start += take
+		c.handedOut += int64(take)
+		n -= take
+	}
+	return out, nil
+}
+
+func (c *Client) refillLocked(ctx context.Context) error {
+	// Load-adaptive sizing: consuming a full range quickly (i.e. needing
+	// another refill at all) doubles the request, bounded by MaxRangeSize.
+	// The first refill uses the default.
+	if c.refills > 0 && c.rangeSize < MaxRangeSize {
+		c.rangeSize *= 2
+	}
+	r, err := c.alloc(ctx, c.rangeSize)
+	if err != nil {
+		return fmt.Errorf("keygen: refill: %w", err)
+	}
+	if r.Len() == 0 {
+		return fmt.Errorf("keygen: allocator returned empty range")
+	}
+	c.cur = r
+	c.refills++
+	return nil
+}
+
+// Shrink halves the next request size (not below DefaultRangeSize). Engines
+// call it at quiet points — e.g. when a transaction commits with most of the
+// cached range unused.
+func (c *Client) Shrink() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rangeSize/2 >= DefaultRangeSize {
+		c.rangeSize /= 2
+	}
+}
+
+// Stats reports refill RPCs issued and keys handed out, for the key-range
+// ablation bench.
+func (c *Client) Stats() (refills, keys int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.refills, c.handedOut
+}
+
+// Remaining reports the number of keys left in the cached range.
+func (c *Client) Remaining() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur.End - c.cur.Start
+}

@@ -1,0 +1,187 @@
+// Package multiplex provides the distribution layer of SAP IQ's multiplex
+// (§2, §3.2): a coordinator node exposes object-key allocation, commit
+// notification and writer-restart garbage collection over net/rpc, and
+// secondary nodes (writers and readers) consume them through a Client whose
+// hooks plug directly into a secondary Database's configuration. Shared
+// storage is the object store itself; only metadata crosses the wire.
+package multiplex
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"cloudiq/internal/keygen"
+	"cloudiq/internal/rfrb"
+	"cloudiq/internal/txn"
+)
+
+// Coordinator is the coordinator-side surface exposed over RPC.
+// *cloudiq.Database implements it.
+type Coordinator interface {
+	AllocateKeys(ctx context.Context, node string, n uint64) (rfrb.Range, error)
+	NotifyCommit(ctx context.Context, node string, consumed *rfrb.Bitmap) error
+	WriterRestartGC(ctx context.Context, node string) error
+}
+
+// AllocArgs requests a key range for a node.
+type AllocArgs struct {
+	Node string
+	N    uint64
+}
+
+// AllocReply carries the allocated range.
+type AllocReply struct {
+	Start, End uint64
+}
+
+// NotifyArgs reports a committed transaction's consumed cloud keys.
+type NotifyArgs struct {
+	Node     string
+	Consumed []byte // rfrb.Bitmap image
+}
+
+// RestartArgs asks the coordinator to GC a restarted writer's allocations.
+type RestartArgs struct {
+	Node string
+}
+
+// service adapts Coordinator to net/rpc's method shape.
+type service struct {
+	api Coordinator
+}
+
+// AllocateKeys implements the RPC method.
+func (s *service) AllocateKeys(args AllocArgs, reply *AllocReply) error {
+	r, err := s.api.AllocateKeys(context.Background(), args.Node, args.N)
+	if err != nil {
+		return err
+	}
+	reply.Start, reply.End = r.Start, r.End
+	return nil
+}
+
+// NotifyCommit implements the RPC method.
+func (s *service) NotifyCommit(args NotifyArgs, reply *struct{}) error {
+	bm, err := rfrb.Unmarshal(args.Consumed)
+	if err != nil {
+		return err
+	}
+	return s.api.NotifyCommit(context.Background(), args.Node, bm)
+}
+
+// WriterRestartGC implements the RPC method.
+func (s *service) WriterRestartGC(args RestartArgs, reply *struct{}) error {
+	return s.api.WriterRestartGC(context.Background(), args.Node)
+}
+
+// Server runs a coordinator RPC endpoint.
+type Server struct {
+	lis net.Listener
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ListenAndServe starts serving api on addr (use "127.0.0.1:0" for an
+// ephemeral port) and returns the running server.
+func ListenAndServe(addr string, api Coordinator) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("multiplex: listen %s: %w", addr, err)
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Coordinator", &service{api: api}); err != nil {
+		_ = lis.Close()
+		return nil, fmt.Errorf("multiplex: register: %w", err)
+	}
+	s := &Server{lis: lis}
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops accepting connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.lis.Close()
+}
+
+// Client is a secondary node's connection to the coordinator.
+type Client struct {
+	node string
+	rpc  *rpc.Client
+}
+
+// Dial connects to the coordinator as the named node.
+func Dial(addr, node string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("multiplex: dial %s: %w", addr, err)
+	}
+	return &Client{node: node, rpc: c}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// AllocFunc returns the key-range allocator to plug into a secondary
+// Database's configuration.
+func (c *Client) AllocFunc() keygen.AllocFunc {
+	return func(ctx context.Context, n uint64) (rfrb.Range, error) {
+		if err := ctx.Err(); err != nil {
+			return rfrb.Range{}, err
+		}
+		var reply AllocReply
+		if err := c.rpc.Call("Coordinator.AllocateKeys", AllocArgs{Node: c.node, N: n}, &reply); err != nil {
+			return rfrb.Range{}, fmt.Errorf("multiplex: allocate: %w", err)
+		}
+		if reply.Start >= reply.End {
+			return rfrb.Range{}, errors.New("multiplex: coordinator returned empty range")
+		}
+		return rfrb.Range{Start: reply.Start, End: reply.End}, nil
+	}
+}
+
+// Notify returns the commit-notification hook to plug into a secondary
+// Database's configuration. Notification failures are returned to the
+// caller via the error channel semantics of CommitNotify (best effort: the
+// coordinator re-polls outstanding ranges on writer restart anyway).
+func (c *Client) Notify() txn.CommitNotify {
+	return func(node string, consumed *rfrb.Bitmap) {
+		var reply struct{}
+		_ = c.rpc.Call("Coordinator.NotifyCommit", NotifyArgs{Node: node, Consumed: consumed.Marshal()}, &reply)
+	}
+}
+
+// AnnounceRestart tells the coordinator this node restarted after a crash,
+// triggering garbage collection of its outstanding key ranges (Table 1,
+// clock 150).
+func (c *Client) AnnounceRestart(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var reply struct{}
+	if err := c.rpc.Call("Coordinator.WriterRestartGC", RestartArgs{Node: c.node}, &reply); err != nil {
+		return fmt.Errorf("multiplex: restart GC: %w", err)
+	}
+	return nil
+}

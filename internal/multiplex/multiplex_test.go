@@ -1,0 +1,158 @@
+package multiplex
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"cloudiq/internal/keygen"
+	"cloudiq/internal/rfrb"
+)
+
+func ctxb() context.Context { return context.Background() }
+
+// fakeCoord implements Coordinator over an in-memory key generator.
+type fakeCoord struct {
+	gen      *keygen.Generator
+	mu       sync.Mutex
+	notified []string
+	restarts []string
+}
+
+func (f *fakeCoord) AllocateKeys(ctx context.Context, node string, n uint64) (rfrb.Range, error) {
+	return f.gen.Allocate(ctx, node, n)
+}
+
+func (f *fakeCoord) NotifyCommit(ctx context.Context, node string, consumed *rfrb.Bitmap) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.notified = append(f.notified, node)
+	f.gen.OnCommit(node, consumed)
+	return nil
+}
+
+func (f *fakeCoord) WriterRestartGC(ctx context.Context, node string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.restarts = append(f.restarts, node)
+	f.gen.ReleaseNode(node)
+	return nil
+}
+
+func startServer(t *testing.T) (*Server, *fakeCoord) {
+	t.Helper()
+	coord := &fakeCoord{gen: keygen.NewGenerator(nil)}
+	srv, err := ListenAndServe("127.0.0.1:0", coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, coord
+}
+
+func TestAllocateOverRPC(t *testing.T) {
+	srv, coord := startServer(t)
+	client, err := Dial(srv.Addr(), "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	alloc := client.AllocFunc()
+	r1, err := alloc(ctxb(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Len() != 100 || !rfrb.IsCloudKey(r1.Start) {
+		t.Fatalf("range = %v", r1)
+	}
+	r2, err := alloc(ctxb(), 50)
+	if err != nil || r2.Start < r1.End {
+		t.Fatalf("second range %v not after %v (%v)", r2, r1, err)
+	}
+	if got := coord.gen.ActiveSet("w1"); len(got) != 1 || got[0].Len() != 150 {
+		t.Fatalf("coordinator active set = %v", got)
+	}
+}
+
+func TestKeyClientsOverRPCNeverCollide(t *testing.T) {
+	srv, _ := startServer(t)
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	var wg sync.WaitGroup
+	for _, node := range []string{"w1", "w2", "w3"} {
+		client, err := Dial(srv.Addr(), node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		kc := keygen.NewClient(client.AllocFunc())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k, err := kc.NextKey(ctxb())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if seen[k] {
+					t.Errorf("key %#x handed out twice", k)
+					mu.Unlock()
+					return
+				}
+				seen[k] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 3000 {
+		t.Fatalf("unique keys = %d", len(seen))
+	}
+}
+
+func TestNotifyAndRestartOverRPC(t *testing.T) {
+	srv, coord := startServer(t)
+	client, err := Dial(srv.Addr(), "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	r, _ := client.AllocFunc()(ctxb(), 100)
+	var consumed rfrb.Bitmap
+	consumed.Add(r.Start, r.Start+30)
+	client.Notify()("w1", &consumed)
+	if got := coord.gen.ActiveSet("w1"); len(got) != 1 || got[0].Len() != 70 {
+		t.Fatalf("active set after notify = %v", got)
+	}
+	if err := client.AnnounceRestart(ctxb()); err != nil {
+		t.Fatal(err)
+	}
+	if got := coord.gen.ActiveSet("w1"); got != nil {
+		t.Fatalf("active set after restart = %v", got)
+	}
+	coord.mu.Lock()
+	defer coord.mu.Unlock()
+	if len(coord.notified) != 1 || len(coord.restarts) != 1 {
+		t.Fatalf("coordinator saw notify=%v restarts=%v", coord.notified, coord.restarts)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", "w1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestServerDoubleClose(t *testing.T) {
+	srv, _ := startServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+}

@@ -1,0 +1,345 @@
+package objstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cloudiq/internal/iomodel"
+)
+
+func ctxb() context.Context { return context.Background() }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := NewMem(Config{})
+	want := []byte("hello pages")
+	if err := s.Put(ctxb(), "a/1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(ctxb(), "a/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("Get = %q, want %q", got, want)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	s := NewMem(Config{})
+	if _, err := s.Get(ctxb(), "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if got := s.Metrics().GetMisses(); got != 1 {
+		t.Fatalf("GetMisses = %d, want 1", got)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := NewMem(Config{})
+	if err := s.Put(ctxb(), "k", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Get(ctxb(), "k")
+	a[0] = 99
+	b, _ := s.Get(ctxb(), "k")
+	if b[0] != 1 {
+		t.Fatal("mutating a returned buffer leaked into the store")
+	}
+}
+
+func TestPutCopiesInput(t *testing.T) {
+	s := NewMem(Config{})
+	data := []byte{1, 2, 3}
+	if err := s.Put(ctxb(), "k", data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99
+	got, _ := s.Get(ctxb(), "k")
+	if got[0] != 1 {
+		t.Fatal("mutating the input buffer after Put leaked into the store")
+	}
+}
+
+func TestNewKeyMissReads(t *testing.T) {
+	// Scenario 3 of §3: a freshly written object is reported missing until
+	// eventual consistency catches up.
+	s := NewMem(Config{Consistency: Consistency{NewKeyMissReads: 2}})
+	if err := s.Put(ctxb(), "fresh", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Get(ctxb(), "fresh"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("read %d: err = %v, want ErrNotFound", i, err)
+		}
+	}
+	got, err := s.Get(ctxb(), "fresh")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("read 3 = %q, %v; want \"x\", nil", got, err)
+	}
+}
+
+func TestExistsHonorsVisibility(t *testing.T) {
+	s := NewMem(Config{Consistency: Consistency{NewKeyMissReads: 1}})
+	if err := s.Put(ctxb(), "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Exists(ctxb(), "k")
+	if err != nil || ok {
+		t.Fatalf("first Exists = %v, %v; want false", ok, err)
+	}
+	ok, err = s.Exists(ctxb(), "k")
+	if err != nil || !ok {
+		t.Fatalf("second Exists = %v, %v; want true", ok, err)
+	}
+	ok, err = s.Exists(ctxb(), "missing")
+	if err != nil || ok {
+		t.Fatalf("Exists(missing) = %v, %v; want false", ok, err)
+	}
+}
+
+func TestStaleReadsAfterOverwrite(t *testing.T) {
+	// Scenario 2 of §3: an overwritten object serves the previous version
+	// for a while. This is the anomaly the never-write-twice policy dodges.
+	s := NewMem(Config{Consistency: Consistency{StaleReads: 2}})
+	if err := s.Put(ctxb(), "k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctxb(), "k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := s.Get(ctxb(), "k")
+		if err != nil || string(got) != "v1" {
+			t.Fatalf("stale read %d = %q, %v; want v1", i, got, err)
+		}
+	}
+	got, err := s.Get(ctxb(), "k")
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("post-window read = %q, %v; want v2", got, err)
+	}
+}
+
+func TestNeverWrittenTwiceKeysAreImmune(t *testing.T) {
+	// Writing each key exactly once yields read-after-write behaviour even
+	// with a harsh stale-read window configured.
+	s := NewMem(Config{Consistency: Consistency{StaleReads: 10}})
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("page/%d", i)
+		if err := s.Put(ctxb(), key, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Get(ctxb(), key)
+		if err != nil || got[0] != byte(i) {
+			t.Fatalf("key %s: got %v, %v", key, got, err)
+		}
+	}
+}
+
+func TestDeleteIdempotent(t *testing.T) {
+	s := NewMem(Config{})
+	if err := s.Delete(ctxb(), "ghost"); err != nil {
+		t.Fatalf("deleting a missing key: %v", err)
+	}
+	if err := s.Put(ctxb(), "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(ctxb(), "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctxb(), "k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete, err = %v, want ErrNotFound", err)
+	}
+	if err := s.Delete(ctxb(), "k"); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	s := NewMem(Config{})
+	for _, k := range []string{"b/2", "a/1", "a/3", "c"} {
+		if err := s.Put(ctxb(), k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.List(ctxb(), "a/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "a/1" || keys[1] != "a/3" {
+		t.Fatalf("List(a/) = %v", keys)
+	}
+	all, err := s.List(ctxb(), "")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("List(\"\") = %v, %v", all, err)
+	}
+}
+
+func TestListHidesInvisibleKeys(t *testing.T) {
+	s := NewMem(Config{Consistency: Consistency{NewKeyMissReads: 1}})
+	if err := s.Put(ctxb(), "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.List(ctxb(), "")
+	if err != nil || len(keys) != 0 {
+		t.Fatalf("List before visibility = %v, %v; want empty", keys, err)
+	}
+}
+
+func TestMetricsCounts(t *testing.T) {
+	s := NewMem(Config{})
+	data := make([]byte, 100)
+	_ = s.Put(ctxb(), "k", data)
+	_, _ = s.Get(ctxb(), "k")
+	_, _ = s.Get(ctxb(), "missing")
+	_ = s.Delete(ctxb(), "k")
+	_, _ = s.List(ctxb(), "")
+	m := s.Metrics()
+	if m.Puts() != 1 || m.Gets() != 2 || m.GetMisses() != 1 || m.Deletes() != 1 || m.Lists() != 1 {
+		t.Fatalf("metrics: %s", m)
+	}
+	if m.BytesIn() != 100 || m.BytesOut() != 100 {
+		t.Fatalf("bytes: %s", m)
+	}
+	m.Reset()
+	if m.Puts() != 0 || m.BytesIn() != 0 {
+		t.Fatalf("after reset: %s", m)
+	}
+}
+
+func TestStoredBytesAndLen(t *testing.T) {
+	s := NewMem(Config{})
+	_ = s.Put(ctxb(), "a", make([]byte, 10))
+	_ = s.Put(ctxb(), "b", make([]byte, 20))
+	_ = s.Put(ctxb(), "b", make([]byte, 5)) // overwrite: latest counts
+	if got := s.StoredBytes(); got != 15 {
+		t.Fatalf("StoredBytes = %d, want 15", got)
+	}
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+func TestInjectedFailures(t *testing.T) {
+	failing := true
+	s := NewMem(Config{
+		FailPuts: func(string) bool { return failing },
+		FailGets: func(key string) bool { return key == "bad" },
+	})
+	if err := s.Put(ctxb(), "k", []byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put err = %v, want ErrInjected", err)
+	}
+	failing = false
+	if err := s.Put(ctxb(), "bad", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctxb(), "bad"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Get err = %v, want ErrInjected", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	s := NewMem(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Put(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Put err = %v, want context.Canceled", err)
+	}
+	if _, err := s.Get(ctx, "k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Get err = %v, want context.Canceled", err)
+	}
+	if _, err := s.List(ctx, ""); !errors.Is(err, context.Canceled) {
+		t.Fatalf("List err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPrefixThrottlingQueuesSamePrefix(t *testing.T) {
+	// Two requests to the same prefix serialize; requests to distinct
+	// prefixes do not. 100 req/s => 10ms of simulated time per request.
+	scale := iomodel.NewScale(0)
+	s := NewMem(Config{PrefixRate: 100, Scale: scale})
+	_ = s.Put(ctxb(), "p/1", []byte("x"))
+	_ = s.Put(ctxb(), "p/2", []byte("x"))
+	if got, want := scale.Charged(), 20*time.Millisecond; got != want {
+		t.Fatalf("same-prefix charged = %v, want %v", got, want)
+	}
+	scale.ResetCharged()
+	_ = s.Put(ctxb(), "q/1", []byte("x"))
+	if got, want := scale.Charged(), 10*time.Millisecond; got != want {
+		t.Fatalf("new-prefix charged = %v, want %v", got, want)
+	}
+}
+
+func TestLatencyCharged(t *testing.T) {
+	scale := iomodel.NewScale(0)
+	s := NewMem(Config{
+		ReadLatency:  iomodel.Latency{Base: 5 * time.Millisecond},
+		WriteLatency: iomodel.Latency{Base: 7 * time.Millisecond},
+		Scale:        scale,
+	})
+	_ = s.Put(ctxb(), "k", []byte("x"))
+	if got := scale.Charged(); got != 7*time.Millisecond {
+		t.Fatalf("after Put charged = %v, want 7ms", got)
+	}
+	_, _ = s.Get(ctxb(), "k")
+	if got := scale.Charged(); got != 12*time.Millisecond {
+		t.Fatalf("after Get charged = %v, want 12ms", got)
+	}
+}
+
+func TestConcurrentAccessRace(t *testing.T) {
+	s := NewMem(Config{Consistency: Consistency{NewKeyMissReads: 1}})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				key := fmt.Sprintf("w%d/%d", i, j)
+				if err := s.Put(ctxb(), key, []byte{byte(j)}); err != nil {
+					t.Error(err)
+					return
+				}
+				// Retry-until-found, as the storage subsystem does.
+				for {
+					if _, err := s.Get(ctxb(), key); err == nil {
+						break
+					} else if !errors.Is(err, ErrNotFound) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Len(); got != 8*200 {
+		t.Fatalf("Len = %d, want %d", got, 8*200)
+	}
+}
+
+func TestPropertyPutThenEventuallyGet(t *testing.T) {
+	// For any payload and any miss window, a bounded number of retries
+	// always recovers the exact bytes written.
+	f := func(payload []byte, miss uint8) bool {
+		window := int(miss % 5)
+		s := NewMem(Config{Consistency: Consistency{NewKeyMissReads: window}})
+		if err := s.Put(ctxb(), "k", payload); err != nil {
+			return false
+		}
+		for i := 0; i <= window; i++ {
+			got, err := s.Get(ctxb(), "k")
+			if err == nil {
+				return string(got) == string(payload)
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

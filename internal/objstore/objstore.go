@@ -1,0 +1,84 @@
+// Package objstore defines the object-store abstraction that cloud dbspaces
+// are built on, together with an in-memory simulated store that reproduces
+// the behaviours of AWS S3 circa 2020 that the paper designs around:
+// eventual consistency (a freshly written object may be reported as missing;
+// an overwritten object may serve stale data), high per-request latency with
+// high aggregate throughput, per-prefix request throttling, and per-request
+// billing.
+package objstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrNotFound is returned by Get when the key does not exist — or, under
+// eventual consistency, when it exists but is not yet visible to the caller.
+var ErrNotFound = errors.New("objstore: object not found")
+
+// ErrInjected is the base error for failures injected by test configuration.
+var ErrInjected = errors.New("objstore: injected failure")
+
+// Store is the minimal object-store contract used by the engine. Delete is
+// idempotent (deleting a missing key succeeds), matching S3 semantics.
+type Store interface {
+	// Put stores data under key. Keys may be written at most once by the
+	// engine (never-write-twice); the store itself does not enforce this.
+	Put(ctx context.Context, key string, data []byte) error
+	// Get returns the object's contents, or ErrNotFound.
+	Get(ctx context.Context, key string) ([]byte, error)
+	// Delete removes the object if present.
+	Delete(ctx context.Context, key string) error
+	// Exists reports whether the key is currently visible.
+	Exists(ctx context.Context, key string) (bool, error)
+	// List returns all visible keys with the given prefix, sorted.
+	List(ctx context.Context, prefix string) ([]string, error)
+}
+
+// Metrics counts the requests issued against a store. All fields are
+// maintained atomically; read them with the accessor methods.
+type Metrics struct {
+	puts, gets, deletes, lists atomic.Int64
+	getMisses                  atomic.Int64
+	bytesIn, bytesOut          atomic.Int64
+}
+
+// Puts returns the number of PUT requests.
+func (m *Metrics) Puts() int64 { return m.puts.Load() }
+
+// Gets returns the number of GET requests (including misses).
+func (m *Metrics) Gets() int64 { return m.gets.Load() }
+
+// GetMisses returns the number of GET requests that returned ErrNotFound.
+func (m *Metrics) GetMisses() int64 { return m.getMisses.Load() }
+
+// Deletes returns the number of DELETE requests.
+func (m *Metrics) Deletes() int64 { return m.deletes.Load() }
+
+// Lists returns the number of LIST requests.
+func (m *Metrics) Lists() int64 { return m.lists.Load() }
+
+// BytesIn returns the number of bytes uploaded.
+func (m *Metrics) BytesIn() int64 { return m.bytesIn.Load() }
+
+// BytesOut returns the number of bytes downloaded.
+func (m *Metrics) BytesOut() int64 { return m.bytesOut.Load() }
+
+// Reset zeroes all counters.
+func (m *Metrics) Reset() {
+	m.puts.Store(0)
+	m.gets.Store(0)
+	m.deletes.Store(0)
+	m.lists.Store(0)
+	m.getMisses.Store(0)
+	m.bytesIn.Store(0)
+	m.bytesOut.Store(0)
+}
+
+// String renders the counters for logs and experiment reports.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("puts=%d gets=%d (misses=%d) deletes=%d lists=%d in=%dB out=%dB",
+		m.Puts(), m.Gets(), m.GetMisses(), m.Deletes(), m.Lists(), m.BytesIn(), m.BytesOut())
+}

@@ -1,0 +1,514 @@
+// Package ocm implements the Object Cache Manager of §4: a disk-based
+// read/write cache between SAP IQ's buffer manager and the object store,
+// backed by a locally attached SSD or HDD. It supports read-through reads,
+// write-back and write-through writes, a single LRU list shared by reads and
+// writes, prioritized flushing for committing transactions
+// (FlushForCommit), and the §4 durability rules: a locally-attached-storage
+// failure is ignored and the page goes straight to the object store, while
+// an object-store failure is retried and ultimately rolls the transaction
+// back. Because pages are never written twice under the same key, a page
+// read through the OCM can never be invalidated by a later write — caching
+// primarily accelerates reads.
+package ocm
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"cloudiq/internal/blockdev"
+	"cloudiq/internal/freelist"
+	"cloudiq/internal/objstore"
+)
+
+// ErrClosed is returned by operations on a closed cache.
+var ErrClosed = errors.New("ocm: cache closed")
+
+// ErrUploadFailed is reported by FlushForCommit when a page could not be
+// uploaded within the retry budget; the caller rolls the transaction back.
+var ErrUploadFailed = errors.New("ocm: upload failed")
+
+// Config parameterizes a Cache.
+type Config struct {
+	// Device is the locally attached SSD/HDD.
+	Device blockdev.Device
+	// Store is the underlying object store.
+	Store objstore.Store
+	// BlockSize is the cache's allocation granularity. Zero selects 4096.
+	BlockSize int
+	// Workers is the number of asynchronous upload/fill workers. Zero
+	// selects 4.
+	Workers int
+	// UploadRetries bounds store-upload attempts per page. Zero selects 3.
+	UploadRetries int
+}
+
+// Stats reports cache effectiveness (Table 5) and internal behaviour.
+type Stats struct {
+	Hits        int64 // reads served from the local device
+	Misses      int64 // reads that went to the object store
+	Evictions   int64 // entries evicted to make room
+	Uploads     int64 // successful asynchronous/synchronous uploads
+	UploadFails int64 // uploads abandoned after the retry budget
+	FillDrops   int64 // read-through fills skipped (no space / duplicate)
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+type entryState int
+
+const (
+	stateCached    entryState = iota // on device, in LRU
+	stateUploading                   // on device, upload pending; pinned out of LRU
+	stateFailed                      // upload abandoned; awaiting FlushForCommit error
+)
+
+type entry struct {
+	key    string
+	off    uint64 // first block on the device
+	blocks uint64
+	size   int
+	state  entryState
+	pins   int
+	lru    *list.Element // nil while not in the LRU
+	data   []byte        // retained until upload completes (uploading state)
+	err    error         // terminal upload error (failed state)
+}
+
+type uploadJob struct {
+	ent *entry
+}
+
+// Cache is the Object Cache Manager. It is safe for concurrent use.
+type Cache struct {
+	cfg   Config
+	free  *freelist.List
+	store objstore.Store
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals upload completions and queue activity
+	index   map[string]*entry
+	lruList *list.List // front = most recent
+	queue   *list.List // upload queue; front = next
+	stats   Stats
+	closed  bool
+
+	wg     sync.WaitGroup
+	fillWG sync.WaitGroup
+}
+
+// New returns a running Cache.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Device == nil || cfg.Store == nil {
+		return nil, fmt.Errorf("ocm: device and store are required")
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 4096
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.UploadRetries <= 0 {
+		cfg.UploadRetries = 3
+	}
+	blocks := uint64(cfg.Device.Size()) / uint64(cfg.BlockSize)
+	if blocks == 0 {
+		return nil, fmt.Errorf("ocm: device smaller than one block")
+	}
+	c := &Cache{
+		cfg:     cfg,
+		free:    freelist.New(blocks),
+		store:   cfg.Store,
+		index:   make(map[string]*entry),
+		lruList: list.New(),
+		queue:   list.New(),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		c.wg.Add(1)
+		go c.uploadWorker()
+	}
+	return c, nil
+}
+
+// Close drains the upload queue and stops the workers.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.index)
+}
+
+// blocksFor returns the blocks needed for n bytes.
+func (c *Cache) blocksFor(n int) uint64 {
+	if n == 0 {
+		return 1
+	}
+	return uint64((n + c.cfg.BlockSize - 1) / c.cfg.BlockSize)
+}
+
+// allocate finds room for nblocks, evicting cold entries as needed. Called
+// with c.mu held. Returns false if space cannot be found (e.g. everything is
+// pinned or the object exceeds the device).
+func (c *Cache) allocate(nblocks uint64) (uint64, bool) {
+	for {
+		off, err := c.free.Allocate(nblocks)
+		if err == nil {
+			return off, true
+		}
+		if !c.evictOne() {
+			return 0, false
+		}
+	}
+}
+
+// evictOne removes the least recently used unpinned entry. Called with c.mu
+// held.
+func (c *Cache) evictOne() bool {
+	for el := c.lruList.Back(); el != nil; el = el.Prev() {
+		ent := el.Value.(*entry)
+		if ent.pins > 0 || ent.state != stateCached {
+			continue
+		}
+		c.removeLocked(ent)
+		c.stats.Evictions++
+		return true
+	}
+	return false
+}
+
+// removeLocked unlinks ent from the index, LRU and device space.
+func (c *Cache) removeLocked(ent *entry) {
+	if ent.lru != nil {
+		c.lruList.Remove(ent.lru)
+		ent.lru = nil
+	}
+	delete(c.index, ent.key)
+	_ = c.free.Release(ent.off, ent.blocks)
+}
+
+// touch moves ent to the front of the LRU. Called with c.mu held.
+func (c *Cache) touch(ent *entry) {
+	if ent.lru != nil {
+		c.lruList.MoveToFront(ent.lru)
+	}
+}
+
+// Get implements read-through semantics: device hit, else object store with
+// an asynchronous cache fill.
+func (c *Cache) Get(ctx context.Context, key string) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if ent, ok := c.index[key]; ok && ent.state != stateFailed {
+		ent.pins++
+		c.touch(ent)
+		c.stats.Hits++
+		off, size := ent.off, ent.size
+		c.mu.Unlock()
+
+		buf := make([]byte, size)
+		err := c.cfg.Device.ReadAt(ctx, buf, int64(off)*int64(c.cfg.BlockSize))
+
+		c.mu.Lock()
+		ent.pins--
+		c.cond.Broadcast()
+		if err == nil {
+			c.mu.Unlock()
+			return buf, nil
+		}
+		// A failing local device is a performance problem, not a
+		// correctness problem: fall through to the store.
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	data, err := c.store.Get(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	// Asynchronously cache for future lookups.
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.wg.Add(1)
+	c.fillWG.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer c.fillWG.Done()
+		c.fill(context.WithoutCancel(ctx), key, cp)
+	}()
+	return data, nil
+}
+
+// fill inserts data into the device cache (used by read-through and the
+// asynchronous half of write-through). Errors are ignored per §4.
+func (c *Cache) fill(ctx context.Context, key string, data []byte) {
+	nblocks := c.blocksFor(len(data))
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	if _, dup := c.index[key]; dup {
+		c.stats.FillDrops++
+		c.mu.Unlock()
+		return
+	}
+	off, ok := c.allocate(nblocks)
+	if !ok {
+		c.stats.FillDrops++
+		c.mu.Unlock()
+		return
+	}
+	ent := &entry{key: key, off: off, blocks: nblocks, size: len(data), state: stateCached, pins: 1}
+	c.index[key] = ent
+	c.mu.Unlock()
+
+	err := c.cfg.Device.WriteAt(ctx, data, int64(off)*int64(c.cfg.BlockSize))
+
+	c.mu.Lock()
+	ent.pins--
+	if err != nil {
+		c.removeLocked(ent)
+		c.stats.FillDrops++
+	} else {
+		ent.lru = c.lruList.PushFront(ent)
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// PutBack is the write-back mode: the page is written synchronously to the
+// local device and uploaded to the object store in the background. The entry
+// joins the LRU only once the upload succeeds, so failed/rolled-back
+// transactions do not pollute the cache.
+func (c *Cache) PutBack(ctx context.Context, key string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	nblocks := c.blocksFor(len(cp))
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	off, ok := c.allocate(nblocks)
+	if !ok {
+		// No local space: degrade to a synchronous store write.
+		c.mu.Unlock()
+		return c.putDirect(ctx, key, cp)
+	}
+	ent := &entry{key: key, off: off, blocks: nblocks, size: len(cp), state: stateUploading, pins: 1, data: cp}
+	c.index[key] = ent
+	c.mu.Unlock()
+
+	if err := c.cfg.Device.WriteAt(ctx, cp, int64(off)*int64(c.cfg.BlockSize)); err != nil {
+		// §4: a local write failure is ignored and the page is written
+		// directly to the object store.
+		c.mu.Lock()
+		c.removeLocked(ent)
+		ent.pins--
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		return c.putDirect(ctx, key, cp)
+	}
+
+	c.mu.Lock()
+	ent.pins--
+	c.queue.PushBack(uploadJob{ent: ent})
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return nil
+}
+
+// putDirect uploads synchronously with the retry budget.
+func (c *Cache) putDirect(ctx context.Context, key string, data []byte) error {
+	var lastErr error
+	for i := 0; i < c.cfg.UploadRetries; i++ {
+		if lastErr = c.store.Put(ctx, key, data); lastErr == nil {
+			c.mu.Lock()
+			c.stats.Uploads++
+			c.mu.Unlock()
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	c.mu.Lock()
+	c.stats.UploadFails++
+	c.mu.Unlock()
+	return fmt.Errorf("%w: key %s: %v", ErrUploadFailed, key, lastErr)
+}
+
+// PutThrough is the write-through mode used during the commit phase: the
+// page is written synchronously to the object store and cached
+// asynchronously on the local device.
+func (c *Cache) PutThrough(ctx context.Context, key string, data []byte) error {
+	if err := c.putDirect(ctx, key, data); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.wg.Add(1)
+	c.fillWG.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer c.fillWG.Done()
+		c.fill(context.WithoutCancel(ctx), key, cp)
+	}()
+	return nil
+}
+
+// uploadWorker drains the background upload queue.
+func (c *Cache) uploadWorker() {
+	defer c.wg.Done()
+	for {
+		c.mu.Lock()
+		for c.queue.Len() == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if c.queue.Len() == 0 && c.closed {
+			c.mu.Unlock()
+			return
+		}
+		el := c.queue.Front()
+		c.queue.Remove(el)
+		job := el.Value.(uploadJob)
+		ent := job.ent
+		if ent.state != stateUploading {
+			c.mu.Unlock()
+			continue
+		}
+		ent.pins++
+		data := ent.data
+		c.mu.Unlock()
+
+		var lastErr error
+		ok := false
+		for i := 0; i < c.cfg.UploadRetries; i++ {
+			if lastErr = c.store.Put(context.Background(), ent.key, data); lastErr == nil {
+				ok = true
+				break
+			}
+		}
+
+		c.mu.Lock()
+		ent.pins--
+		ent.data = nil
+		if ok {
+			ent.state = stateCached
+			ent.lru = c.lruList.PushFront(ent)
+			c.stats.Uploads++
+		} else {
+			ent.state = stateFailed
+			ent.err = lastErr
+			c.stats.UploadFails++
+		}
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// FlushForCommit is the commit-phase signal: pending uploads for the given
+// keys are moved to the head of the write queue and the call blocks until
+// each has reached the object store. Any key whose upload was abandoned
+// yields ErrUploadFailed (the caller rolls back). Keys with no pending
+// upload are already durable and are skipped.
+func (c *Cache) FlushForCommit(ctx context.Context, keys []string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	want := make(map[*entry]bool)
+	for _, k := range keys {
+		if ent, ok := c.index[k]; ok && ent.state == stateUploading {
+			want[ent] = true
+		} else if ok && ent.state == stateFailed {
+			return fmt.Errorf("flush for commit: key %s: %w: %v", k, ErrUploadFailed, ent.err)
+		}
+	}
+	// Promote the wanted jobs to the front of the queue, preserving their
+	// relative order.
+	var promoted []*list.Element
+	for el := c.queue.Front(); el != nil; el = el.Next() {
+		if want[el.Value.(uploadJob).ent] {
+			promoted = append(promoted, el)
+		}
+	}
+	for i := len(promoted) - 1; i >= 0; i-- {
+		c.queue.MoveToFront(promoted[i])
+	}
+	c.cond.Broadcast()
+
+	for ent := range want {
+		for ent.state == stateUploading {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			c.cond.Wait()
+		}
+		if ent.state == stateFailed {
+			return fmt.Errorf("flush for commit: key %s: %w: %v", ent.key, ErrUploadFailed, ent.err)
+		}
+	}
+	return nil
+}
+
+// Quiesce blocks until all asynchronous cache fills have settled and the
+// upload queue is empty. Benchmarks use it to measure warm-cache behaviour
+// deterministically.
+func (c *Cache) Quiesce() {
+	c.fillWG.Wait()
+	c.mu.Lock()
+	for c.queue.Len() > 0 && !c.closed {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// Delete invalidates the cached copy and deletes the object from the store.
+// Used by garbage collection.
+func (c *Cache) Delete(ctx context.Context, key string) error {
+	c.mu.Lock()
+	if ent, ok := c.index[key]; ok {
+		// Wait for any pending upload to settle so block reuse is safe.
+		for ent.state == stateUploading || ent.pins > 0 {
+			c.cond.Wait()
+		}
+		c.removeLocked(ent)
+	}
+	c.mu.Unlock()
+	return c.store.Delete(ctx, key)
+}

@@ -1,0 +1,176 @@
+package table
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cloudiq/internal/column"
+	"cloudiq/internal/objstore"
+)
+
+// LoadStats reports what a Load ingested.
+type LoadStats struct {
+	Files int
+	Rows  int64
+	Bytes int64
+}
+
+// Load ingests every input file under prefix in store into t, in parallel:
+// files are fetched and parsed by up to parallel workers (overlapping
+// object-store latency, which is where the load path's bandwidth saturation
+// comes from — Figure 8), and appended to the table in batches. Input files
+// are '|'-separated, one row per line, TPC-H dbgen style; a trailing '|' is
+// tolerated. Dates (yyyy-mm-dd) are parsed for columns marked Date.
+func Load(ctx context.Context, t *Table, store objstore.Store, prefix string, parallel int) (LoadStats, error) {
+	var stats LoadStats
+	// An empty listing right after the input files were uploaded is almost
+	// certainly eventual consistency; observe a few more times.
+	var files []string
+	for attempt := 0; attempt < 10; attempt++ {
+		var err error
+		files, err = store.List(ctx, prefix)
+		if err != nil {
+			return stats, fmt.Errorf("load %s: list %q: %w", t.Name(), prefix, err)
+		}
+		if len(files) > 0 {
+			break
+		}
+	}
+	if parallel <= 0 {
+		parallel = 4
+	}
+	type result struct {
+		batch *Batch
+		bytes int64
+		err   error
+	}
+	work := make(chan string)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range work {
+				data, err := getRetry(ctx, store, name)
+				if err != nil {
+					results <- result{err: fmt.Errorf("load %s: fetch %s: %w", t.Name(), name, err)}
+					continue
+				}
+				batch, err := ParseRows(t.Schema(), string(data))
+				results <- result{batch: batch, bytes: int64(len(data)), err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(work)
+		for _, f := range files {
+			select {
+			case work <- f:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var firstErr error
+	for r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // drain
+		}
+		if err := t.Append(ctx, r.batch); err != nil {
+			firstErr = err
+			continue
+		}
+		stats.Files++
+		stats.Rows += int64(r.batch.Rows())
+		stats.Bytes += r.bytes
+	}
+	return stats, firstErr
+}
+
+// getRetry fetches an input file, retrying the bounded not-found window a
+// freshly uploaded object may exhibit under eventual consistency.
+func getRetry(ctx context.Context, store objstore.Store, name string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		data, err := store.Get(ctx, name)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if !errors.Is(err, objstore.ErrNotFound) || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// ParseRows parses '|'-separated lines into a batch of the given schema.
+func ParseRows(schema Schema, data string) (*Batch, error) {
+	b := NewBatch(schema)
+	for lineNo, line := range strings.Split(data, "\n") {
+		if line == "" {
+			continue
+		}
+		line = strings.TrimSuffix(line, "|")
+		fields := strings.Split(line, "|")
+		if len(fields) != len(schema.Cols) {
+			return nil, fmt.Errorf("table: line %d has %d fields, schema %d", lineNo+1, len(fields), len(schema.Cols))
+		}
+		for c, f := range fields {
+			def := schema.Cols[c]
+			switch {
+			case def.Date:
+				days, err := parseDate(f)
+				if err != nil {
+					return nil, fmt.Errorf("table: line %d column %s: %w", lineNo+1, def.Name, err)
+				}
+				b.Vecs[c].AppendInt(days)
+			case def.Typ == column.Int64:
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("table: line %d column %s: %w", lineNo+1, def.Name, err)
+				}
+				b.Vecs[c].AppendInt(v)
+			case def.Typ == column.Float64:
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("table: line %d column %s: %w", lineNo+1, def.Name, err)
+				}
+				b.Vecs[c].AppendFloat(v)
+			default:
+				b.Vecs[c].AppendStr(f)
+			}
+		}
+	}
+	return b, nil
+}
+
+func parseDate(s string) (int64, error) {
+	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
+		return 0, fmt.Errorf("bad date %q", s)
+	}
+	y, err1 := strconv.Atoi(s[:4])
+	m, err2 := strconv.Atoi(s[5:7])
+	d, err3 := strconv.Atoi(s[8:])
+	if err1 != nil || err2 != nil || err3 != nil || m < 1 || m > 12 || d < 1 || d > 31 {
+		return 0, fmt.Errorf("bad date %q", s)
+	}
+	return column.DateToDays(y, time.Month(m), d), nil
+}

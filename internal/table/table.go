@@ -1,0 +1,403 @@
+package table
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cloudiq/internal/buffer"
+	"cloudiq/internal/column"
+	"cloudiq/internal/core"
+	"cloudiq/internal/index"
+)
+
+const (
+	metaPage     = 0
+	dataBase     = 1
+	idxBase      = uint64(1) << 40
+	idxStride    = uint64(1) << 20
+	idxChunkSize = 1 << 18
+
+	// DefaultSegRows is the default segment size in rows.
+	DefaultSegRows = 4096
+)
+
+// SegMeta describes one sealed segment.
+type SegMeta struct {
+	Rows      int
+	Partition int
+	Zones     []column.ZoneMap // one per schema column
+}
+
+// IdxMeta records a persisted HG index.
+type IdxMeta struct {
+	Col    int
+	Chunks int
+}
+
+// meta is the gob-encoded table descriptor stored in page 0.
+type meta struct {
+	Schema     Schema
+	SegRows    int
+	PartCol    int // -1 when unpartitioned
+	PartBounds []int64
+	Segs       []SegMeta
+	Indexes    []IdxMeta
+	TotalRows  int64
+}
+
+// Options configures table creation.
+type Options struct {
+	// SegRows is the segment size; zero selects DefaultSegRows.
+	SegRows int
+	// PartitionCol, if non-empty, names an Int64 column to range-partition
+	// on with the given ascending bounds: partition i holds values ≤
+	// Bounds[i], the last partition holds the rest.
+	PartitionCol    string
+	PartitionBounds []int64
+	// IndexCols names columns to maintain HG indexes on.
+	IndexCols []string
+}
+
+// Table is a columnar table stored as pages of one buffer.Object. Writable
+// tables (opened with a transaction sink) support Append and Commit;
+// read-only tables support scans.
+type Table struct {
+	obj  *buffer.Object
+	name string
+
+	mu       sync.Mutex
+	meta     meta
+	writable bool
+	builders map[int]*Batch // open (unsealed) segment per partition
+	indexes  map[int]*index.HG
+}
+
+// Create makes an empty writable table whose pages live in obj.
+func Create(name string, obj *buffer.Object, schema Schema, opts Options) (*Table, error) {
+	if opts.SegRows <= 0 {
+		opts.SegRows = DefaultSegRows
+	}
+	m := meta{Schema: schema, SegRows: opts.SegRows, PartCol: -1}
+	if opts.PartitionCol != "" {
+		i := schema.ColIndex(opts.PartitionCol)
+		if i < 0 {
+			return nil, fmt.Errorf("table %s: partition column %q not in schema", name, opts.PartitionCol)
+		}
+		if schema.Cols[i].Typ != column.Int64 {
+			return nil, fmt.Errorf("table %s: partition column %q must be int64", name, opts.PartitionCol)
+		}
+		if !sort.SliceIsSorted(opts.PartitionBounds, func(a, b int) bool {
+			return opts.PartitionBounds[a] < opts.PartitionBounds[b]
+		}) {
+			return nil, fmt.Errorf("table %s: partition bounds not ascending", name)
+		}
+		m.PartCol = i
+		m.PartBounds = opts.PartitionBounds
+	}
+	t := &Table{
+		obj:      obj,
+		name:     name,
+		meta:     m,
+		writable: true,
+		builders: make(map[int]*Batch),
+		indexes:  make(map[int]*index.HG),
+	}
+	for _, col := range opts.IndexCols {
+		i := schema.ColIndex(col)
+		if i < 0 {
+			return nil, fmt.Errorf("table %s: index column %q not in schema", name, col)
+		}
+		hg, err := index.NewHG(schema.Cols[i].Typ)
+		if err != nil {
+			return nil, fmt.Errorf("table %s: index on %q: %w", name, col, err)
+		}
+		t.indexes[i] = hg
+		t.meta.Indexes = append(t.meta.Indexes, IdxMeta{Col: i})
+	}
+	return t, nil
+}
+
+// Open attaches to an existing table stored in obj (whose blockmap was
+// opened from the table's identity). Writable reports whether the caller
+// intends to append; appending to a table with persisted indexes reloads
+// them into memory.
+func Open(ctx context.Context, name string, obj *buffer.Object, writable bool) (*Table, error) {
+	raw, err := obj.Read(ctx, metaPage)
+	if err != nil {
+		return nil, fmt.Errorf("table %s: read meta: %w", name, err)
+	}
+	var m meta
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("table %s: decode meta: %w", name, err)
+	}
+	t := &Table{
+		obj:      obj,
+		name:     name,
+		meta:     m,
+		writable: writable,
+		builders: make(map[int]*Batch),
+		indexes:  make(map[int]*index.HG),
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.meta.Schema }
+
+// Rows returns the committed plus buffered row count.
+func (t *Table) Rows() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.meta.TotalRows
+	for _, b := range t.builders {
+		n += int64(b.Rows())
+	}
+	return n
+}
+
+// Segments returns the number of sealed segments.
+func (t *Table) Segments() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.meta.Segs)
+}
+
+// SegRows returns the configured segment size.
+func (t *Table) SegRows() int { return t.meta.SegRows }
+
+// Seg returns the metadata of sealed segment i.
+func (t *Table) Seg(i int) SegMeta {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.meta.Segs[i]
+}
+
+// partitionOf routes one partition-column value.
+func (m *meta) partitionOf(v int64) int {
+	for i, b := range m.PartBounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(m.PartBounds)
+}
+
+// Append adds the batch's rows, sealing segments as they fill. The batch
+// must match the schema.
+func (t *Table) Append(ctx context.Context, b *Batch) error {
+	if !t.writable {
+		return fmt.Errorf("table %s: not writable", t.name)
+	}
+	if len(b.Vecs) != len(t.meta.Schema.Cols) {
+		return fmt.Errorf("table %s: batch has %d columns, schema %d", t.name, len(b.Vecs), len(t.meta.Schema.Cols))
+	}
+	// A reopened table must have its persisted indexes in memory before new
+	// rows arrive, or index maintenance would silently skip them.
+	for _, im := range t.meta.Indexes {
+		if _, err := t.Index(ctx, im.Col); err != nil {
+			return err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rows := b.Rows()
+	for r := 0; r < rows; r++ {
+		part := 0
+		if t.meta.PartCol >= 0 {
+			part = t.meta.partitionOf(b.Vecs[t.meta.PartCol].I64[r])
+		}
+		builder, ok := t.builders[part]
+		if !ok {
+			builder = NewBatch(t.meta.Schema)
+			t.builders[part] = builder
+		}
+		for c := range builder.Vecs {
+			builder.Vecs[c].Append(b.Vecs[c], r)
+		}
+		if builder.Rows() >= t.meta.SegRows {
+			if err := t.sealLocked(ctx, part, builder); err != nil {
+				return err
+			}
+			delete(t.builders, part)
+		}
+	}
+	return nil
+}
+
+// sealLocked encodes and writes one full (or final partial) segment.
+func (t *Table) sealLocked(ctx context.Context, part int, b *Batch) error {
+	seg := len(t.meta.Segs)
+	sm := SegMeta{Rows: b.Rows(), Partition: part, Zones: make([]column.ZoneMap, len(b.Vecs))}
+	nCols := uint64(len(t.meta.Schema.Cols))
+	for c, v := range b.Vecs {
+		sm.Zones[c] = column.BuildZoneMap(v)
+		page := dataBase + uint64(seg)*nCols + uint64(c)
+		if err := t.obj.Write(ctx, page, column.EncodeSegment(v)); err != nil {
+			return fmt.Errorf("table %s: seal segment %d column %d: %w", t.name, seg, c, err)
+		}
+	}
+	baseRow := uint64(seg) * uint64(t.meta.SegRows)
+	for c, hg := range t.indexes {
+		if err := hg.Add(b.Vecs[c], baseRow); err != nil {
+			return fmt.Errorf("table %s: index column %d: %w", t.name, c, err)
+		}
+	}
+	t.meta.Segs = append(t.meta.Segs, sm)
+	t.meta.TotalRows += int64(b.Rows())
+	return nil
+}
+
+// Commit seals any open builders, persists the indexes and the meta page,
+// and flushes everything (write-through) returning the table's new identity
+// for the catalog.
+func (t *Table) Commit(ctx context.Context) (core.Identity, error) {
+	if !t.writable {
+		return core.Identity{}, fmt.Errorf("table %s: not writable", t.name)
+	}
+	t.mu.Lock()
+	parts := make([]int, 0, len(t.builders))
+	for p := range t.builders {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	for _, p := range parts {
+		b := t.builders[p]
+		if b.Rows() == 0 {
+			continue
+		}
+		if err := t.sealLocked(ctx, p, b); err != nil {
+			t.mu.Unlock()
+			return core.Identity{}, err
+		}
+	}
+	t.builders = make(map[int]*Batch)
+
+	// Persist the indexes as chunked pages.
+	for i := range t.meta.Indexes {
+		im := &t.meta.Indexes[i]
+		hg, ok := t.indexes[im.Col]
+		if !ok {
+			continue // never loaded => never modified
+		}
+		img := hg.Marshal()
+		im.Chunks = (len(img) + idxChunkSize - 1) / idxChunkSize
+		for c := 0; c < im.Chunks; c++ {
+			lo := c * idxChunkSize
+			hi := lo + idxChunkSize
+			if hi > len(img) {
+				hi = len(img)
+			}
+			page := idxBase + uint64(i)*idxStride + uint64(c)
+			if err := t.obj.Write(ctx, page, img[lo:hi]); err != nil {
+				t.mu.Unlock()
+				return core.Identity{}, fmt.Errorf("table %s: persist index %d: %w", t.name, i, err)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&t.meta); err != nil {
+		t.mu.Unlock()
+		return core.Identity{}, fmt.Errorf("table %s: encode meta: %w", t.name, err)
+	}
+	t.mu.Unlock()
+	if err := t.obj.Write(ctx, metaPage, buf.Bytes()); err != nil {
+		return core.Identity{}, fmt.Errorf("table %s: write meta: %w", t.name, err)
+	}
+	id, err := t.obj.FlushForCommit(ctx)
+	if err != nil {
+		return core.Identity{}, fmt.Errorf("table %s: %w", t.name, err)
+	}
+	return id, nil
+}
+
+// ReadSegment returns the requested columns of sealed segment seg. cols are
+// schema positions; the result batch's vectors align with cols.
+func (t *Table) ReadSegment(ctx context.Context, seg int, cols []int) (*Batch, error) {
+	t.mu.Lock()
+	nSegs := len(t.meta.Segs)
+	t.mu.Unlock()
+	if seg < 0 || seg >= nSegs {
+		return nil, fmt.Errorf("table %s: segment %d of %d", t.name, seg, nSegs)
+	}
+	nCols := uint64(len(t.meta.Schema.Cols))
+	out := &Batch{Vecs: make([]*column.Vector, len(cols))}
+	for i, c := range cols {
+		out.Schema.Cols = append(out.Schema.Cols, t.meta.Schema.Cols[c])
+		page := dataBase + uint64(seg)*nCols + uint64(c)
+		raw, err := t.obj.Read(ctx, page)
+		if err != nil {
+			return nil, fmt.Errorf("table %s: segment %d column %d: %w", t.name, seg, c, err)
+		}
+		v, err := column.DecodeSegment(raw)
+		if err != nil {
+			return nil, fmt.Errorf("table %s: segment %d column %d: %w", t.name, seg, c, err)
+		}
+		out.Vecs[i] = v
+	}
+	return out, nil
+}
+
+// PrefetchSegments schedules asynchronous loads of the given segments'
+// column pages — the parallel-I/O path that masks object-store latency.
+func (t *Table) PrefetchSegments(ctx context.Context, segs []int, cols []int) {
+	nCols := uint64(len(t.meta.Schema.Cols))
+	var pages []uint64
+	for _, s := range segs {
+		for _, c := range cols {
+			pages = append(pages, dataBase+uint64(s)*nCols+uint64(c))
+		}
+	}
+	t.obj.Prefetch(ctx, pages)
+}
+
+// Index returns the HG index on the given schema column, loading it from
+// its persisted chunks on first use, or nil if the column is not indexed.
+func (t *Table) Index(ctx context.Context, col int) (*index.HG, error) {
+	t.mu.Lock()
+	if hg, ok := t.indexes[col]; ok {
+		t.mu.Unlock()
+		return hg, nil
+	}
+	var im *IdxMeta
+	var pos int
+	for i := range t.meta.Indexes {
+		if t.meta.Indexes[i].Col == col {
+			im = &t.meta.Indexes[i]
+			pos = i
+			break
+		}
+	}
+	t.mu.Unlock()
+	if im == nil {
+		return nil, nil
+	}
+	var img []byte
+	for c := 0; c < im.Chunks; c++ {
+		chunk, err := t.obj.Read(ctx, idxBase+uint64(pos)*idxStride+uint64(c))
+		if err != nil {
+			return nil, fmt.Errorf("table %s: load index %d chunk %d: %w", t.name, pos, c, err)
+		}
+		img = append(img, chunk...)
+	}
+	hg, err := index.Unmarshal(img)
+	if err != nil {
+		return nil, fmt.Errorf("table %s: index %d: %w", t.name, pos, err)
+	}
+	t.mu.Lock()
+	t.indexes[col] = hg
+	t.mu.Unlock()
+	return hg, nil
+}
+
+// RowSeg converts a global row id into (segment, offset).
+func (t *Table) RowSeg(row uint64) (seg int, off int) {
+	return int(row / uint64(t.meta.SegRows)), int(row % uint64(t.meta.SegRows))
+}

@@ -1,0 +1,287 @@
+package txn
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+
+	"cloudiq/internal/core"
+	"cloudiq/internal/freelist"
+	"cloudiq/internal/keygen"
+	"cloudiq/internal/rfrb"
+	"cloudiq/internal/wal"
+)
+
+// Checkpoint durably snapshots the node's metadata: commit/txn sequences,
+// the Object Key Generator state (max key + active sets), and the freelist
+// image of every conventional dbspace. Crash recovery replays the log from
+// this record (§3.2, §3.3).
+func (m *Manager) Checkpoint(ctx context.Context) error {
+	m.mu.Lock()
+	payload := binary.LittleEndian.AppendUint64(nil, m.commitSeq)
+	payload = binary.LittleEndian.AppendUint64(payload, m.nextTxnID)
+	if m.cfg.Keys != nil {
+		payload = append(payload, 1)
+		kp := m.cfg.Keys.CheckpointPayload()
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(kp)))
+		payload = append(payload, kp...)
+	} else {
+		payload = append(payload, 0)
+	}
+	type spaceImage struct {
+		name  string
+		image []byte
+	}
+	var images []spaceImage
+	for name, ds := range m.spaces {
+		if bds, ok := ds.(*core.BlockDbspace); ok {
+			images = append(images, spaceImage{name, bds.Freelist().Marshal()})
+		}
+	}
+	m.mu.Unlock()
+
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(images)))
+	for _, im := range images {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(im.name)))
+		payload = append(payload, im.name...)
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(im.image)))
+		payload = append(payload, im.image...)
+	}
+	var extra []byte
+	if m.cfg.ExtraCheckpoint != nil {
+		var err error
+		if extra, err = m.cfg.ExtraCheckpoint(); err != nil {
+			return fmt.Errorf("txn: checkpoint extra: %w", err)
+		}
+	}
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(extra)))
+	payload = append(payload, extra...)
+	if _, err := m.cfg.Log.Checkpoint(ctx, payload); err != nil {
+		return fmt.Errorf("txn: checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (m *Manager) restoreCheckpoint(payload []byte) error {
+	if len(payload) < 17 {
+		return fmt.Errorf("txn: short checkpoint payload")
+	}
+	m.mu.Lock()
+	m.commitSeq = binary.LittleEndian.Uint64(payload)
+	m.nextTxnID = binary.LittleEndian.Uint64(payload[8:])
+	m.mu.Unlock()
+	off := 16
+	if payload[off] == 1 {
+		off++
+		if off+4 > len(payload) {
+			return fmt.Errorf("txn: truncated checkpoint payload")
+		}
+		kl := int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+		if off+kl > len(payload) {
+			return fmt.Errorf("txn: truncated checkpoint payload")
+		}
+		// A secondary node replaying the coordinator's log (shared system
+		// dbspace) has no generator of its own; the section is skipped.
+		if m.cfg.Keys != nil {
+			if err := m.cfg.Keys.RestoreCheckpoint(payload[off : off+kl]); err != nil {
+				return err
+			}
+		}
+		off += kl
+	} else {
+		off++
+	}
+	if off+4 > len(payload) {
+		return fmt.Errorf("txn: truncated checkpoint payload")
+	}
+	n := int(binary.LittleEndian.Uint32(payload[off:]))
+	off += 4
+	for i := 0; i < n; i++ {
+		if off+2 > len(payload) {
+			return fmt.Errorf("txn: truncated checkpoint payload")
+		}
+		nl := int(binary.LittleEndian.Uint16(payload[off:]))
+		off += 2
+		if off+nl+4 > len(payload) {
+			return fmt.Errorf("txn: truncated checkpoint payload")
+		}
+		name := string(payload[off : off+nl])
+		off += nl
+		fl := int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+		if off+fl > len(payload) {
+			return fmt.Errorf("txn: truncated checkpoint payload")
+		}
+		list, err := freelist.Unmarshal(payload[off : off+fl])
+		if err != nil {
+			return fmt.Errorf("txn: checkpoint freelist for %s: %w", name, err)
+		}
+		off += fl
+		ds, ok := m.Space(name)
+		if !ok {
+			return fmt.Errorf("txn: checkpoint references unregistered dbspace %q", name)
+		}
+		bds, ok := ds.(*core.BlockDbspace)
+		if !ok {
+			return fmt.Errorf("txn: checkpoint freelist for non-block dbspace %q", name)
+		}
+		bds.RestoreFreelist(list)
+	}
+	if off+4 <= len(payload) {
+		el := int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+		if off+el > len(payload) {
+			return fmt.Errorf("txn: truncated checkpoint payload")
+		}
+		if el > 0 && m.cfg.RestoreExtra != nil {
+			if err := m.cfg.RestoreExtra(payload[off : off+el]); err != nil {
+				return fmt.Errorf("txn: restore extra: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Recover rebuilds the manager's durable state after a crash: the log is
+// replayed from the last checkpoint; allocation records rebuild the key
+// generator's maximum key and active sets; commit records shrink the active
+// sets, re-apply allocations to the freelists, and queue the transactions'
+// RF bitmaps for garbage collection (there are no live readers after a
+// crash, so the chain drains immediately). Rollback records need no action —
+// their pages were reclaimed before the record was written. extra, if
+// non-nil, observes every replayed record (the snapshot manager uses it).
+func (m *Manager) Recover(ctx context.Context, extra func(wal.Record) error) error {
+	err := m.cfg.Log.Replay(ctx, func(rec wal.Record) error {
+		switch rec.Type {
+		case wal.RecCheckpoint:
+			if err := m.restoreCheckpoint(rec.Payload); err != nil {
+				return err
+			}
+		case wal.RecAlloc:
+			node, r, err := keygen.ParseAllocPayload(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if m.cfg.Keys != nil {
+				m.cfg.Keys.ApplyAlloc(node, r)
+			}
+		case wal.RecCommit:
+			crec, err := UnmarshalCommit(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if err := m.applyCommittedRecord(crec); err != nil {
+				return err
+			}
+		case wal.RecRollback:
+			// Pages were reclaimed before the record was written.
+		}
+		if extra != nil {
+			return extra(rec)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("txn: recover: %w", err)
+	}
+	return m.CollectGarbage(ctx)
+}
+
+// applyCommittedRecord folds one replayed commit into recovered state.
+func (m *Manager) applyCommittedRecord(rec CommitRecord) error {
+	// Shrink the coordinator's active sets: committed keys no longer need
+	// tracking (Table 1, step 4).
+	if m.cfg.Keys != nil {
+		consumed := &rfrb.Bitmap{}
+		for _, sp := range rec.Spaces {
+			for _, r := range sp.RB.CloudRanges() {
+				consumed.AddRange(r)
+			}
+		}
+		m.cfg.Keys.OnCommit(rec.Node, consumed)
+	}
+	// Re-apply block allocations to the freelists (the checkpoint image
+	// predates these commits) and queue RF extents for collection. A space
+	// named "" marks a pure commit notification from a secondary node — it
+	// carries no local extents.
+	for _, sp := range rec.Spaces {
+		if sp.Space == "" {
+			continue
+		}
+		ds, ok := m.Space(sp.Space)
+		if !ok {
+			return fmt.Errorf("txn: replayed commit touches unregistered dbspace %q", sp.Space)
+		}
+		if bds, isBlock := ds.(*core.BlockDbspace); isBlock {
+			for _, r := range sp.RB.BlockRanges() {
+				if err := bds.Freelist().MarkUsed(r.Start, r.Len()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	m.mu.Lock()
+	m.commitSeq++
+	m.chain = append(m.chain, &committedTxn{seq: m.commitSeq, txnID: rec.TxnID, spaces: rec.Spaces})
+	if rec.TxnID > m.nextTxnID {
+		m.nextTxnID = rec.TxnID
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// RecoverForRead replays the log to rebuild metadata — commit sequences,
+// catalog extras — without performing any garbage collection or freelist
+// mutation. Reader nodes recovering from a shared system dbspace they do
+// not own use this (§2: reader nodes cannot modify the database).
+func (m *Manager) RecoverForRead(ctx context.Context, extra func(wal.Record) error) error {
+	err := m.cfg.Log.Replay(ctx, func(rec wal.Record) error {
+		switch rec.Type {
+		case wal.RecCheckpoint:
+			if err := m.restoreCheckpoint(rec.Payload); err != nil {
+				return err
+			}
+		case wal.RecCommit:
+			m.mu.Lock()
+			m.commitSeq++
+			m.mu.Unlock()
+		}
+		if extra != nil {
+			return extra(rec)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("txn: recover for read: %w", err)
+	}
+	return nil
+}
+
+// WriterRestartGC runs on the coordinator when a writer node restarts after
+// a crash (Table 1, clock 150): the writer's outstanding key allocations can
+// never be consumed by a committing transaction, so every key in its active
+// set is polled against the cloud dbspaces and deleted if present, and the
+// active set is cleared.
+func (m *Manager) WriterRestartGC(ctx context.Context, node string) error {
+	if m.cfg.Keys == nil {
+		return fmt.Errorf("txn: writer-restart GC requires the coordinator's key generator")
+	}
+	ranges := m.cfg.Keys.ReleaseNode(node)
+	m.mu.Lock()
+	var clouds []core.Dbspace
+	for _, ds := range m.spaces {
+		if ds.IsCloud() {
+			clouds = append(clouds, ds)
+		}
+	}
+	m.mu.Unlock()
+	for _, r := range ranges {
+		for _, ds := range clouds {
+			if err := ds.Reclaim(ctx, r); err != nil {
+				return fmt.Errorf("txn: writer-restart GC %v on %s: %w", r, ds.Name(), err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+// Package txn implements SAP IQ's transaction manager as extended for cloud
+// storage (§3.3): multi-version concurrency control with snapshot isolation,
+// per-transaction roll-forward/roll-back bitmaps, a committed-transaction
+// chain driving garbage collection, transaction-log–based crash recovery of
+// the Object Key Generator's active sets, and the writer-restart GC walk of
+// Table 1. The retirement of expired page versions can be intercepted by the
+// snapshot manager (§5), which takes ownership instead of deleting.
+package txn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cloudiq/internal/core"
+	"cloudiq/internal/rfrb"
+)
+
+// Status describes a transaction's lifecycle state.
+type Status int
+
+// Transaction states.
+const (
+	StatusActive Status = iota
+	StatusCommitted
+	StatusRolledBack
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusActive:
+		return "active"
+	case StatusCommitted:
+		return "committed"
+	case StatusRolledBack:
+		return "rolled back"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Txn is one transaction. Pages it allocates are recorded per dbspace in RB
+// bitmaps; pages it marks for deletion in RF bitmaps. A Txn is owned by a
+// single goroutine; the Manager's own structures are concurrency safe.
+type Txn struct {
+	id       uint64
+	node     string
+	snapshot uint64 // highest commit sequence visible to this transaction
+
+	mu     sync.Mutex
+	status Status
+	spaces map[string]*spaceBitmaps
+}
+
+type spaceBitmaps struct {
+	rb *rfrb.Bitmap // allocations
+	rf *rfrb.Bitmap // deallocations (deferred to version GC)
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Node returns the multiplex node the transaction runs on.
+func (t *Txn) Node() string { return t.node }
+
+// Snapshot returns the commit sequence this transaction reads as of.
+func (t *Txn) Snapshot() uint64 { return t.snapshot }
+
+// Status returns the current lifecycle state.
+func (t *Txn) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status
+}
+
+func (t *Txn) space(name string) *spaceBitmaps {
+	sb, ok := t.spaces[name]
+	if !ok {
+		sb = &spaceBitmaps{rb: &rfrb.Bitmap{}, rf: &rfrb.Bitmap{}}
+		t.spaces[name] = sb
+	}
+	return sb
+}
+
+// Sink returns the FlushSink that records page allocations and frees on the
+// named dbspace into this transaction's RB/RF bitmaps. Pass it to buffer
+// manager flushes and blockmap flushes performed on behalf of the
+// transaction.
+func (t *Txn) Sink(space string) core.FlushSink {
+	return txnSink{t: t, space: space}
+}
+
+type txnSink struct {
+	t     *Txn
+	space string
+}
+
+// NoteAllocated implements core.FlushSink.
+func (s txnSink) NoteAllocated(e core.Entry) {
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	s.t.space(s.space).rb.AddRange(e.Span())
+}
+
+// NoteFreed implements core.FlushSink.
+func (s txnSink) NoteFreed(e core.Entry) {
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	s.t.space(s.space).rf.AddRange(e.Span())
+}
+
+// RB returns a copy of the transaction's allocation bitmap for space.
+func (t *Txn) RB(space string) *rfrb.Bitmap {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sb, ok := t.spaces[space]; ok {
+		return sb.rb.Clone()
+	}
+	return &rfrb.Bitmap{}
+}
+
+// RF returns a copy of the transaction's deallocation bitmap for space.
+func (t *Txn) RF(space string) *rfrb.Bitmap {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sb, ok := t.spaces[space]; ok {
+		return sb.rf.Clone()
+	}
+	return &rfrb.Bitmap{}
+}
+
+// cloudRB returns the union of cloud-key allocations across dbspaces — what
+// the coordinator needs to maintain its active sets.
+func (t *Txn) cloudRB() *rfrb.Bitmap {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := &rfrb.Bitmap{}
+	for _, sb := range t.spaces {
+		for _, r := range sb.rb.CloudRanges() {
+			out.AddRange(r)
+		}
+	}
+	return out
+}
+
+// --- commit record encoding ---
+
+// CommitRecord is the decoded form of a RecCommit payload.
+type CommitRecord struct {
+	TxnID  uint64
+	Node   string
+	Spaces []SpaceBitmaps
+	// Meta is an opaque engine payload replayed at recovery — the database
+	// layer stores its catalog publications (table name -> new identity)
+	// here so that committed schema/version changes survive crashes.
+	Meta []byte
+}
+
+// SpaceBitmaps carries one dbspace's RF/RB images inside a commit record.
+type SpaceBitmaps struct {
+	Space string
+	RF    *rfrb.Bitmap
+	RB    *rfrb.Bitmap
+}
+
+// MarshalCommit encodes a commit record payload.
+func MarshalCommit(rec CommitRecord) []byte {
+	buf := binary.LittleEndian.AppendUint64(nil, rec.TxnID)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(rec.Node)))
+	buf = append(buf, rec.Node...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Meta)))
+	buf = append(buf, rec.Meta...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Spaces)))
+	for _, sp := range rec.Spaces {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sp.Space)))
+		buf = append(buf, sp.Space...)
+		rf := sp.RF.Marshal()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rf)))
+		buf = append(buf, rf...)
+		rb := sp.RB.Marshal()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rb)))
+		buf = append(buf, rb...)
+	}
+	return buf
+}
+
+// UnmarshalCommit decodes MarshalCommit output.
+func UnmarshalCommit(p []byte) (CommitRecord, error) {
+	var rec CommitRecord
+	if len(p) < 14 {
+		return rec, fmt.Errorf("txn: short commit payload (%d bytes)", len(p))
+	}
+	rec.TxnID = binary.LittleEndian.Uint64(p)
+	off := 8
+	nl := int(binary.LittleEndian.Uint16(p[off:]))
+	off += 2
+	if off+nl+4 > len(p) {
+		return rec, fmt.Errorf("txn: truncated commit payload")
+	}
+	rec.Node = string(p[off : off+nl])
+	off += nl
+	ml := int(binary.LittleEndian.Uint32(p[off:]))
+	off += 4
+	if off+ml+4 > len(p) {
+		return rec, fmt.Errorf("txn: truncated commit payload")
+	}
+	if ml > 0 {
+		rec.Meta = append([]byte(nil), p[off:off+ml]...)
+	}
+	off += ml
+	n := int(binary.LittleEndian.Uint32(p[off:]))
+	off += 4
+	for i := 0; i < n; i++ {
+		if off+2 > len(p) {
+			return rec, fmt.Errorf("txn: truncated commit payload")
+		}
+		sl := int(binary.LittleEndian.Uint16(p[off:]))
+		off += 2
+		if off+sl+4 > len(p) {
+			return rec, fmt.Errorf("txn: truncated commit payload")
+		}
+		sp := SpaceBitmaps{Space: string(p[off : off+sl])}
+		off += sl
+		for j := 0; j < 2; j++ {
+			bl := int(binary.LittleEndian.Uint32(p[off:]))
+			off += 4
+			if off+bl > len(p) {
+				return rec, fmt.Errorf("txn: truncated commit payload")
+			}
+			bm, err := rfrb.Unmarshal(p[off : off+bl])
+			if err != nil {
+				return rec, fmt.Errorf("txn: commit bitmap: %w", err)
+			}
+			off += bl
+			if j == 0 {
+				sp.RF = bm
+			} else {
+				sp.RB = bm
+			}
+			if j == 0 && off+4 > len(p) {
+				return rec, fmt.Errorf("txn: truncated commit payload")
+			}
+		}
+		rec.Spaces = append(rec.Spaces, sp)
+	}
+	return rec, nil
+}
+
+// sortedSpaceNames returns t's dbspace names in deterministic order.
+func (t *Txn) sortedSpaceNames() []string {
+	names := make([]string, 0, len(t.spaces))
+	for name := range t.spaces {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

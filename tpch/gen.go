@@ -1,0 +1,323 @@
+package tpch
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cloudiq"
+)
+
+// Base cardinalities at scale factor 1.
+const (
+	supplierBase = 10_000
+	partBase     = 200_000
+	customerBase = 150_000
+	ordersBase   = 1_500_000
+)
+
+var (
+	regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nations = []struct {
+		name   string
+		region int
+	}{
+		{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+		{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+		{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+		{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+		{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+		{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+		{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+	}
+
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipmodes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+
+	typeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+	containers1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	containers2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+
+	// p_name draws five of these; "green" and "forest" matter to Q9/Q20.
+	nameWords = []string{
+		"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+		"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+		"chiffon", "chocolate", "coral", "cornflower", "cream", "cyan", "dark",
+		"deep", "dim", "dodger", "drab", "firebrick", "floral", "forest", "frosted",
+		"gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew", "hot",
+		"indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light",
+	}
+
+	fillerWords = []string{
+		"carefully", "quickly", "furiously", "slyly", "blithely", "deposits",
+		"packages", "accounts", "theodolites", "instructions", "foxes", "pinto",
+		"beans", "ideas", "requests", "platelets", "asymptotes", "dependencies",
+		"somas", "waters", "sleep", "nag", "haggle", "doze", "wake", "cajole",
+	}
+)
+
+// date range of o_orderdate per the TPC-H spec.
+var (
+	startDate = cloudiq.DateToDays(1992, 1, 1)
+	endDate   = cloudiq.DateToDays(1998, 8, 2)
+)
+
+func fmtDate(days int64) string {
+	return cloudiq.DaysToDate(days).Format("2006-01-02")
+}
+
+func comment(r *rand.Rand, n int) string {
+	words := make([]string, n)
+	for i := range words {
+		words[i] = fillerWords[r.Intn(len(fillerWords))]
+	}
+	return strings.Join(words, " ")
+}
+
+// retailPrice is dbgen's deterministic p_retailprice formula.
+func retailPrice(partkey int64) float64 {
+	return float64(90000+(partkey%20001)+100*(partkey%1000)) / 100
+}
+
+// counts holds the table cardinalities for a scale factor.
+type counts struct {
+	suppliers, parts, customers, orders int64
+}
+
+func countsFor(sf float64) counts {
+	c := counts{
+		suppliers: int64(float64(supplierBase) * sf),
+		parts:     int64(float64(partBase) * sf),
+		customers: int64(float64(customerBase) * sf),
+		orders:    int64(float64(ordersBase) * sf),
+	}
+	if c.suppliers < int64(len(nations)) {
+		c.suppliers = int64(len(nations))
+	}
+	if c.parts < 8 {
+		c.parts = 8
+	}
+	if c.customers < 6 {
+		c.customers = 6
+	}
+	if c.orders < 10 {
+		c.orders = 10
+	}
+	return c
+}
+
+// custWithOrders maps a random draw to a custkey that may have orders
+// (dbgen: custkey % 3 != 0 never receives orders... actually the rule skips
+// every third key, leaving one third of customers orderless for Q13/Q22).
+func custWithOrders(r *rand.Rand, customers int64) int64 {
+	for {
+		c := r.Int63n(customers) + 1
+		if c%3 != 0 {
+			return c
+		}
+	}
+}
+
+// GenStats reports what Generate wrote.
+type GenStats struct {
+	Rows  map[string]int64
+	Bytes int64
+	Files int
+}
+
+// Generate writes the TPC-H dataset at scale factor sf as '|'-separated
+// .tbl objects under prefix in store, in filesPerTable chunks (orders and
+// lineitem are generated together so totals stay consistent). Generation is
+// deterministic for a given (sf, filesPerTable).
+func Generate(ctx context.Context, store cloudiq.ObjectStore, prefix string, sf float64, filesPerTable int) (GenStats, error) {
+	if filesPerTable <= 0 {
+		filesPerTable = 4
+	}
+	stats := GenStats{Rows: make(map[string]int64)}
+	c := countsFor(sf)
+
+	put := func(table string, chunk int, body *strings.Builder, rows int64) error {
+		key := fmt.Sprintf("%s%s/chunk%03d.tbl", prefix, table, chunk)
+		data := []byte(body.String())
+		if err := store.Put(ctx, key, data); err != nil {
+			return fmt.Errorf("tpch: write %s: %w", key, err)
+		}
+		stats.Rows[table] += rows
+		stats.Bytes += int64(len(data))
+		stats.Files++
+		return nil
+	}
+
+	// region and nation are tiny fixed tables.
+	var sb strings.Builder
+	for i, name := range regions {
+		fmt.Fprintf(&sb, "%d|%s|%s|\n", i, name, "regional comment")
+	}
+	if err := put("region", 0, &sb, int64(len(regions))); err != nil {
+		return stats, err
+	}
+	sb.Reset()
+	for i, n := range nations {
+		fmt.Fprintf(&sb, "%d|%s|%d|%s|\n", i, n.name, n.region, "national comment")
+	}
+	if err := put("nation", 0, &sb, int64(len(nations))); err != nil {
+		return stats, err
+	}
+
+	chunkRange := func(total int64, chunk int) (int64, int64) {
+		lo := total * int64(chunk) / int64(filesPerTable)
+		hi := total * int64(chunk+1) / int64(filesPerTable)
+		return lo, hi
+	}
+
+	for chunk := 0; chunk < filesPerTable; chunk++ {
+		// supplier
+		r := rand.New(rand.NewSource(int64(1000 + chunk)))
+		sb.Reset()
+		lo, hi := chunkRange(c.suppliers, chunk)
+		for k := lo; k < hi; k++ {
+			key := k + 1
+			// Round-robin nations so every nation has suppliers even at
+			// tiny scale factors (Q7/Q20/Q21 depend on specific nations).
+			nation := int(k % int64(len(nations)))
+			com := comment(r, 6)
+			if key%97 == 0 { // a sprinkle of Q16's excluded suppliers
+				com = "sly Customer foxes nag Complaints " + com
+			}
+			fmt.Fprintf(&sb, "%d|Supplier#%09d|addr %d|%d|%d-%03d-%03d-%04d|%.2f|%s|\n",
+				key, key, key, nation, nation+10, r.Intn(1000), r.Intn(1000), r.Intn(10000),
+				float64(r.Intn(2000000))/100-1000, com)
+		}
+		if err := put("supplier", chunk, &sb, hi-lo); err != nil {
+			return stats, err
+		}
+
+		// customer
+		r = rand.New(rand.NewSource(int64(2000 + chunk)))
+		sb.Reset()
+		lo, hi = chunkRange(c.customers, chunk)
+		for k := lo; k < hi; k++ {
+			key := k + 1
+			nation := r.Intn(len(nations))
+			fmt.Fprintf(&sb, "%d|Customer#%09d|addr %d|%d|%d-%03d-%03d-%04d|%.2f|%s|%s|\n",
+				key, key, key, nation, nation+10, r.Intn(1000), r.Intn(1000), r.Intn(10000),
+				float64(r.Intn(1100000))/100-1000, segments[r.Intn(len(segments))], comment(r, 8))
+		}
+		if err := put("customer", chunk, &sb, hi-lo); err != nil {
+			return stats, err
+		}
+
+		// part
+		r = rand.New(rand.NewSource(int64(3000 + chunk)))
+		sb.Reset()
+		lo, hi = chunkRange(c.parts, chunk)
+		for k := lo; k < hi; k++ {
+			key := k + 1
+			words := make([]string, 5)
+			for i := range words {
+				words[i] = nameWords[r.Intn(len(nameWords))]
+			}
+			mfgr := r.Intn(5) + 1
+			brand := mfgr*10 + r.Intn(5) + 1
+			ptype := typeSyl1[r.Intn(len(typeSyl1))] + " " + typeSyl2[r.Intn(len(typeSyl2))] + " " + typeSyl3[r.Intn(len(typeSyl3))]
+			container := containers1[r.Intn(len(containers1))] + " " + containers2[r.Intn(len(containers2))]
+			fmt.Fprintf(&sb, "%d|%s|Manufacturer#%d|Brand#%d|%s|%d|%s|%.2f|%s|\n",
+				key, strings.Join(words, " "), mfgr, brand, ptype, r.Intn(50)+1,
+				container, retailPrice(key), comment(r, 3))
+		}
+		if err := put("part", chunk, &sb, hi-lo); err != nil {
+			return stats, err
+		}
+
+		// partsupp: four suppliers per part.
+		r = rand.New(rand.NewSource(int64(4000 + chunk)))
+		sb.Reset()
+		var psRows int64
+		for k := lo; k < hi; k++ {
+			part := k + 1
+			for s := int64(0); s < 4; s++ {
+				supp := (part+s*(c.suppliers/4))%c.suppliers + 1
+				fmt.Fprintf(&sb, "%d|%d|%d|%.2f|%s|\n",
+					part, supp, r.Intn(9999)+1, float64(r.Intn(100000))/100+1, comment(r, 5))
+				psRows++
+			}
+		}
+		if err := put("partsupp", chunk, &sb, psRows); err != nil {
+			return stats, err
+		}
+
+		// orders + lineitem together so o_totalprice is consistent.
+		r = rand.New(rand.NewSource(int64(5000 + chunk)))
+		sb.Reset()
+		var lb strings.Builder
+		lo, hi = chunkRange(c.orders, chunk)
+		var liRows int64
+		for k := lo; k < hi; k++ {
+			orderkey := k*4 + 1 // sparse keys, as in dbgen
+			custkey := custWithOrders(r, c.customers)
+			orderdate := startDate + r.Int63n(endDate-startDate-151)
+			nLines := r.Intn(7) + 1
+			var total float64
+			allF, allO := true, true
+			for ln := 0; ln < nLines; ln++ {
+				partkey := r.Int63n(c.parts) + 1
+				suppkey := (partkey+int64(r.Intn(4))*(c.suppliers/4))%c.suppliers + 1
+				qty := float64(r.Intn(50) + 1)
+				price := qty * retailPrice(partkey)
+				disc := float64(r.Intn(11)) / 100
+				tax := float64(r.Intn(9)) / 100
+				ship := orderdate + int64(r.Intn(121)) + 1
+				commit := orderdate + int64(r.Intn(61)) + 30
+				receipt := ship + int64(r.Intn(30)) + 1
+				rf := "N"
+				cutoff := cloudiq.DateToDays(1995, 6, 17)
+				if receipt <= cutoff {
+					if r.Intn(2) == 0 {
+						rf = "R"
+					} else {
+						rf = "A"
+					}
+				}
+				ls := "O"
+				if ship <= cutoff {
+					ls = "F"
+					allO = false
+				} else {
+					allF = false
+				}
+				total += price * (1 + tax) * (1 - disc)
+				fmt.Fprintf(&lb, "%d|%d|%d|%d|%g|%.2f|%.2f|%.2f|%s|%s|%s|%s|%s|%s|%s|%s|\n",
+					orderkey, partkey, suppkey, ln+1, qty, price, disc, tax, rf, ls,
+					fmtDate(ship), fmtDate(commit), fmtDate(receipt),
+					instructs[r.Intn(len(instructs))], shipmodes[r.Intn(len(shipmodes))], comment(r, 4))
+				liRows++
+			}
+			status := "P"
+			if allF {
+				status = "F"
+			} else if allO {
+				status = "O"
+			}
+			ocom := comment(r, 6)
+			if r.Intn(50) == 0 { // Q13's excluded orders
+				ocom = "waters special packages requests " + ocom
+			}
+			fmt.Fprintf(&sb, "%d|%d|%s|%.2f|%s|%s|Clerk#%09d|0|%s|\n",
+				orderkey, custkey, status, total, fmtDate(orderdate),
+				priorities[r.Intn(len(priorities))], r.Int63n(c.orders/10+1)+1, ocom)
+		}
+		if err := put("orders", chunk, &sb, hi-lo); err != nil {
+			return stats, err
+		}
+		if err := put("lineitem", chunk, &lb, liRows); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,336 @@
+package tpch
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// These tests validate more of the hand-built query plans against
+// brute-force evaluations over the raw generated rows.
+
+func TestQ3MatchesReference(t *testing.T) {
+	e := setup(t)
+	got, err := e.conn.Query(ctxb(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := dt(1995, 3, 15)
+	cust := rawRows(t, e, "customer")
+	building := map[int64]bool{}
+	for r := 0; r < cust.Rows(); r++ {
+		if cust.Col("c_mktsegment").Str[r] == "BUILDING" {
+			building[cust.Col("c_custkey").I64[r]] = true
+		}
+	}
+	ord := rawRows(t, e, "orders")
+	type ordInfo struct {
+		date, prio int64
+	}
+	orders := map[int64]ordInfo{}
+	for r := 0; r < ord.Rows(); r++ {
+		if ord.Col("o_orderdate").I64[r] < cut && building[ord.Col("o_custkey").I64[r]] {
+			orders[ord.Col("o_orderkey").I64[r]] = ordInfo{
+				date: ord.Col("o_orderdate").I64[r],
+				prio: ord.Col("o_shippriority").I64[r],
+			}
+		}
+	}
+	li := rawRows(t, e, "lineitem")
+	revenue := map[int64]float64{}
+	for r := 0; r < li.Rows(); r++ {
+		ok := li.Col("l_orderkey").I64[r]
+		if li.Col("l_shipdate").I64[r] <= cut {
+			continue
+		}
+		if _, hit := orders[ok]; !hit {
+			continue
+		}
+		revenue[ok] += li.Col("l_extendedprice").F64[r] * (1 - li.Col("l_discount").F64[r])
+	}
+	type row struct {
+		key  int64
+		rev  float64
+		date int64
+	}
+	var want []row
+	for ok, rev := range revenue {
+		want = append(want, row{ok, rev, orders[ok].date})
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].rev != want[j].rev {
+			return want[i].rev > want[j].rev
+		}
+		return want[i].date < want[j].date
+	})
+	if len(want) > 10 {
+		want = want[:10]
+	}
+	if got.Rows() != len(want) {
+		t.Fatalf("Q3 rows = %d, want %d", got.Rows(), len(want))
+	}
+	for r := 0; r < got.Rows(); r++ {
+		if got.Col("l_orderkey").I64[r] != want[r].key {
+			t.Fatalf("Q3 row %d orderkey = %d, want %d", r, got.Col("l_orderkey").I64[r], want[r].key)
+		}
+		if math.Abs(got.Col("revenue").F64[r]-want[r].rev) > 1e-6*want[r].rev {
+			t.Fatalf("Q3 row %d revenue = %g, want %g", r, got.Col("revenue").F64[r], want[r].rev)
+		}
+	}
+}
+
+func TestQ5MatchesReference(t *testing.T) {
+	e := setup(t)
+	got, err := e.conn.Query(ctxb(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat := rawRows(t, e, "nation")
+	reg := rawRows(t, e, "region")
+	asia := map[int64]bool{}
+	for r := 0; r < reg.Rows(); r++ {
+		if reg.Col("r_name").Str[r] == "ASIA" {
+			asia[reg.Col("r_regionkey").I64[r]] = true
+		}
+	}
+	nationName := map[int64]string{}
+	inAsia := map[int64]bool{}
+	for r := 0; r < nat.Rows(); r++ {
+		k := nat.Col("n_nationkey").I64[r]
+		nationName[k] = nat.Col("n_name").Str[r]
+		inAsia[k] = asia[nat.Col("n_regionkey").I64[r]]
+	}
+	cust := rawRows(t, e, "customer")
+	custNation := map[int64]int64{}
+	for r := 0; r < cust.Rows(); r++ {
+		custNation[cust.Col("c_custkey").I64[r]] = cust.Col("c_nationkey").I64[r]
+	}
+	supp := rawRows(t, e, "supplier")
+	suppNation := map[int64]int64{}
+	for r := 0; r < supp.Rows(); r++ {
+		suppNation[supp.Col("s_suppkey").I64[r]] = supp.Col("s_nationkey").I64[r]
+	}
+	ord := rawRows(t, e, "orders")
+	lo, hi := dt(1994, 1, 1), dt(1995, 1, 1)
+	orderCust := map[int64]int64{}
+	for r := 0; r < ord.Rows(); r++ {
+		d := ord.Col("o_orderdate").I64[r]
+		if d >= lo && d < hi {
+			orderCust[ord.Col("o_orderkey").I64[r]] = ord.Col("o_custkey").I64[r]
+		}
+	}
+	li := rawRows(t, e, "lineitem")
+	want := map[string]float64{}
+	for r := 0; r < li.Rows(); r++ {
+		ck, hit := orderCust[li.Col("l_orderkey").I64[r]]
+		if !hit {
+			continue
+		}
+		cn := custNation[ck]
+		if !inAsia[cn] {
+			continue
+		}
+		if suppNation[li.Col("l_suppkey").I64[r]] != cn {
+			continue
+		}
+		want[nationName[cn]] += li.Col("l_extendedprice").F64[r] * (1 - li.Col("l_discount").F64[r])
+	}
+	if got.Rows() != len(want) {
+		t.Fatalf("Q5 rows = %d, want %d (%v)", got.Rows(), len(want), want)
+	}
+	var prev float64 = math.MaxFloat64
+	for r := 0; r < got.Rows(); r++ {
+		name := got.Col("n_name").Str[r]
+		rev := got.Col("revenue").F64[r]
+		if rev > prev {
+			t.Fatalf("Q5 not sorted desc at row %d", r)
+		}
+		prev = rev
+		if math.Abs(rev-want[name]) > 1e-6*want[name] {
+			t.Fatalf("Q5 %s = %g, want %g", name, rev, want[name])
+		}
+	}
+}
+
+func TestQ12MatchesReference(t *testing.T) {
+	e := setup(t)
+	got, err := e.conn.Query(ctxb(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord := rawRows(t, e, "orders")
+	prio := map[int64]string{}
+	for r := 0; r < ord.Rows(); r++ {
+		prio[ord.Col("o_orderkey").I64[r]] = ord.Col("o_orderpriority").Str[r]
+	}
+	li := rawRows(t, e, "lineitem")
+	lo, hi := dt(1994, 1, 1), dt(1995, 1, 1)
+	type counts struct{ high, low int64 }
+	want := map[string]*counts{}
+	for r := 0; r < li.Rows(); r++ {
+		mode := li.Col("l_shipmode").Str[r]
+		if mode != "MAIL" && mode != "SHIP" {
+			continue
+		}
+		commit := li.Col("l_commitdate").I64[r]
+		receipt := li.Col("l_receiptdate").I64[r]
+		ship := li.Col("l_shipdate").I64[r]
+		if !(commit < receipt && ship < commit && receipt >= lo && receipt < hi) {
+			continue
+		}
+		c := want[mode]
+		if c == nil {
+			c = &counts{}
+			want[mode] = c
+		}
+		p := prio[li.Col("l_orderkey").I64[r]]
+		if p == "1-URGENT" || p == "2-HIGH" {
+			c.high++
+		} else {
+			c.low++
+		}
+	}
+	if got.Rows() != len(want) {
+		t.Fatalf("Q12 rows = %d, want %d", got.Rows(), len(want))
+	}
+	for r := 0; r < got.Rows(); r++ {
+		mode := got.Col("l_shipmode").Str[r]
+		c := want[mode]
+		if c == nil {
+			t.Fatalf("unexpected shipmode %q", mode)
+		}
+		if got.Col("high_line_count").I64[r] != c.high || got.Col("low_line_count").I64[r] != c.low {
+			t.Fatalf("Q12 %s = %d/%d, want %d/%d", mode,
+				got.Col("high_line_count").I64[r], got.Col("low_line_count").I64[r], c.high, c.low)
+		}
+	}
+}
+
+func TestQ14MatchesReference(t *testing.T) {
+	e := setup(t)
+	got, err := e.conn.Query(ctxb(), 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := rawRows(t, e, "part")
+	promo := map[int64]bool{}
+	for r := 0; r < part.Rows(); r++ {
+		if len(part.Col("p_type").Str[r]) >= 5 && part.Col("p_type").Str[r][:5] == "PROMO" {
+			promo[part.Col("p_partkey").I64[r]] = true
+		}
+	}
+	li := rawRows(t, e, "lineitem")
+	lo, hi := dt(1995, 9, 1), dt(1995, 10, 1)
+	var promoRev, totalRev float64
+	for r := 0; r < li.Rows(); r++ {
+		d := li.Col("l_shipdate").I64[r]
+		if d < lo || d >= hi {
+			continue
+		}
+		rev := li.Col("l_extendedprice").F64[r] * (1 - li.Col("l_discount").F64[r])
+		totalRev += rev
+		if promo[li.Col("l_partkey").I64[r]] {
+			promoRev += rev
+		}
+	}
+	if totalRev == 0 {
+		t.Fatal("no September 1995 shipments in the generated data")
+	}
+	want := 100 * promoRev / totalRev
+	if math.Abs(got.Col("promo_revenue").F64[0]-want) > 1e-6*want+1e-9 {
+		t.Fatalf("Q14 = %g, want %g", got.Col("promo_revenue").F64[0], want)
+	}
+}
+
+func TestQ18MatchesReference(t *testing.T) {
+	e := setup(t)
+	got, err := e.conn.Query(ctxb(), 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := rawRows(t, e, "lineitem")
+	qty := map[int64]float64{}
+	for r := 0; r < li.Rows(); r++ {
+		qty[li.Col("l_orderkey").I64[r]] += li.Col("l_quantity").F64[r]
+	}
+	var wantOrders int
+	for _, q := range qty {
+		if q > 300 {
+			wantOrders++
+		}
+	}
+	if wantOrders > 100 {
+		wantOrders = 100
+	}
+	if got.Rows() != wantOrders {
+		t.Fatalf("Q18 rows = %d, want %d", got.Rows(), wantOrders)
+	}
+	for r := 0; r < got.Rows(); r++ {
+		ok := got.Col("o_orderkey").I64[r]
+		if math.Abs(got.Col("sum_qty").F64[r]-qty[ok]) > 1e-9 {
+			t.Fatalf("Q18 order %d sum_qty = %g, want %g", ok, got.Col("sum_qty").F64[r], qty[ok])
+		}
+		if qty[ok] <= 300 {
+			t.Fatalf("Q18 order %d has qty %g <= 300", ok, qty[ok])
+		}
+	}
+}
+
+func TestQ22MatchesReference(t *testing.T) {
+	e := setup(t)
+	got, err := e.conn.Query(ctxb(), 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := map[string]bool{"13": true, "31": true, "23": true, "29": true, "30": true, "18": true, "17": true}
+	cust := rawRows(t, e, "customer")
+	ord := rawRows(t, e, "orders")
+	hasOrders := map[int64]bool{}
+	for r := 0; r < ord.Rows(); r++ {
+		hasOrders[ord.Col("o_custkey").I64[r]] = true
+	}
+	var avgSum float64
+	var avgN int64
+	for r := 0; r < cust.Rows(); r++ {
+		bal := cust.Col("c_acctbal").F64[r]
+		code := cust.Col("c_phone").Str[r][:2]
+		if codes[code] && bal > 0 {
+			avgSum += bal
+			avgN++
+		}
+	}
+	if avgN == 0 {
+		t.Fatal("no positive-balance customers in the country codes")
+	}
+	avg := avgSum / float64(avgN)
+	type agg struct {
+		n   int64
+		bal float64
+	}
+	want := map[string]*agg{}
+	for r := 0; r < cust.Rows(); r++ {
+		bal := cust.Col("c_acctbal").F64[r]
+		code := cust.Col("c_phone").Str[r][:2]
+		if !codes[code] || bal <= avg || hasOrders[cust.Col("c_custkey").I64[r]] {
+			continue
+		}
+		a := want[code]
+		if a == nil {
+			a = &agg{}
+			want[code] = a
+		}
+		a.n++
+		a.bal += bal
+	}
+	if got.Rows() != len(want) {
+		t.Fatalf("Q22 rows = %d, want %d", got.Rows(), len(want))
+	}
+	for r := 0; r < got.Rows(); r++ {
+		code := got.Col("cntrycode").Str[r]
+		a := want[code]
+		if a == nil || got.Col("numcust").I64[r] != a.n ||
+			math.Abs(got.Col("totacctbal").F64[r]-a.bal) > 1e-6*a.bal {
+			t.Fatalf("Q22 %s = %d/%g, want %+v", code, got.Col("numcust").I64[r], got.Col("totacctbal").F64[r], a)
+		}
+	}
+}

@@ -1,0 +1,395 @@
+package tpch
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"cloudiq"
+)
+
+func ctxb() context.Context { return context.Background() }
+
+const testSF = 0.002
+
+// env generates, loads and opens a small TPC-H database once per test run.
+type env struct {
+	db    *cloudiq.Database
+	input *cloudiq.MemObjectStore
+	conn  *Conn
+	gen   GenStats
+}
+
+var shared *env
+
+func setup(t *testing.T) *env {
+	t.Helper()
+	if shared != nil {
+		return shared
+	}
+	input := cloudiq.NewMemObjectStore(cloudiq.ObjectStoreConfig{})
+	gen, err := Generate(ctxb(), input, "tpch/", testSF, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := cloudiq.NewMemObjectStore(cloudiq.ObjectStoreConfig{
+		Consistency: cloudiq.ObjectStoreConsistency{NewKeyMissReads: 1},
+	})
+	db, err := cloudiq.Open(ctxb(), cloudiq.Config{Compress: true, CacheBytes: 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AttachCloudDbspace("user", store, cloudiq.CloudOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if _, err := LoadAll(ctxb(), tx, "user", input, "tpch/", testSF, 4, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctxb()); err != nil {
+		t.Fatal(err)
+	}
+	reader := db.Begin()
+	conn, err := OpenConn(ctxb(), reader, "user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared = &env{db: db, input: input, conn: conn, gen: gen}
+	return shared
+}
+
+func TestGenerateDeterministicAndComplete(t *testing.T) {
+	e := setup(t)
+	c := countsFor(testSF)
+	if e.gen.Rows["region"] != 5 || e.gen.Rows["nation"] != 25 {
+		t.Fatalf("fixed tables: %v", e.gen.Rows)
+	}
+	if e.gen.Rows["supplier"] != c.suppliers || e.gen.Rows["customer"] != c.customers {
+		t.Fatalf("rows: %v vs counts %+v", e.gen.Rows, c)
+	}
+	if e.gen.Rows["partsupp"] != 4*c.parts {
+		t.Fatalf("partsupp rows = %d, want %d", e.gen.Rows["partsupp"], 4*c.parts)
+	}
+	if e.gen.Rows["lineitem"] < e.gen.Rows["orders"] {
+		t.Fatal("fewer lineitems than orders")
+	}
+	// Determinism: regenerating yields identical bytes.
+	other := cloudiq.NewMemObjectStore(cloudiq.ObjectStoreConfig{})
+	if _, err := Generate(ctxb(), other, "tpch/", testSF, 2); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := e.input.List(ctxb(), "tpch/lineitem/")
+	for _, k := range keys {
+		a, _ := e.input.Get(ctxb(), k)
+		b, err := other.Get(ctxb(), k)
+		if err != nil || string(a) != string(b) {
+			t.Fatalf("chunk %s differs between generations", k)
+		}
+	}
+}
+
+func TestLoadMatchesGeneratedRowCounts(t *testing.T) {
+	e := setup(t)
+	for _, name := range TableNames() {
+		if got := e.conn.Table(name).Rows(); got != e.gen.Rows[name] {
+			t.Fatalf("%s: loaded %d rows, generated %d", name, got, e.gen.Rows[name])
+		}
+	}
+}
+
+// rawRows parses every generated chunk of a table for reference checks.
+func rawRows(t *testing.T, e *env, name string) *cloudiq.Batch {
+	t.Helper()
+	keys, err := e.input.List(ctxb(), "tpch/"+name+"/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := Schemas()[name]
+	out := cloudiq.NewBatch(schema)
+	for _, k := range keys {
+		data, _ := e.input.Get(ctxb(), k)
+		b, err := cloudiq.ParseRows(schema, string(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range out.Vecs {
+			for r := 0; r < b.Rows(); r++ {
+				out.Vecs[i].Append(b.Vecs[i], r)
+			}
+		}
+	}
+	return out
+}
+
+func TestQ1MatchesReference(t *testing.T) {
+	e := setup(t)
+	got, err := e.conn.Query(ctxb(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: brute-force over the raw rows.
+	raw := rawRows(t, e, "lineitem")
+	cutoff := dt(1998, 12, 1) - 90
+	type key struct{ rf, ls string }
+	type acc struct {
+		qty, price, disc float64
+		n                int64
+	}
+	ref := map[key]*acc{}
+	for r := 0; r < raw.Rows(); r++ {
+		if raw.Col("l_shipdate").I64[r] > cutoff {
+			continue
+		}
+		k := key{raw.Col("l_returnflag").Str[r], raw.Col("l_linestatus").Str[r]}
+		a := ref[k]
+		if a == nil {
+			a = &acc{}
+			ref[k] = a
+		}
+		a.qty += raw.Col("l_quantity").F64[r]
+		a.price += raw.Col("l_extendedprice").F64[r]
+		a.disc += raw.Col("l_extendedprice").F64[r] * (1 - raw.Col("l_discount").F64[r])
+		a.n++
+	}
+	if got.Rows() != len(ref) {
+		t.Fatalf("Q1 groups = %d, want %d", got.Rows(), len(ref))
+	}
+	for r := 0; r < got.Rows(); r++ {
+		k := key{got.Col("l_returnflag").Str[r], got.Col("l_linestatus").Str[r]}
+		a := ref[k]
+		if a == nil {
+			t.Fatalf("unexpected group %v", k)
+		}
+		if math.Abs(got.Col("sum_qty").F64[r]-a.qty) > 1e-6*a.qty+1e-6 {
+			t.Fatalf("group %v sum_qty = %g, want %g", k, got.Col("sum_qty").F64[r], a.qty)
+		}
+		if math.Abs(got.Col("sum_disc_price").F64[r]-a.disc) > 1e-6*a.disc {
+			t.Fatalf("group %v sum_disc_price = %g, want %g", k, got.Col("sum_disc_price").F64[r], a.disc)
+		}
+		if got.Col("count_order").I64[r] != a.n {
+			t.Fatalf("group %v count = %d, want %d", k, got.Col("count_order").I64[r], a.n)
+		}
+	}
+}
+
+func TestQ6MatchesReference(t *testing.T) {
+	e := setup(t)
+	got, err := e.conn.Query(ctxb(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := rawRows(t, e, "lineitem")
+	lo, hi := dt(1994, 1, 1), dt(1995, 1, 1)
+	var want float64
+	for r := 0; r < raw.Rows(); r++ {
+		sd := raw.Col("l_shipdate").I64[r]
+		disc := raw.Col("l_discount").F64[r]
+		qty := raw.Col("l_quantity").F64[r]
+		if sd >= lo && sd < hi && disc >= 0.05 && disc <= 0.07 && qty < 24 {
+			want += raw.Col("l_extendedprice").F64[r] * disc
+		}
+	}
+	if got.Rows() != 1 {
+		t.Fatalf("Q6 rows = %d", got.Rows())
+	}
+	rev := got.Col("revenue").F64[0]
+	if math.Abs(rev-want) > 1e-6*want+1e-9 {
+		t.Fatalf("Q6 revenue = %g, want %g", rev, want)
+	}
+	if want == 0 {
+		t.Fatal("reference revenue is zero; generator distributions broken")
+	}
+}
+
+func TestQ4MatchesReference(t *testing.T) {
+	e := setup(t)
+	got, err := e.conn.Query(ctxb(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := rawRows(t, e, "lineitem")
+	late := map[int64]bool{}
+	for r := 0; r < li.Rows(); r++ {
+		if li.Col("l_commitdate").I64[r] < li.Col("l_receiptdate").I64[r] {
+			late[li.Col("l_orderkey").I64[r]] = true
+		}
+	}
+	ord := rawRows(t, e, "orders")
+	lo, hi := dt(1993, 7, 1), dt(1993, 10, 1)
+	ref := map[string]int64{}
+	for r := 0; r < ord.Rows(); r++ {
+		d := ord.Col("o_orderdate").I64[r]
+		if d >= lo && d < hi && late[ord.Col("o_orderkey").I64[r]] {
+			ref[ord.Col("o_orderpriority").Str[r]]++
+		}
+	}
+	if got.Rows() != len(ref) {
+		t.Fatalf("Q4 groups = %d, want %d", got.Rows(), len(ref))
+	}
+	for r := 0; r < got.Rows(); r++ {
+		p := got.Col("o_orderpriority").Str[r]
+		if got.Col("order_count").I64[r] != ref[p] {
+			t.Fatalf("Q4 %s = %d, want %d", p, got.Col("order_count").I64[r], ref[p])
+		}
+	}
+}
+
+func TestQ13CountsOrderlessCustomers(t *testing.T) {
+	e := setup(t)
+	got, err := e.conn.Query(ctxb(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The distribution must include a zero-order bucket (dbgen leaves a
+	// third of customers without orders).
+	var zeroBucket int64 = -1
+	var total int64
+	for r := 0; r < got.Rows(); r++ {
+		total += got.Col("custdist").I64[r]
+		if got.Col("c_count").I64[r] == 0 {
+			zeroBucket = got.Col("custdist").I64[r]
+		}
+	}
+	if zeroBucket <= 0 {
+		t.Fatal("no zero-order bucket in Q13")
+	}
+	if total != e.gen.Rows["customer"] {
+		t.Fatalf("Q13 distribution covers %d customers, want %d", total, e.gen.Rows["customer"])
+	}
+}
+
+func TestAll22QueriesRun(t *testing.T) {
+	e := setup(t)
+	expected := ExpectedColumns()
+	mustHaveRows := map[int]bool{
+		1: true, 3: true, 4: true, 5: true, 6: true, 7: true, 8: true,
+		9: true, 10: true, 12: true, 13: true, 14: true, 15: true, 16: true,
+		18: false, 22: true,
+	}
+	for q := 1; q <= 22; q++ {
+		out, err := e.conn.Query(ctxb(), q)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q, err)
+		}
+		if got := len(out.Schema.Cols); got != expected[q] {
+			names := make([]string, 0, got)
+			for _, c := range out.Schema.Cols {
+				names = append(names, c.Name)
+			}
+			t.Fatalf("Q%d: %d output columns (%s), want %d", q, got, strings.Join(names, ","), expected[q])
+		}
+		if mustHaveRows[q] && out.Rows() == 0 {
+			t.Fatalf("Q%d returned no rows", q)
+		}
+	}
+	if _, err := e.conn.Query(ctxb(), 23); err == nil {
+		t.Fatal("Q23 accepted")
+	}
+}
+
+func TestPowerRunAndGeoMean(t *testing.T) {
+	e := setup(t)
+	results, err := PowerRun(ctxb(), e.conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 22 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if gm := GeoMean(results); gm <= 0 {
+		t.Fatalf("GeoMean = %v", gm)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+}
+
+func TestStreamsAndThroughputRun(t *testing.T) {
+	e := setup(t)
+	streams := Streams(4, 7)
+	if len(streams) != 4 {
+		t.Fatalf("streams = %d", len(streams))
+	}
+	for _, s := range streams {
+		seen := map[int]bool{}
+		for _, q := range s {
+			if q < 1 || q > 22 || seen[q] {
+				t.Fatalf("bad stream %v", s)
+			}
+			seen[q] = true
+		}
+	}
+	// Same seed is deterministic.
+	again := Streams(4, 7)
+	for i := range streams {
+		for j := range streams[i] {
+			if streams[i][j] != again[i][j] {
+				t.Fatal("streams not deterministic")
+			}
+		}
+	}
+	elapsed, err := RunStreams(ctxb(), []*Conn{e.conn}, Streams(2, 1))
+	if err != nil || elapsed <= 0 {
+		t.Fatalf("RunStreams = %v, %v", elapsed, err)
+	}
+	if _, err := RunStreams(ctxb(), nil, streams); err == nil {
+		t.Fatal("RunStreams with no conns accepted")
+	}
+}
+
+func TestZoneMapsPruneDateScans(t *testing.T) {
+	// Q6's date-bounded scan must read fewer segments than a full scan:
+	// lineitem is clustered by orderkey, and shipdate correlates with it
+	// loosely, so pruning is partial but must not be zero at the partition
+	// level... assert correctness instead: Q6 equals a full-scan variant.
+	e := setup(t)
+	got, err := e.conn.Query(ctxb(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := dt(1994, 1, 1), dt(1995, 1, 1)
+	src, err := e.conn.scan("lineitem",
+		[]string{"l_shipdate", "l_discount", "l_quantity", "l_extendedprice"},
+		cloudiq.ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := cloudiq.Collect(ctxb(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for r := 0; r < full.Rows(); r++ {
+		sd := full.Col("l_shipdate").I64[r]
+		disc := full.Col("l_discount").F64[r]
+		if sd >= lo && sd < hi && disc >= 0.05 && disc <= 0.07 && full.Col("l_quantity").F64[r] < 24 {
+			want += full.Col("l_extendedprice").F64[r] * disc
+		}
+	}
+	if math.Abs(got.Col("revenue").F64[0]-want) > 1e-6*want {
+		t.Fatalf("zone-pruned Q6 = %g, full-scan reference = %g", got.Col("revenue").F64[0], want)
+	}
+}
+
+func TestHGIndexesPresent(t *testing.T) {
+	e := setup(t)
+	// The paper's indexed columns must be loadable from their persisted
+	// chunks.
+	for tbl, col := range map[string]string{
+		"orders":   "o_custkey",
+		"nation":   "n_regionkey",
+		"supplier": "s_nationkey",
+		"customer": "c_nationkey",
+		"lineitem": "l_orderkey",
+	} {
+		tab := e.conn.Table(tbl)
+		hg, err := tab.Index(ctxb(), tab.Schema().MustCol(col))
+		if err != nil {
+			t.Fatalf("%s.%s: %v", tbl, col, err)
+		}
+		if hg == nil || hg.Cardinality() == 0 {
+			t.Fatalf("%s.%s index empty", tbl, col)
+		}
+	}
+}

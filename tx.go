@@ -1,0 +1,230 @@
+package cloudiq
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"cloudiq/internal/buffer"
+	"cloudiq/internal/core"
+	"cloudiq/internal/table"
+	"cloudiq/internal/txn"
+)
+
+// Tx is a transaction with snapshot isolation. Readers see the catalog as of
+// the transaction's begin; writers stage new table versions that become
+// visible atomically at commit. A Tx is not safe for concurrent use, except
+// that table loads may call Append from multiple goroutines.
+type Tx struct {
+	db    *Database
+	inner *txn.Txn
+
+	mu       sync.Mutex
+	writable map[string]*openTable
+	dropped  []droppedTable
+}
+
+type openTable struct {
+	tbl   *table.Table
+	obj   *buffer.Object
+	space string
+}
+
+// drop marks a table dropped by this transaction.
+type droppedTable struct {
+	name  string
+	space string
+}
+
+// Begin starts a transaction.
+func (db *Database) Begin() *Tx {
+	return &Tx{db: db, inner: db.mgr.Begin(), writable: make(map[string]*openTable)}
+}
+
+// Snapshot returns the commit sequence this transaction reads as of.
+func (tx *Tx) Snapshot() uint64 { return tx.inner.Snapshot() }
+
+func (tx *Tx) codec() buffer.Codec {
+	if tx.db.cfg.Compress {
+		return buffer.FlateCodec{}
+	}
+	return nil
+}
+
+// CreateTable creates a table in the named dbspace. The new table is visible
+// to other transactions only after Commit.
+func (tx *Tx) CreateTable(ctx context.Context, space, name string, schema table.Schema, opts table.Options) (*table.Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if _, exists := tx.db.cat.Lookup(name, math.MaxUint64); exists {
+		return nil, fmt.Errorf("cloudiq: table %q already exists", name)
+	}
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if _, dup := tx.writable[name]; dup {
+		return nil, fmt.Errorf("cloudiq: table %q already created in this transaction", name)
+	}
+	ds, err := tx.db.space(space)
+	if err != nil {
+		return nil, err
+	}
+	bm, err := core.NewBlockmap(ds, tx.db.cfg.BlockmapFanout)
+	if err != nil {
+		return nil, err
+	}
+	obj := tx.db.pool.OpenObject(ds, bm, tx.inner.Sink(space), tx.codec())
+	tbl, err := table.Create(name, obj, schema, opts)
+	if err != nil {
+		return nil, err
+	}
+	tx.writable[name] = &openTable{tbl: tbl, obj: obj, space: space}
+	return tbl, nil
+}
+
+// OpenTableForAppend opens the latest version of a table for appending.
+// Concurrent writers to the same table are not detected (the engine follows
+// the paper's model of partitioned write responsibility across nodes).
+func (tx *Tx) OpenTableForAppend(ctx context.Context, space, name string) (*table.Table, error) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if ot, ok := tx.writable[name]; ok {
+		return ot.tbl, nil
+	}
+	id, ok := tx.db.cat.Lookup(name, math.MaxUint64)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	ds, err := tx.db.space(space)
+	if err != nil {
+		return nil, err
+	}
+	bm, err := core.OpenBlockmap(ds, id)
+	if err != nil {
+		return nil, err
+	}
+	obj := tx.db.pool.OpenObject(ds, bm, tx.inner.Sink(space), tx.codec())
+	tbl, err := table.Open(ctx, name, obj, true)
+	if err != nil {
+		return nil, err
+	}
+	tx.writable[name] = &openTable{tbl: tbl, obj: obj, space: space}
+	return tbl, nil
+}
+
+// Table opens a table read-only at this transaction's snapshot.
+func (tx *Tx) Table(ctx context.Context, space, name string) (*table.Table, error) {
+	id, ok := tx.db.cat.Lookup(name, tx.inner.Snapshot())
+	if !ok {
+		return nil, fmt.Errorf("%w: %q at snapshot %d", ErrNoSuchTable, name, tx.inner.Snapshot())
+	}
+	ds, err := tx.db.space(space)
+	if err != nil {
+		return nil, err
+	}
+	bm, err := core.OpenBlockmap(ds, id)
+	if err != nil {
+		return nil, err
+	}
+	obj := tx.db.pool.OpenObject(ds, bm, nil, tx.codec())
+	return table.Open(ctx, name, obj, false)
+}
+
+// DropTable drops the latest version of a table: every physical page it
+// owns — data pages, blockmap pages, index and meta pages — is recorded in
+// the transaction's RF bitmap and retired when this version expires under
+// MVCC, exactly as superseded pages are. The drop becomes visible at commit.
+func (tx *Tx) DropTable(ctx context.Context, space, name string) error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if _, staged := tx.writable[name]; staged {
+		return fmt.Errorf("cloudiq: cannot drop %q: created or modified in this transaction", name)
+	}
+	id, ok := tx.db.cat.Lookup(name, math.MaxUint64)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	ds, err := tx.db.space(space)
+	if err != nil {
+		return err
+	}
+	bm, err := core.OpenBlockmap(ds, id)
+	if err != nil {
+		return err
+	}
+	sink := tx.inner.Sink(space)
+	if err := bm.ForEachPhysical(ctx, func(e core.Entry) error {
+		sink.NoteFreed(e)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("cloudiq: drop %q: %w", name, err)
+	}
+	tx.dropped = append(tx.dropped, droppedTable{name: name, space: space})
+	return nil
+}
+
+// Tables lists the tables visible to this transaction.
+func (tx *Tx) Tables() []string { return tx.db.cat.Names(tx.inner.Snapshot()) }
+
+// Commit makes the transaction durable: every staged table flushes its
+// dirty pages (write-through), blockmap cascades version up to fresh roots,
+// the commit record (with the catalog publications) is logged, and the new
+// identities are published atomically.
+func (tx *Tx) Commit(ctx context.Context) error {
+	tx.mu.Lock()
+	names := make([]string, 0, len(tx.writable))
+	for n := range tx.writable {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var pubs []catalogPublication
+	for _, n := range names {
+		ot := tx.writable[n]
+		id, err := ot.tbl.Commit(ctx)
+		if err != nil {
+			tx.mu.Unlock()
+			if rbErr := tx.Rollback(ctx); rbErr != nil {
+				return fmt.Errorf("cloudiq: commit of %q failed (%v); rollback also failed: %w", n, err, rbErr)
+			}
+			return fmt.Errorf("cloudiq: rolled back: %w", err)
+		}
+		pubs = append(pubs, catalogPublication{Name: n, ID: id})
+	}
+	for _, d := range tx.dropped {
+		pubs = append(pubs, catalogPublication{Name: d.name, Dropped: true})
+	}
+	tx.mu.Unlock()
+
+	var meta []byte
+	if len(pubs) > 0 {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(pubs); err != nil {
+			return fmt.Errorf("cloudiq: encode publications: %w", err)
+		}
+		meta = buf.Bytes()
+	}
+	return tx.db.mgr.Commit(ctx, tx.inner, meta, func(seq uint64) error {
+		for _, p := range pubs {
+			if err := tx.db.applyPublication(p, seq); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Rollback aborts the transaction: cached dirty pages are discarded and
+// everything the transaction allocated on permanent storage is reclaimed.
+func (tx *Tx) Rollback(ctx context.Context) error {
+	tx.mu.Lock()
+	for _, ot := range tx.writable {
+		ot.obj.Discard()
+	}
+	tx.writable = make(map[string]*openTable)
+	tx.mu.Unlock()
+	return tx.db.mgr.Rollback(ctx, tx.inner)
+}
