@@ -21,12 +21,15 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 
 	"cloudiq/internal/blockdev"
 	"cloudiq/internal/buffer"
 	"cloudiq/internal/catalog"
 	"cloudiq/internal/core"
+	"cloudiq/internal/faultinject"
 	"cloudiq/internal/iomodel"
 	"cloudiq/internal/keygen"
 	"cloudiq/internal/objstore"
@@ -66,6 +69,10 @@ type Config struct {
 	// Scale is the simulated-time scale shared with the storage devices.
 	// Nil disables latency simulation inside the engine (retry backoff).
 	Scale *iomodel.Scale
+	// Faults, if non-nil, arms this node's transaction log with the
+	// plan's WAL injection sites (WALAppend, WALTornTail). Storage-side
+	// sites are armed on the stores/devices directly via their configs.
+	Faults *faultinject.Plan
 }
 
 // Database is one node's database instance.
@@ -101,6 +108,9 @@ func Open(ctx context.Context, cfg Config) (*Database, error) {
 	log, err := wal.Open(ctx, cfg.LogDevice)
 	if err != nil {
 		return nil, fmt.Errorf("cloudiq: open log: %w", err)
+	}
+	if cfg.Faults != nil {
+		log.InjectFaults(cfg.Faults)
 	}
 	db := &Database{
 		cfg:    cfg,
@@ -338,6 +348,48 @@ func (db *Database) applyPublication(p catalogPublication, seq uint64) error {
 // CollectGarbage retires page versions no longer visible to any reader.
 func (db *Database) CollectGarbage(ctx context.Context) error {
 	return db.mgr.CollectGarbage(ctx)
+}
+
+// ReachableKeys returns, sorted, every object-store key reachable from the
+// latest committed version of every table in the named cloud dbspace: data
+// pages, blockmap tree pages, index and meta pages. Crash-simulation audits
+// compare this set against the store's actual contents — after recovery and
+// GC, anything in the store but not reachable is a leaked key, and anything
+// reachable but not in the store is lost committed data.
+func (db *Database) ReachableKeys(ctx context.Context, space string) ([]string, error) {
+	ds, err := db.space(space)
+	if err != nil {
+		return nil, err
+	}
+	cds, ok := ds.(*core.CloudDbspace)
+	if !ok {
+		return nil, fmt.Errorf("cloudiq: dbspace %q is not a cloud dbspace", space)
+	}
+	set := make(map[string]struct{})
+	for _, name := range db.cat.Names(math.MaxUint64) {
+		id, ok := db.cat.Lookup(name, math.MaxUint64)
+		if !ok {
+			continue
+		}
+		bm, err := core.OpenBlockmap(ds, id)
+		if err != nil {
+			return nil, fmt.Errorf("cloudiq: open blockmap of %q: %w", name, err)
+		}
+		if err := bm.ForEachPhysical(ctx, func(e core.Entry) error {
+			if e.IsCloud() {
+				set[cds.ObjectKey(e.Loc)] = struct{}{}
+			}
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("cloudiq: walk blockmap of %q: %w", name, err)
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
 }
 
 // NotifyCommit is the coordinator-side entry point for commit notifications

@@ -8,7 +8,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"testing"
 )
 
@@ -102,10 +101,8 @@ func TestEndToEndUnderHarshEventualConsistency(t *testing.T) {
 // if a page cannot reach the object store within the retry budget, the
 // transaction rolls back and leaves nothing behind.
 func TestCommitRollsBackWhenStoreRefusesWrites(t *testing.T) {
-	var failing atomic.Bool
-	store := NewMemObjectStore(ObjectStoreConfig{
-		FailPuts: func(string) bool { return failing.Load() },
-	})
+	plan := NewFaultPlan(1)
+	store := NewMemObjectStore(ObjectStoreConfig{Faults: plan})
 	db, err := Open(ctxb(), Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -124,7 +121,7 @@ func TestCommitRollsBackWhenStoreRefusesWrites(t *testing.T) {
 	objects := store.Len()
 
 	// Now the store refuses writes: the commit must fail and roll back.
-	failing.Store(true)
+	plan.Always(FaultObjPut)
 	tx2 := db.Begin()
 	tbl2, err := tx2.OpenTableForAppend(ctxb(), "user", "t")
 	if err != nil {
@@ -134,7 +131,7 @@ func TestCommitRollsBackWhenStoreRefusesWrites(t *testing.T) {
 	if err := tx2.Commit(ctxb()); err == nil {
 		t.Fatal("commit succeeded while the store refused writes")
 	}
-	failing.Store(false)
+	plan.Clear(FaultObjPut)
 	if got := store.Len(); got != objects {
 		t.Fatalf("store has %d objects after failed commit, want %d", got, objects)
 	}

@@ -10,9 +10,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"cloudiq/internal/faultinject"
 	"cloudiq/internal/iomodel"
 )
 
@@ -55,8 +57,12 @@ type Config struct {
 	// Seed seeds the jitter source.
 	Seed int64
 
-	// FailWrites, when non-nil, injects write failures (fault testing).
-	FailWrites func(off int64) bool
+	// Faults, when non-nil, is consulted on every I/O: the Plan's DevRead
+	// and DevWrite sites inject hard I/O errors (detail is the decimal
+	// byte offset, so rules can target one location), and a non-zero
+	// DevTornWrite lag draw persists only that many bytes of a write
+	// before failing it — the torn page a power cut leaves behind.
+	Faults *faultinject.Plan
 }
 
 // Stats counts device operations.
@@ -130,6 +136,9 @@ func (d *MemDevice) ReadAt(ctx context.Context, p []byte, off int64) error {
 	if off < 0 {
 		return fmt.Errorf("read at %d: %w", off, ErrOutOfRange)
 	}
+	if err := d.cfg.Faults.Check(faultinject.DevRead, strconv.FormatInt(off, 10)); err != nil {
+		return fmt.Errorf("read at %d: %w", off, err)
+	}
 	d.stats.reads.Add(1)
 	d.stats.bytesRead.Add(int64(len(p)))
 	d.scale.Sleep(d.cfg.ReadLatency.Duration(len(p), d.rnd))
@@ -153,8 +162,15 @@ func (d *MemDevice) WriteAt(ctx context.Context, p []byte, off int64) error {
 	if off < 0 {
 		return fmt.Errorf("write at %d: %w", off, ErrOutOfRange)
 	}
-	if d.cfg.FailWrites != nil && d.cfg.FailWrites(off) {
-		return fmt.Errorf("write at %d: injected failure", off)
+	detail := strconv.FormatInt(off, 10)
+	if err := d.cfg.Faults.Check(faultinject.DevWrite, detail); err != nil {
+		return fmt.Errorf("write at %d: %w", off, err)
+	}
+	// A torn write persists a prefix of the payload and then fails, the
+	// way a crash mid-write leaves a partial page on disk.
+	torn := -1
+	if n := d.cfg.Faults.LagAt(faultinject.DevTornWrite, detail); n > 0 && n < len(p) {
+		torn = n
 	}
 	d.stats.writes.Add(1)
 	d.stats.bytesWritten.Add(int64(len(p)))
@@ -172,6 +188,11 @@ func (d *MemDevice) WriteAt(ctx context.Context, p []byte, off int64) error {
 		grown := make([]byte, end)
 		copy(grown, d.data)
 		d.data = grown
+	}
+	if torn >= 0 {
+		copy(d.data[off:], p[:torn])
+		return fmt.Errorf("write at %d: torn after %d of %d bytes: %w",
+			off, torn, len(p), faultinject.ErrInjected)
 	}
 	copy(d.data[off:], p)
 	return nil

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"cloudiq/internal/faultinject"
 	"cloudiq/internal/iomodel"
 )
 
@@ -88,12 +89,48 @@ func TestContextCancellation(t *testing.T) {
 }
 
 func TestInjectedWriteFailure(t *testing.T) {
-	d := NewMem(Config{Capacity: 10, FailWrites: func(off int64) bool { return off == 5 }})
+	plan := faultinject.New(1)
+	plan.Always(faultinject.DevWrite.With("5")) // only offset 5 faults
+	d := NewMem(Config{Capacity: 10, Faults: plan})
 	if err := d.WriteAt(ctxb(), []byte{1}, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.WriteAt(ctxb(), []byte{1}, 5); err == nil {
-		t.Fatal("expected injected failure")
+	if err := d.WriteAt(ctxb(), []byte{1}, 5); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+}
+
+func TestInjectedReadFailure(t *testing.T) {
+	plan := faultinject.New(1)
+	plan.FailNext(faultinject.DevRead, 1)
+	d := NewMem(Config{Capacity: 10, Faults: plan})
+	if err := d.ReadAt(ctxb(), make([]byte, 1), 0); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	if err := d.ReadAt(ctxb(), make([]byte, 1), 0); err != nil {
+		t.Fatalf("read after one-shot fault: %v", err)
+	}
+}
+
+// A torn write persists a prefix of the payload and fails the request.
+func TestTornWritePersistsPrefix(t *testing.T) {
+	plan := faultinject.New(1)
+	plan.Lag(faultinject.DevTornWrite, 3, 3)
+	d := NewMem(Config{Capacity: 10, Faults: plan})
+	err := d.WriteAt(ctxb(), []byte{1, 2, 3, 4, 5}, 0)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected torn write", err)
+	}
+	plan.Clear(faultinject.DevTornWrite)
+	got := make([]byte, 5)
+	if err := d.ReadAt(ctxb(), got, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 3, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("data after torn write = %v, want %v", got, want)
+		}
 	}
 }
 

@@ -143,6 +143,11 @@ func (d *CloudDbspace) Name() string { return d.cfg.Name }
 // IsCloud implements Dbspace.
 func (d *CloudDbspace) IsCloud() bool { return true }
 
+// ObjectKey renders the object-store key a cloud page location maps to —
+// the same naming the dbspace uses for its own I/O. Offline audits use it
+// to compare reachable pages against the store's contents.
+func (d *CloudDbspace) ObjectKey(key uint64) string { return d.cfg.Namer.Name(key) }
+
 // WritePage implements Dbspace: it obtains a fresh key from the Object Key
 // Generator instead of consulting a freelist, then uploads under that key.
 // A failed upload is retried under the same key — the key was never visible,

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"cloudiq/internal/blockdev"
+	"cloudiq/internal/faultinject"
 	"cloudiq/internal/keygen"
 	"cloudiq/internal/objstore"
 	"cloudiq/internal/rfrb"
@@ -105,17 +106,16 @@ func TestCloudReadRetryBudgetExhausted(t *testing.T) {
 }
 
 func TestCloudWriteRetriesThenFails(t *testing.T) {
-	attempts := 0
-	store := objstore.NewMem(objstore.Config{
-		FailPuts: func(string) bool { attempts++; return attempts <= 2 },
-	})
+	plan := faultinject.New(1)
+	plan.FailNext(faultinject.ObjPut, 2)
+	store := objstore.NewMem(objstore.Config{Faults: plan})
 	ds := newCloudSpace(t, store)
 	// First write: two failures then success (WriteRetries default 3).
 	if _, err := ds.WritePage(ctxb(), []byte("x"), WriteThrough); err != nil {
 		t.Fatalf("write with transient failures: %v", err)
 	}
 	// Now make every put fail: budget exhausts.
-	attempts = -1 << 30
+	plan.Always(faultinject.ObjPut)
 	if _, err := ds.WritePage(ctxb(), []byte("y"), WriteThrough); !errors.Is(err, ErrRetriesExhausted) {
 		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
 	}

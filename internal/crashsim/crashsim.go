@@ -1,0 +1,505 @@
+// Package crashsim is a deterministic crash-recovery simulation harness.
+// It drives a coordinator + writer pair through repeated workload cycles,
+// kills one of them at a Plan-chosen point (coordinator crash, writer crash
+// between transactions, or a crash in the middle of a commit's page flush),
+// reopens the survivors from the surviving WAL + object store, runs the
+// recovery protocol (txn.Recover, WriterRestartGC, garbage collection), and
+// audits the paper's invariants after every cycle:
+//
+//   - no committed row is lost, and no uncommitted row surfaces;
+//   - after restart GC, no allocated-but-unowned object key leaks;
+//   - no object key is ever written twice (never-write-twice);
+//   - every blockmap remains readable.
+//
+// All randomness — fault draws, crash points, torn-write lengths — comes
+// from one faultinject.Plan, so a given seed reproduces the exact same
+// crash schedule, byte for byte. Failures report the seed.
+package crashsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cloudiq"
+	"cloudiq/internal/blockdev"
+	"cloudiq/internal/faultinject"
+	"cloudiq/internal/objstore"
+	"cloudiq/internal/rfrb"
+)
+
+// Invariant violations, wrapped in errors returned by Run.
+var (
+	// ErrLostCommit is returned when committed rows are missing, a
+	// reachable page is gone from the store, or committed data cannot be
+	// read back within the retry budget.
+	ErrLostCommit = errors.New("crashsim: committed data lost")
+	// ErrPhantomRows is returned when rows from an uncommitted
+	// transaction appear after recovery.
+	ErrPhantomRows = errors.New("crashsim: uncommitted rows surfaced")
+	// ErrLeakedKeys is returned when restart GC leaves orphaned keys in
+	// the object store.
+	ErrLeakedKeys = errors.New("crashsim: keys leaked after GC")
+	// ErrDoubleWrite is returned when any object key is Put twice.
+	ErrDoubleWrite = errors.New("crashsim: object key written twice")
+	// ErrBlockmap is returned when a table's blockmap cannot be walked.
+	ErrBlockmap = errors.New("crashsim: blockmap unreadable")
+)
+
+// Crash modes, rotated per cycle.
+const (
+	ModeWriterCrash = "writer-crash"  // writer dies between transactions
+	ModeCoordCrash  = "coord-crash"   // coordinator dies mid-cycle, writer survives
+	ModeMidFlush    = "mid-flush"     // writer dies during a commit's page flush
+)
+
+var modes = []string{ModeWriterCrash, ModeCoordCrash, ModeMidFlush}
+
+// Harness-internal draw sites (crash points, not storage faults).
+const (
+	sitePoint    = faultinject.Site("crashsim.point")
+	sitePutCount = faultinject.Site("crashsim.putcount")
+)
+
+// Options configures a simulation run. Zero values select defaults sized
+// for ≥50 cycles in well under a second.
+type Options struct {
+	Seed         uint64
+	Cycles       int // crash/recover cycles; default 51
+	TxnsPerCycle int // commit attempts per cycle; default 3
+	RowsPerTxn   int // rows appended per transaction; default 24 (keep it a multiple of SegRows)
+	SegRows      int // table segment size; default 8
+
+	// MissReads is the store's baseline eventual-consistency window
+	// (fresh keys 404 this many times). Default 2.
+	MissReads int
+
+	// BrokenRetry ablates the paper's retry-until-found read policy down
+	// to a single attempt (DESIGN.md: never-write-twice + retry vs
+	// in-place update). Under eventual consistency the suite must fail.
+	BrokenRetry bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cycles <= 0 {
+		o.Cycles = 51
+	}
+	if o.TxnsPerCycle <= 0 {
+		o.TxnsPerCycle = 3
+	}
+	if o.SegRows <= 0 {
+		o.SegRows = 8
+	}
+	if o.RowsPerTxn <= 0 {
+		o.RowsPerTxn = 3 * o.SegRows
+	}
+	if o.MissReads == 0 {
+		o.MissReads = 2
+	}
+	return o
+}
+
+// CycleResult summarizes one crash/recover cycle.
+type CycleResult struct {
+	Cycle     int
+	Mode      string
+	Committed int // transactions committed this cycle
+	StoreKeys int // objects in the store after the cycle's audit
+}
+
+// Report carries the deterministic outcome of a run. Two runs with the
+// same Options produce identical Traces.
+type Report struct {
+	Seed        uint64
+	Cycles      []CycleResult
+	TotalRows   int
+	FaultEvents int
+	Trace       string // fault/lag event log + per-cycle summary
+}
+
+type harness struct {
+	opts  Options
+	plan  *faultinject.Plan
+	store *objstore.MemStore
+
+	coordDev  *blockdev.MemDevice
+	writerDev *blockdev.MemDevice
+	coord     *cloudiq.Database
+	writer    *cloudiq.Database
+
+	inRecovery   bool // recovery re-notifications bypass RPC drop faults
+	tableCreated bool
+	gcRan        bool
+	nextRow      int64
+	expected     []int64 // committed k values, the ground truth
+	summary      strings.Builder
+}
+
+// Run executes the simulation and returns its report. A non-nil error
+// means an invariant was violated (or the harness itself failed); the
+// report is still returned for its trace.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	o := opts.withDefaults()
+	h := &harness{
+		opts:      o,
+		plan:      faultinject.New(o.Seed),
+		coordDev:  blockdev.NewMem(blockdev.Config{Growable: true}),
+		writerDev: blockdev.NewMem(blockdev.Config{Growable: true}),
+	}
+	h.store = objstore.NewMem(objstore.Config{
+		Consistency: objstore.Consistency{NewKeyMissReads: o.MissReads},
+		Faults:      h.plan,
+	})
+	// Ambient faults every cycle sees: transient PUT failures (retried
+	// under the same key — never-write-twice), visibility spikes on top
+	// of the baseline window, occasional allocation-RPC failures, and
+	// lost commit notifications.
+	h.plan.Prob(faultinject.ObjPut, 0.02)
+	h.plan.Lag(faultinject.ObjVisibility, 0, 2)
+	h.plan.Prob(faultinject.RPCAlloc, 0.02)
+	h.plan.Prob(faultinject.RPCNotify, 0.15)
+	h.plan.Prob(faultinject.RPCRestart, 0.2)
+
+	rep := &Report{Seed: o.Seed}
+	err := h.run(ctx, rep)
+	rep.TotalRows = len(h.expected)
+	rep.FaultEvents = h.plan.Injected()
+	rep.Trace = h.plan.TraceString() + h.summary.String()
+	if err != nil {
+		err = fmt.Errorf("seed %d: %w (reproduce with the same seed)", o.Seed, err)
+	}
+	return rep, err
+}
+
+func (h *harness) run(ctx context.Context, rep *Report) error {
+	for cycle := 0; cycle < h.opts.Cycles; cycle++ {
+		mode := modes[cycle%len(modes)]
+		committed, err := h.cycle(ctx, cycle, mode)
+		if err != nil {
+			return fmt.Errorf("cycle %d (%s): %w", cycle, mode, err)
+		}
+		cr := CycleResult{Cycle: cycle, Mode: mode, Committed: committed, StoreKeys: len(h.store.AllKeys())}
+		rep.Cycles = append(rep.Cycles, cr)
+		fmt.Fprintf(&h.summary, "cycle %d %s committed=%d keys=%d rows=%d\n",
+			cycle, mode, committed, cr.StoreKeys, len(h.expected))
+	}
+	// Final recovery pass: everything must still audit clean.
+	if err := h.recoverAndAudit(ctx); err != nil {
+		return fmt.Errorf("final audit: %w", err)
+	}
+	return nil
+}
+
+// cycle recovers from the previous crash, audits invariants, then runs the
+// workload and crashes at the Plan-chosen point for mode.
+func (h *harness) cycle(ctx context.Context, cycle int, mode string) (int, error) {
+	if err := h.recoverAndAudit(ctx); err != nil {
+		return 0, err
+	}
+	if cycle%4 == 3 {
+		// Periodic checkpoints bound replay and exercise checkpoint
+		// restore (keygen + catalog images) on later recoveries. A
+		// writer checkpoint is safe here: every earlier commit was
+		// re-notified during the recovery that just completed.
+		if err := h.writer.Checkpoint(ctx); err != nil {
+			return 0, fmt.Errorf("writer checkpoint: %w", err)
+		}
+		if err := h.coord.Checkpoint(ctx); err != nil {
+			return 0, fmt.Errorf("coordinator checkpoint: %w", err)
+		}
+	}
+
+	crashAt := h.plan.Int(sitePoint, 0, h.opts.TxnsPerCycle-1)
+	committed := 0
+	for i := 0; i < h.opts.TxnsPerCycle; i++ {
+		if mode == ModeCoordCrash && i == crashAt {
+			// The coordinator process dies between transactions and
+			// restarts immediately: replay its log (allocations +
+			// received notifications) and carry on. The writer keeps
+			// its cached key range across the outage (Table 1).
+			h.coord = nil
+			if err := h.openCoord(ctx); err != nil {
+				return committed, err
+			}
+		}
+		doomed := mode == ModeMidFlush && i == crashAt
+		ok, err := h.runTxn(ctx, doomed)
+		if err != nil {
+			return committed, err
+		}
+		if ok {
+			committed++
+		}
+		if doomed || (mode == ModeWriterCrash && i == crashAt) {
+			// The writer process is gone: abandon the handle with
+			// whatever state it had. For ModeWriterCrash an in-flight
+			// append may exist only in RAM; for ModeMidFlush pages
+			// are durable without a commit record.
+			h.writer = nil
+			break
+		}
+	}
+	if h.writer != nil {
+		h.writer = nil // clean cycle end is still a process exit
+	}
+	return committed, nil
+}
+
+// runTxn appends one batch and commits. doomed transactions get the
+// mid-flush crash schedule armed: after a Plan-chosen number of successful
+// page uploads every storage operation fails (the process died), the
+// commit WAL record tears, and the automatic rollback cannot reach the log
+// or the store either.
+func (h *harness) runTxn(ctx context.Context, doomed bool) (bool, error) {
+	tx := h.writer.Begin()
+	var (
+		tbl *cloudiq.Table
+		err error
+	)
+	if h.tableCreated {
+		tbl, err = tx.OpenTableForAppend(ctx, "user", "t")
+	} else {
+		tbl, err = tx.CreateTable(ctx, "user", "t", schema(), cloudiq.TableOptions{SegRows: h.opts.SegRows})
+	}
+	if err != nil {
+		_ = tx.Rollback(ctx)
+		if h.tableCreated {
+			// The table committed earlier; failing to read it back is
+			// data loss, not a transient workload error.
+			return false, fmt.Errorf("%w: open table for append: %v", ErrLostCommit, err)
+		}
+		return false, fmt.Errorf("open table for append: %w", err)
+	}
+	base := h.nextRow
+	if err := tbl.Append(ctx, batch(h.opts.RowsPerTxn, base)); err != nil {
+		_ = tx.Rollback(ctx)
+		h.nextRow += int64(h.opts.RowsPerTxn)
+		return false, nil // e.g. an allocation RPC fault; rolled back
+	}
+
+	if doomed {
+		k := h.plan.Int(sitePutCount, 1, 16)
+		h.plan.FailAfter(faultinject.ObjPut, k-1, -1)
+		h.plan.Always(faultinject.ObjDelete)
+		h.plan.Lag(faultinject.WALTornTail.With("commit"), 1, 8)
+		h.plan.Always(faultinject.WALAppend.With("rollback"))
+		err := tx.Commit(ctx)
+		h.plan.Clear(faultinject.ObjPut)
+		h.plan.Clear(faultinject.ObjDelete)
+		h.plan.Clear(faultinject.WALTornTail.With("commit"))
+		h.plan.Clear(faultinject.WALAppend.With("rollback"))
+		h.plan.Prob(faultinject.ObjPut, 0.02) // re-arm the ambient rule
+		if err == nil {
+			return false, errors.New("harness: mid-flush crash did not take effect")
+		}
+		h.nextRow += int64(h.opts.RowsPerTxn)
+		return false, nil
+	}
+
+	err = tx.Commit(ctx)
+	h.nextRow += int64(h.opts.RowsPerTxn)
+	if err != nil {
+		// Transient fault exhausted the write-retry budget; Commit
+		// already rolled the transaction back.
+		return false, nil
+	}
+	h.tableCreated = true
+	for i := 0; i < h.opts.RowsPerTxn; i++ {
+		h.expected = append(h.expected, base+int64(i))
+	}
+	return true, nil
+}
+
+// recoverAndAudit restarts whatever crashed last cycle, runs the recovery
+// protocol in Table 1's order — writer replay (with commit re-notification),
+// restart GC on the coordinator, garbage collection — then checks every
+// invariant.
+func (h *harness) recoverAndAudit(ctx context.Context) error {
+	if h.coord == nil {
+		if err := h.openCoord(ctx); err != nil {
+			return err
+		}
+	}
+	if err := h.openWriter(ctx); err != nil {
+		return err
+	}
+	// The restarted writer announces itself; the announcement RPC can
+	// fail transiently and is retried. If it never arrives this cycle,
+	// orphaned keys legitimately survive until the next announcement, so
+	// the leak audit is skipped for the cycle.
+	h.gcRan = false
+	for attempt := 0; attempt < 5; attempt++ {
+		if h.plan.Check(faultinject.RPCRestart, "W1") != nil {
+			continue
+		}
+		if err := h.coord.WriterRestartGC(ctx, "W1"); err != nil {
+			return fmt.Errorf("restart GC: %w", err)
+		}
+		h.gcRan = true
+		break
+	}
+	if err := h.writer.CollectGarbage(ctx); err != nil {
+		return fmt.Errorf("collect garbage: %w", err)
+	}
+	return h.audit(ctx)
+}
+
+func (h *harness) openCoord(ctx context.Context) error {
+	c, err := cloudiq.Open(ctx, cloudiq.Config{
+		Node:            "coord",
+		LogDevice:       h.coordDev,
+		PrefetchWorkers: 1,
+	})
+	if err != nil {
+		return fmt.Errorf("open coordinator: %w", err)
+	}
+	if err := c.AttachCloudDbspace("user", h.store, cloudiq.CloudOptions{}); err != nil {
+		return err
+	}
+	if err := c.Recover(ctx); err != nil {
+		return fmt.Errorf("coordinator recovery: %w", err)
+	}
+	h.coord = c
+	return nil
+}
+
+func (h *harness) openWriter(ctx context.Context) error {
+	w, err := cloudiq.Open(ctx, cloudiq.Config{
+		Node:            "W1",
+		LogDevice:       h.writerDev,
+		PrefetchWorkers: 1, // deterministic flush order for the fault streams
+		Faults:          h.plan,
+		AllocKeys: func(ctx context.Context, n uint64) (rfrb.Range, error) {
+			if err := h.plan.Check(faultinject.RPCAlloc, "W1"); err != nil {
+				return rfrb.Range{}, err
+			}
+			return h.coord.AllocateKeys(ctx, "W1", n)
+		},
+		Notify: func(node string, consumed *rfrb.Bitmap) {
+			// Live notifications can be lost in transit (the paper's
+			// Table 1 hazard); replayed ones during restart recovery
+			// ride the reliable restart announcement.
+			if !h.inRecovery && h.plan.Check(faultinject.RPCNotify, node) != nil {
+				return
+			}
+			_ = h.coord.NotifyCommit(ctx, node, consumed)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("open writer: %w", err)
+	}
+	readRetries := 0 // default
+	if h.opts.BrokenRetry {
+		readRetries = 1 // ablation: a single attempt, no retry-until-found
+	}
+	if err := w.AttachCloudDbspace("user", h.store, cloudiq.CloudOptions{ReadRetries: readRetries}); err != nil {
+		return err
+	}
+	h.inRecovery = true
+	err = w.Recover(ctx)
+	h.inRecovery = false
+	if err != nil {
+		return fmt.Errorf("writer recovery: %w", err)
+	}
+	h.writer = w
+	return nil
+}
+
+// audit checks all four invariants against the recovered writer.
+func (h *harness) audit(ctx context.Context) error {
+	// Invariant 1+2: exactly the committed rows, no more, no less.
+	tx := h.writer.Begin()
+	var rows []int64
+	tbl, err := tx.Table(ctx, "user", "t")
+	switch {
+	case err == nil:
+		for seg := 0; seg < tbl.Segments(); seg++ {
+			b, rerr := tbl.ReadSegment(ctx, seg, []int{0})
+			if rerr != nil {
+				_ = tx.Rollback(ctx)
+				return fmt.Errorf("%w: read segment %d: %v", ErrLostCommit, seg, rerr)
+			}
+			rows = append(rows, b.Vecs[0].I64...)
+		}
+	case errors.Is(err, cloudiq.ErrNoSuchTable) && len(h.expected) == 0:
+		// The creating transaction never committed; nothing to read.
+	default:
+		_ = tx.Rollback(ctx)
+		return fmt.Errorf("%w: open table: %v", ErrLostCommit, err)
+	}
+	_ = tx.Rollback(ctx)
+
+	want := append([]int64(nil), h.expected...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(rows) != len(want) {
+		if len(rows) < len(want) {
+			return fmt.Errorf("%w: %d rows recovered, %d committed", ErrLostCommit, len(rows), len(want))
+		}
+		return fmt.Errorf("%w: %d rows recovered, %d committed", ErrPhantomRows, len(rows), len(want))
+	}
+	for i := range rows {
+		if rows[i] != want[i] {
+			return fmt.Errorf("%w: row %d = %d, want %d", ErrLostCommit, i, rows[i], want[i])
+		}
+	}
+
+	// Invariant 4 (blockmap readable) and the reachability oracle.
+	reach, err := h.writer.ReachableKeys(ctx, "user")
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBlockmap, err)
+	}
+	stored := h.store.AllKeys()
+	if dangling := subtract(reach, stored); len(dangling) > 0 {
+		return fmt.Errorf("%w: %d reachable pages missing from the store (first: %s)",
+			ErrLostCommit, len(dangling), dangling[0])
+	}
+	// Invariant: no leaks once restart GC has actually run.
+	if h.gcRan {
+		if leaked := subtract(stored, reach); len(leaked) > 0 {
+			return fmt.Errorf("%w: %d orphaned objects (first: %s)", ErrLeakedKeys, len(leaked), leaked[0])
+		}
+	}
+	// Invariant 3: never-write-twice.
+	if ow := h.store.OverwrittenKeys(); len(ow) > 0 {
+		return fmt.Errorf("%w: %d keys (first: %s)", ErrDoubleWrite, len(ow), ow[0])
+	}
+	return nil
+}
+
+// subtract returns the elements of a not present in b; both sorted.
+func subtract(a, b []string) []string {
+	var out []string
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b) || a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] == b[j]:
+			i++
+			j++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func schema() cloudiq.Schema {
+	return cloudiq.Schema{Cols: []cloudiq.ColumnDef{
+		{Name: "k", Typ: cloudiq.Int64},
+		{Name: "v", Typ: cloudiq.String},
+	}}
+}
+
+func batch(n int, base int64) *cloudiq.Batch {
+	b := cloudiq.NewBatch(schema())
+	for i := 0; i < n; i++ {
+		b.Vecs[0].AppendInt(base + int64(i))
+		b.Vecs[1].AppendStr(fmt.Sprintf("val-%d", base+int64(i)))
+	}
+	return b
+}

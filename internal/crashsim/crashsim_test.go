@@ -1,0 +1,97 @@
+package crashsim
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"testing"
+)
+
+var seedFlag = flag.Uint64("seed", 1, "crash simulation seed (reproduces a failing run)")
+
+// TestCrashSim drives ≥50 crash/recover cycles rotating through
+// coordinator-crash, writer-crash and mid-flush crash points and checks
+// every invariant after each recovery. Re-run a failure with
+//
+//	go test ./internal/crashsim -run TestCrashSim -seed=<reported seed>
+func TestCrashSim(t *testing.T) {
+	rep, err := Run(context.Background(), Options{Seed: *seedFlag})
+	if err != nil {
+		t.Fatalf("crash simulation failed: %v\ntrace:\n%s", err, rep.Trace)
+	}
+	if got := len(rep.Cycles); got < 50 {
+		t.Fatalf("ran %d cycles, want >= 50", got)
+	}
+	if rep.TotalRows == 0 {
+		t.Fatal("no transaction ever committed; the workload is vacuous")
+	}
+	if rep.FaultEvents == 0 {
+		t.Fatal("no fault was ever injected; the simulation is vacuous")
+	}
+	seen := map[string]int{}
+	for _, c := range rep.Cycles {
+		seen[c.Mode]++
+	}
+	for _, m := range modes {
+		if seen[m] == 0 {
+			t.Errorf("crash mode %s never exercised", m)
+		}
+	}
+	t.Logf("seed %d: %d cycles, %d rows committed, %d faults injected",
+		rep.Seed, len(rep.Cycles), rep.TotalRows, rep.FaultEvents)
+}
+
+// TestCrashSimDeterministic runs the same seed twice; the fault traces —
+// every injected fault, lag draw and per-cycle summary — must be
+// byte-identical, so a reported seed reproduces the exact failure.
+func TestCrashSimDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: one crashsim run is enough")
+	}
+	opts := Options{Seed: 0xC0FFEE, Cycles: 24}
+	a, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.Trace != b.Trace {
+		t.Fatalf("same seed produced different traces:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a.Trace, b.Trace)
+	}
+	if a.TotalRows != b.TotalRows || a.FaultEvents != b.FaultEvents {
+		t.Fatalf("same seed diverged: rows %d vs %d, faults %d vs %d",
+			a.TotalRows, b.TotalRows, a.FaultEvents, b.FaultEvents)
+	}
+}
+
+// TestCrashSimSeedsVary spot-checks a handful of extra seeds so the suite
+// doesn't overfit to one fault schedule.
+func TestCrashSimSeedsVary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: one crashsim run is enough")
+	}
+	for _, seed := range []uint64{2, 7, 42} {
+		rep, err := Run(context.Background(), Options{Seed: seed, Cycles: 18})
+		if err != nil {
+			t.Fatalf("seed %d failed: %v\ntrace:\n%s", seed, err, rep.Trace)
+		}
+	}
+}
+
+// TestCrashSimBrokenRetryFails is the ablation from DESIGN.md: with the
+// retry-until-found read policy cut to a single attempt, eventual
+// consistency makes fresh pages 404 and the suite must report lost
+// committed data. If this test fails, the harness has stopped guarding the
+// paper's central claim.
+func TestCrashSimBrokenRetryFails(t *testing.T) {
+	rep, err := Run(context.Background(), Options{Seed: *seedFlag, Cycles: 12, BrokenRetry: true})
+	if err == nil {
+		t.Fatalf("broken retry policy passed the suite; the invariant checks are vacuous\ntrace:\n%s", rep.Trace)
+	}
+	if !errors.Is(err, ErrLostCommit) {
+		t.Fatalf("broken retry policy failed with %v, want %v", err, ErrLostCommit)
+	}
+	t.Logf("ablation failed as required: %v", err)
+}

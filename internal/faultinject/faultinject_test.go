@@ -1,0 +1,211 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if err := p.Check(ObjPut, "k"); err != nil {
+		t.Fatalf("nil plan injected: %v", err)
+	}
+	if p.LagAt(ObjVisibility, "k") != 0 {
+		t.Fatal("nil plan drew lag")
+	}
+	if p.Int(ObjPut, 3, 9) != 3 {
+		t.Fatal("nil plan Int should return lo")
+	}
+	p.Always(ObjPut).Prob(ObjGet, 1).Lag(ObjVisibility, 1, 2).Clear(ObjPut).SetBudget(1)
+	if p.Calls(ObjPut) != 0 || p.Injected() != 0 || p.Events() != nil {
+		t.Fatal("nil plan accumulated state")
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	p := New(1)
+	p.FailNext(ObjPut, 2)
+	for i := 0; i < 2; i++ {
+		if err := p.Check(ObjPut, "k"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: want injected, got %v", i, err)
+		}
+	}
+	if err := p.Check(ObjPut, "k"); err != nil {
+		t.Fatalf("schedule exhausted but still failing: %v", err)
+	}
+
+	p.FailAfter(ObjGet, 3, 1)
+	for i := 0; i < 3; i++ {
+		if err := p.Check(ObjGet, "k"); err != nil {
+			t.Fatalf("skip call %d failed: %v", i, err)
+		}
+	}
+	if err := p.Check(ObjGet, "k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("4th call should fail: %v", err)
+	}
+	if err := p.Check(ObjGet, "k"); err != nil {
+		t.Fatalf("5th call should pass: %v", err)
+	}
+
+	p.Always(ObjDelete)
+	for i := 0; i < 5; i++ {
+		if err := p.Check(ObjDelete, "k"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("Always call %d passed", i)
+		}
+	}
+	p.Clear(ObjDelete)
+	if err := p.Check(ObjDelete, "k"); err != nil {
+		t.Fatalf("cleared site still failing: %v", err)
+	}
+}
+
+func TestProbDeterminismAcrossPlans(t *testing.T) {
+	run := func(seed uint64) []int {
+		p := New(seed)
+		p.Prob(ObjPut, 0.3)
+		var fails []int
+		for i := 0; i < 200; i++ {
+			if p.Check(ObjPut, "k") != nil {
+				fails = append(fails, i)
+			}
+		}
+		return fails
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("prob 0.3 over 200 calls injected %d times", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+// Adding a rule (and traffic) at one site must not shift another site's
+// random stream — each site draws from an independent PRNG.
+func TestSiteStreamsAreIndependent(t *testing.T) {
+	seq := func(withNoise bool) []int {
+		p := New(7)
+		p.Prob(ObjGet, 0.5)
+		if withNoise {
+			p.Prob(ObjPut, 0.5)
+		}
+		var fails []int
+		for i := 0; i < 100; i++ {
+			if withNoise {
+				_ = p.Check(ObjPut, "noise")
+			}
+			if p.Check(ObjGet, "k") != nil {
+				fails = append(fails, i)
+			}
+		}
+		return fails
+	}
+	quiet, noisy := seq(false), seq(true)
+	if len(quiet) != len(noisy) {
+		t.Fatalf("ObjPut traffic changed ObjGet's stream: %v vs %v", quiet, noisy)
+	}
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			t.Fatalf("streams entangled at %d", i)
+		}
+	}
+}
+
+func TestDetailScopedRules(t *testing.T) {
+	p := New(1)
+	p.Always(WALAppend.With("commit"))
+	if err := p.Check(WALAppend, "alloc"); err != nil {
+		t.Fatalf("unscoped record type failed: %v", err)
+	}
+	if err := p.Check(WALAppend, "commit"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("scoped record type passed: %v", err)
+	}
+	// Scoped rule wins over a bare-site rule.
+	p.Clear(WALAppend.With("commit"))
+	p.Always(WALAppend)
+	p.FailNext(WALAppend.With("alloc"), 0) // explicit no-op schedule shadows nothing
+	p.Clear(WALAppend.With("alloc"))
+	if err := p.Check(WALAppend, "alloc"); !errors.Is(err, ErrInjected) {
+		t.Fatal("bare rule should govern after scoped rule cleared")
+	}
+}
+
+func TestBudget(t *testing.T) {
+	p := New(1)
+	p.Always(ObjPut).SetBudget(3)
+	n := 0
+	for i := 0; i < 10; i++ {
+		if p.Check(ObjPut, "k") != nil {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("budget 3 allowed %d faults", n)
+	}
+	if p.Injected() != 3 {
+		t.Fatalf("Injected() = %d, want 3", p.Injected())
+	}
+	p.SetBudget(-1)
+	if p.Check(ObjPut, "k") == nil {
+		t.Fatal("removing budget should re-arm the Always rule")
+	}
+}
+
+func TestLagDraws(t *testing.T) {
+	p := New(9)
+	p.Lag(ObjVisibility, 1, 4)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		v := p.LagAt(ObjVisibility, "k")
+		if v < 1 || v > 4 {
+			t.Fatalf("lag %d outside [1,4]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("lag draws not spread: %v", seen)
+	}
+	if p.LagAt(DevTornWrite, "x") != 0 {
+		t.Fatal("unconfigured lag site should draw 0")
+	}
+}
+
+func TestEventsTrace(t *testing.T) {
+	p := New(5)
+	p.FailNext(ObjPut, 1)
+	p.Lag(ObjVisibility, 2, 2)
+	_ = p.Check(ObjPut, "a")
+	_ = p.Check(ObjPut, "b")
+	_ = p.LagAt(ObjVisibility, "a")
+	ev := p.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %v, want fault + lag", ev)
+	}
+	if ev[0].Site != ObjPut || ev[0].Kind != "fault" || ev[0].Call != 1 || ev[0].Detail != "a" {
+		t.Fatalf("bad fault event %+v", ev[0])
+	}
+	if ev[1].Site != ObjVisibility || ev[1].Kind != "lag" || ev[1].Value != 2 {
+		t.Fatalf("bad lag event %+v", ev[1])
+	}
+	if p.TraceString() == "" {
+		t.Fatal("empty trace string")
+	}
+	if p.Seed() != 5 {
+		t.Fatalf("Seed() = %d", p.Seed())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"net/rpc"
 	"sync"
 
+	"cloudiq/internal/faultinject"
 	"cloudiq/internal/keygen"
 	"cloudiq/internal/rfrb"
 	"cloudiq/internal/txn"
@@ -127,8 +128,9 @@ func (s *Server) Close() error {
 
 // Client is a secondary node's connection to the coordinator.
 type Client struct {
-	node string
-	rpc  *rpc.Client
+	node   string
+	rpc    *rpc.Client
+	faults *faultinject.Plan
 }
 
 // Dial connects to the coordinator as the named node.
@@ -140,6 +142,14 @@ func Dial(addr, node string) (*Client, error) {
 	return &Client{node: node, rpc: c}, nil
 }
 
+// InjectFaults arms the client with a fault plan: the RPCAlloc, RPCNotify
+// and RPCRestart sites fail the corresponding calls before they reach the
+// wire, modeling a network partition between this node and the coordinator.
+// A dropped RPCNotify is the paper's lost commit notification (Table 1):
+// the commit is durable but the coordinator still thinks the keys are
+// outstanding until the writer's restart replay re-reports them.
+func (c *Client) InjectFaults(p *faultinject.Plan) { c.faults = p }
+
 // Close tears down the connection.
 func (c *Client) Close() error { return c.rpc.Close() }
 
@@ -149,6 +159,9 @@ func (c *Client) AllocFunc() keygen.AllocFunc {
 	return func(ctx context.Context, n uint64) (rfrb.Range, error) {
 		if err := ctx.Err(); err != nil {
 			return rfrb.Range{}, err
+		}
+		if err := c.faults.Check(faultinject.RPCAlloc, c.node); err != nil {
+			return rfrb.Range{}, fmt.Errorf("multiplex: allocate: %w", err)
 		}
 		var reply AllocReply
 		if err := c.rpc.Call("Coordinator.AllocateKeys", AllocArgs{Node: c.node, N: n}, &reply); err != nil {
@@ -167,6 +180,9 @@ func (c *Client) AllocFunc() keygen.AllocFunc {
 // coordinator re-polls outstanding ranges on writer restart anyway).
 func (c *Client) Notify() txn.CommitNotify {
 	return func(node string, consumed *rfrb.Bitmap) {
+		if c.faults.Check(faultinject.RPCNotify, node) != nil {
+			return // notification lost in transit
+		}
 		var reply struct{}
 		_ = c.rpc.Call("Coordinator.NotifyCommit", NotifyArgs{Node: node, Consumed: consumed.Marshal()}, &reply)
 	}
@@ -178,6 +194,9 @@ func (c *Client) Notify() txn.CommitNotify {
 func (c *Client) AnnounceRestart(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if err := c.faults.Check(faultinject.RPCRestart, c.node); err != nil {
+		return fmt.Errorf("multiplex: restart GC: %w", err)
 	}
 	var reply struct{}
 	if err := c.rpc.Call("Coordinator.WriterRestartGC", RestartArgs{Node: c.node}, &reply); err != nil {

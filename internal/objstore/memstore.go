@@ -2,12 +2,14 @@ package objstore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"cloudiq/internal/faultinject"
 	"cloudiq/internal/iomodel"
 )
 
@@ -57,11 +59,13 @@ type Config struct {
 	// Seed seeds the jitter source.
 	Seed int64
 
-	// FailPuts / FailGets, when non-nil, are consulted before each request;
-	// returning true injects an ErrInjected failure. Used by fault-injection
-	// tests of the retry and rollback paths.
-	FailPuts func(key string) bool
-	FailGets func(key string) bool
+	// Faults, when non-nil, is consulted before every request: the Plan's
+	// ObjPut/ObjGet/ObjDelete/ObjExists/ObjList sites can fail any
+	// operation (real S3 throttles deletes and lists too), and its
+	// ObjVisibility lag site adds per-key visibility spikes on top of
+	// Consistency.NewKeyMissReads. Failures are reported as ErrInjected
+	// joined with faultinject.ErrInjected.
+	Faults *faultinject.Plan
 }
 
 type object struct {
@@ -101,6 +105,16 @@ func NewMem(cfg Config) *MemStore {
 
 // Metrics exposes the request counters.
 func (s *MemStore) Metrics() *Metrics { return &s.metrics }
+
+// inject consults the fault plan; a non-nil return is the error the caller
+// surfaces. It satisfies errors.Is for both objstore.ErrInjected and
+// faultinject.ErrInjected.
+func (s *MemStore) inject(op string, site faultinject.Site, key string) error {
+	if err := s.cfg.Faults.Check(site, key); err != nil {
+		return fmt.Errorf("%s %q: %w", op, key, errors.Join(ErrInjected, err))
+	}
+	return nil
+}
 
 // StoredBytes reports the total size of all latest object versions. It feeds
 // the data-at-rest cost model.
@@ -148,8 +162,8 @@ func (s *MemStore) Put(ctx context.Context, key string, data []byte) error {
 		return err
 	}
 	s.metrics.puts.Add(1)
-	if s.cfg.FailPuts != nil && s.cfg.FailPuts(key) {
-		return fmt.Errorf("put %q: %w", key, ErrInjected)
+	if err := s.inject("put", faultinject.ObjPut, key); err != nil {
+		return err
 	}
 	s.throttlePrefix(key)
 	s.scale.Sleep(s.cfg.WriteLatency.Duration(len(data), s.rnd))
@@ -164,9 +178,11 @@ func (s *MemStore) Put(ctx context.Context, key string, data []byte) error {
 	defer s.mu.Unlock()
 	o, exists := s.objects[key]
 	if !exists {
+		// A visibility-lag spike extends the not-found window for this
+		// particular fresh key beyond the baseline anomaly model.
 		s.objects[key] = &object{
 			versions: [][]byte{cp},
-			missLeft: s.cfg.Consistency.NewKeyMissReads,
+			missLeft: s.cfg.Consistency.NewKeyMissReads + s.cfg.Faults.LagAt(faultinject.ObjVisibility, key),
 		}
 		return nil
 	}
@@ -181,8 +197,8 @@ func (s *MemStore) Get(ctx context.Context, key string) ([]byte, error) {
 		return nil, err
 	}
 	s.metrics.gets.Add(1)
-	if s.cfg.FailGets != nil && s.cfg.FailGets(key) {
-		return nil, fmt.Errorf("get %q: %w", key, ErrInjected)
+	if err := s.inject("get", faultinject.ObjGet, key); err != nil {
+		return nil, err
 	}
 	s.throttlePrefix(key)
 
@@ -224,6 +240,9 @@ func (s *MemStore) Delete(ctx context.Context, key string) error {
 		return err
 	}
 	s.metrics.deletes.Add(1)
+	if err := s.inject("delete", faultinject.ObjDelete, key); err != nil {
+		return err
+	}
 	s.throttlePrefix(key)
 	s.scale.Sleep(s.cfg.WriteLatency.Duration(0, s.rnd))
 
@@ -239,6 +258,9 @@ func (s *MemStore) Exists(ctx context.Context, key string) (bool, error) {
 		return false, err
 	}
 	s.metrics.gets.Add(1)
+	if err := s.inject("exists", faultinject.ObjExists, key); err != nil {
+		return false, err
+	}
 	s.throttlePrefix(key)
 	s.scale.Sleep(s.cfg.ReadLatency.Duration(0, s.rnd))
 
@@ -261,6 +283,9 @@ func (s *MemStore) List(ctx context.Context, prefix string) ([]string, error) {
 		return nil, err
 	}
 	s.metrics.lists.Add(1)
+	if err := s.inject("list", faultinject.ObjList, prefix); err != nil {
+		return nil, err
+	}
 	s.scale.Sleep(s.cfg.ReadLatency.Duration(0, s.rnd))
 
 	s.mu.Lock()
@@ -280,4 +305,34 @@ func (s *MemStore) List(ctx context.Context, prefix string) ([]string, error) {
 	}
 	sort.Strings(keys)
 	return keys, nil
+}
+
+// AllKeys returns every stored key, sorted, ignoring visibility windows and
+// fault rules — the omniscient oracle crash-simulation audits compare the
+// engine's reachable set against.
+func (s *MemStore) AllKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.objects))
+	for k := range s.objects {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// OverwrittenKeys returns, sorted, every key that has been Put more than
+// once over its lifetime. The engine's never-write-twice discipline means
+// any entry here is a protocol violation.
+func (s *MemStore) OverwrittenKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys []string
+	for k, o := range s.objects {
+		if len(o.versions) > 1 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
 }

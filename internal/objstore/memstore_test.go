@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"cloudiq/internal/faultinject"
 	"cloudiq/internal/iomodel"
 )
 
@@ -225,20 +226,88 @@ func TestStoredBytesAndLen(t *testing.T) {
 }
 
 func TestInjectedFailures(t *testing.T) {
-	failing := true
-	s := NewMem(Config{
-		FailPuts: func(string) bool { return failing },
-		FailGets: func(key string) bool { return key == "bad" },
-	})
+	plan := faultinject.New(1)
+	plan.FailNext(faultinject.ObjPut, 1)
+	plan.Always(faultinject.ObjGet.With("bad"))
+	s := NewMem(Config{Faults: plan})
 	if err := s.Put(ctxb(), "k", []byte("x")); !errors.Is(err, ErrInjected) {
 		t.Fatalf("Put err = %v, want ErrInjected", err)
 	}
-	failing = false
+	if err := s.Put(ctxb(), "k", []byte("x")); err != nil {
+		t.Fatalf("Put after one-shot fault: %v", err)
+	}
 	if err := s.Put(ctxb(), "bad", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Get(ctxb(), "bad"); !errors.Is(err, ErrInjected) {
+	// Get faults are scoped to one key; both sentinels are visible.
+	if _, err := s.Get(ctxb(), "bad"); !errors.Is(err, ErrInjected) || !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("Get err = %v, want ErrInjected", err)
+	}
+	if _, err := s.Get(ctxb(), "k"); err != nil {
+		t.Fatalf("unscoped Get failed: %v", err)
+	}
+}
+
+// Delete, Exists and List historically had no failure path at all; real
+// object stores throttle those too.
+func TestInjectedFailuresCoverEveryOperation(t *testing.T) {
+	plan := faultinject.New(2)
+	s := NewMem(Config{Faults: plan})
+	if err := s.Put(ctxb(), "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	plan.FailNext(faultinject.ObjDelete, 1)
+	if err := s.Delete(ctxb(), "k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Delete err = %v, want ErrInjected", err)
+	}
+	if s.Len() != 1 {
+		t.Fatal("failed delete removed the object")
+	}
+	plan.FailNext(faultinject.ObjExists, 1)
+	if _, err := s.Exists(ctxb(), "k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Exists err = %v, want ErrInjected", err)
+	}
+	plan.FailNext(faultinject.ObjList, 1)
+	if _, err := s.List(ctxb(), ""); !errors.Is(err, ErrInjected) {
+		t.Fatalf("List err = %v, want ErrInjected", err)
+	}
+	// All sites healed: operations succeed again.
+	if err := s.Delete(ctxb(), "k"); err != nil {
+		t.Fatal(err)
+	}
+	if keys, err := s.List(ctxb(), ""); err != nil || len(keys) != 0 {
+		t.Fatalf("List after delete = %v, %v", keys, err)
+	}
+}
+
+// A visibility-lag spike extends a fresh key's not-found window beyond the
+// baseline consistency model; the window still converges.
+func TestVisibilityLagSpikes(t *testing.T) {
+	plan := faultinject.New(3)
+	plan.Lag(faultinject.ObjVisibility, 2, 2)
+	s := NewMem(Config{
+		Consistency: Consistency{NewKeyMissReads: 1},
+		Faults:      plan,
+	})
+	if err := s.Put(ctxb(), "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	misses := 0
+	for {
+		_, err := s.Get(ctxb(), "k")
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrNotFound) {
+			t.Fatal(err)
+		}
+		misses++
+		if misses > 10 {
+			t.Fatal("fresh key never became visible")
+		}
+	}
+	if misses != 3 { // 1 baseline + 2 spike
+		t.Fatalf("misses = %d, want 3", misses)
 	}
 }
 
@@ -341,5 +410,120 @@ func TestPropertyPutThenEventuallyGet(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestECGetAfter404Converges is the regression test for the paper's
+// retry-until-found read policy (§3 scenario 3): a Get racing a fresh PUT
+// may see 404, but repeated Gets must succeed within the visibility window
+// — NewKeyMissReads baseline plus any injected visibility spike — and never
+// regress to 404 afterward.
+func TestECGetAfter404Converges(t *testing.T) {
+	const baseline, spike = 3, 2
+	plan := faultinject.New(11).Lag(faultinject.ObjVisibility.With("w"), spike, spike)
+	s := NewMem(Config{
+		Consistency: Consistency{NewKeyMissReads: baseline},
+		Faults:      plan,
+	})
+	for _, tc := range []struct {
+		key    string
+		window int
+	}{
+		{"plain", baseline},
+		{"w", baseline + spike}, // spiked key: longer, still bounded
+	} {
+		if err := s.Put(ctxb(), tc.key, []byte("v")); err != nil {
+			t.Fatalf("put %s: %v", tc.key, err)
+		}
+		misses := 0
+		for {
+			if _, err := s.Get(ctxb(), tc.key); err == nil {
+				break
+			} else if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("get %s: %v", tc.key, err)
+			}
+			if misses++; misses > tc.window {
+				t.Fatalf("key %s still 404 after %d reads; window is %d", tc.key, misses, tc.window)
+			}
+		}
+		if misses != tc.window {
+			t.Errorf("key %s converged after %d misses, want exactly %d", tc.key, misses, tc.window)
+		}
+		// Convergence is permanent: no 404 ever again.
+		for i := 0; i < 5; i++ {
+			if _, err := s.Get(ctxb(), tc.key); err != nil {
+				t.Fatalf("key %s regressed to %v after converging", tc.key, err)
+			}
+		}
+	}
+}
+
+// TestECListNeverShowsPermanently404Key guards the List/Get consistency
+// contract the WriterRestartGC poll depends on: a key surfaced by List must
+// be Get-able with at most the remaining visibility window of retries —
+// List must never advertise a key whose Get then 404s forever.
+func TestECListNeverShowsPermanently404Key(t *testing.T) {
+	const baseline = 4
+	s := NewMem(Config{Consistency: Consistency{NewKeyMissReads: baseline}})
+	if err := s.Put(ctxb(), "gc/0001", []byte("page")); err != nil {
+		t.Fatal(err)
+	}
+	listCalls := 0
+	for {
+		keys, err := s.List(ctxb(), "gc/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if listCalls++; listCalls > baseline+1 {
+			t.Fatalf("key invisible to List after %d calls; window is %d", listCalls, baseline)
+		}
+		if len(keys) == 0 {
+			continue
+		}
+		if keys[0] != "gc/0001" {
+			t.Fatalf("List returned %q, want gc/0001", keys[0])
+		}
+		// The key is listed, so within the remaining window a retrying
+		// reader must find it. Budget: the full baseline, defensively.
+		for attempt := 0; ; attempt++ {
+			if _, err := s.Get(ctxb(), "gc/0001"); err == nil {
+				break
+			} else if !errors.Is(err, ErrNotFound) {
+				t.Fatal(err)
+			}
+			if attempt >= baseline {
+				t.Fatalf("List showed gc/0001 but Get still 404s after %d retries", attempt+1)
+			}
+		}
+		return
+	}
+}
+
+// TestECListNeverInventsKeys is the dual guard: List output is always a
+// subset of truly stored keys — deleted or never-written keys cannot
+// appear, so restart GC never deletes an object it didn't observe.
+func TestECListNeverInventsKeys(t *testing.T) {
+	s := NewMem(Config{Consistency: Consistency{NewKeyMissReads: 2}})
+	for _, k := range []string{"p/a", "p/b", "p/c"} {
+		if err := s.Put(ctxb(), k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete(ctxb(), "p/b"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		keys, err := s.List(ctxb(), "p/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if k == "p/b" {
+				t.Fatalf("List call %d resurrected deleted key p/b", i)
+			}
+			if k != "p/a" && k != "p/c" {
+				t.Fatalf("List call %d invented key %q", i, k)
+			}
+		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"cloudiq/internal/blockdev"
+	"cloudiq/internal/faultinject"
 	"cloudiq/internal/freelist"
 	"cloudiq/internal/objstore"
 )
@@ -43,6 +44,12 @@ type Config struct {
 	Workers int
 	// UploadRetries bounds store-upload attempts per page. Zero selects 3.
 	UploadRetries int
+	// Faults, when non-nil, arms the OCMUploadDrop site: a fault drops a
+	// queued write-back upload without attempting the store — the page a
+	// crashed process never drained from its write queue. The entry moves
+	// to the failed state, so a later FlushForCommit surfaces the loss
+	// (and rolls the transaction back) instead of silently committing.
+	Faults *faultinject.Plan
 }
 
 // Stats reports cache effectiveness (Table 5) and internal behaviour.
@@ -416,10 +423,12 @@ func (c *Cache) uploadWorker() {
 
 		var lastErr error
 		ok := false
-		for i := 0; i < c.cfg.UploadRetries; i++ {
-			if lastErr = c.store.Put(context.Background(), ent.key, data); lastErr == nil {
-				ok = true
-				break
+		if lastErr = c.cfg.Faults.Check(faultinject.OCMUploadDrop, ent.key); lastErr == nil {
+			for i := 0; i < c.cfg.UploadRetries; i++ {
+				if lastErr = c.store.Put(context.Background(), ent.key, data); lastErr == nil {
+					ok = true
+					break
+				}
 			}
 		}
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"cloudiq/internal/blockdev"
+	"cloudiq/internal/faultinject"
 	"cloudiq/internal/objstore"
 )
 
@@ -119,11 +120,9 @@ func TestFlushForCommitSkipsUnknownAndDurableKeys(t *testing.T) {
 }
 
 func TestUploadFailureRollsBackCommit(t *testing.T) {
-	var fail atomic.Bool
-	fail.Store(true)
-	store := objstore.NewMem(objstore.Config{
-		FailPuts: func(key string) bool { return fail.Load() && key == "bad" },
-	})
+	plan := faultinject.New(1)
+	plan.Always(faultinject.ObjPut.With("bad"))
+	store := objstore.NewMem(objstore.Config{Faults: plan})
 	c := newCache(t, 1<<16, store)
 	if err := c.PutBack(ctxb(), "bad", []byte("x")); err != nil {
 		t.Fatal(err) // write-back itself succeeds (local write)
@@ -137,9 +136,9 @@ func TestUploadFailureRollsBackCommit(t *testing.T) {
 }
 
 func TestFailedEntryDoesNotServeReads(t *testing.T) {
-	store := objstore.NewMem(objstore.Config{
-		FailPuts: func(key string) bool { return key == "bad" },
-	})
+	plan := faultinject.New(1)
+	plan.Always(faultinject.ObjPut.With("bad"))
+	store := objstore.NewMem(objstore.Config{Faults: plan})
 	c := newCache(t, 1<<16, store)
 	_ = c.PutBack(ctxb(), "bad", []byte("x"))
 	waitFor(t, func() bool { return c.Stats().UploadFails > 0 }, "upload failure")
@@ -153,8 +152,8 @@ func TestLocalDeviceFailureDegradesToDirectWrite(t *testing.T) {
 	// §4: if the write to locally attached storage fails, the error is
 	// ignored and the page is written directly to the object store.
 	dev := blockdev.NewMem(blockdev.Config{
-		Capacity:   1 << 16,
-		FailWrites: func(int64) bool { return true },
+		Capacity: 1 << 16,
+		Faults:   faultinject.New(1).Always(faultinject.DevWrite),
 	})
 	store := objstore.NewMem(objstore.Config{})
 	c, err := New(Config{Device: dev, Store: store, BlockSize: 64})
@@ -201,25 +200,67 @@ func TestLRUEviction(t *testing.T) {
 	}
 }
 
+// A dropped write-back upload (the queue a crashed process never drained)
+// must surface through FlushForCommit, not silently commit.
+func TestUploadQueueDropOnCrash(t *testing.T) {
+	plan := faultinject.New(11)
+	plan.FailNext(faultinject.OCMUploadDrop, 1)
+	store := objstore.NewMem(objstore.Config{})
+	dev := blockdev.NewMem(blockdev.Config{Capacity: 1 << 16})
+	c, err := New(Config{Device: dev, Store: store, BlockSize: 64, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.PutBack(ctxb(), "dropped", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return c.Stats().UploadFails > 0 }, "drop")
+	if err := c.FlushForCommit(ctxb(), []string{"dropped"}); !errors.Is(err, ErrUploadFailed) {
+		t.Fatalf("err = %v, want ErrUploadFailed", err)
+	}
+	if store.Len() != 0 {
+		t.Fatal("dropped upload reached the store")
+	}
+	// A fresh write-back after the drop succeeds (site was one-shot).
+	if err := c.PutBack(ctxb(), "ok", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlushForCommit(ctxb(), []string{"ok"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gatedStore blocks Puts of one key until released, so tests can hold an
+// upload in flight while they probe the cache's eviction behaviour.
+type gatedStore struct {
+	*objstore.MemStore
+	gateKey string
+	blocked atomic.Int64
+	release chan struct{}
+}
+
+func (g *gatedStore) Put(ctx context.Context, key string, data []byte) error {
+	if key == g.gateKey {
+		g.blocked.Add(1)
+		<-g.release
+	}
+	return g.MemStore.Put(ctx, key, data)
+}
+
 func TestWriteBackEntriesNotEvictableUntilUploaded(t *testing.T) {
 	// Make uploads hang until released, then fill the device: eviction
 	// must not touch the pending entries.
-	release := make(chan struct{})
-	var blocked atomic.Int64
-	store := objstore.NewMem(objstore.Config{
-		FailPuts: func(key string) bool {
-			if key == "pending" {
-				blocked.Add(1)
-				<-release
-			}
-			return false
-		},
-	})
+	store := &gatedStore{
+		MemStore: objstore.NewMem(objstore.Config{}),
+		gateKey:  "pending",
+		release:  make(chan struct{}),
+	}
 	c := newCache(t, 2*64, store) // two blocks total
 	if err := c.PutBack(ctxb(), "pending", []byte("p")); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, func() bool { return blocked.Load() > 0 }, "upload to start")
+	waitFor(t, func() bool { return store.blocked.Load() > 0 }, "upload to start")
 
 	// Fill the remaining block, then force an allocation that requires
 	// evicting: only the second entry is evictable.
@@ -230,7 +271,7 @@ func TestWriteBackEntriesNotEvictableUntilUploaded(t *testing.T) {
 	_, _ = c.Get(ctxb(), "b")
 	waitFor(t, func() bool { return c.Stats().Evictions+c.Stats().FillDrops >= 1 }, "eviction or drop")
 
-	close(release)
+	close(store.release)
 	if err := c.FlushForCommit(ctxb(), []string{"pending"}); err != nil {
 		t.Fatal(err)
 	}

@@ -177,7 +177,8 @@ func Unmarshal(data []byte) (*Bitmap, error) {
 		return nil, fmt.Errorf("rfrb: short buffer (%d bytes)", len(data))
 	}
 	n := binary.LittleEndian.Uint64(data)
-	if uint64(len(data)) < 8+16*n {
+	// Divide instead of multiplying: 16*n overflows for corrupt counts.
+	if n > (uint64(len(data))-8)/16 {
 		return nil, fmt.Errorf("rfrb: truncated: %d ranges in %d bytes", n, len(data))
 	}
 	b := &Bitmap{ranges: make([]Range, n)}

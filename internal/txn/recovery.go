@@ -191,15 +191,22 @@ func (m *Manager) Recover(ctx context.Context, extra func(wal.Record) error) err
 // applyCommittedRecord folds one replayed commit into recovered state.
 func (m *Manager) applyCommittedRecord(rec CommitRecord) error {
 	// Shrink the coordinator's active sets: committed keys no longer need
-	// tracking (Table 1, step 4).
-	if m.cfg.Keys != nil {
-		consumed := &rfrb.Bitmap{}
-		for _, sp := range rec.Spaces {
-			for _, r := range sp.RB.CloudRanges() {
-				consumed.AddRange(r)
-			}
+	// tracking (Table 1, step 4). On a secondary node (no local
+	// generator), re-send the commit notification instead: if the
+	// original notification was lost before the crash, the coordinator
+	// still counts these keys as outstanding, and a WriterRestartGC would
+	// reclaim committed data. Replaying the notification is idempotent —
+	// OnCommit on already-released ranges is a no-op.
+	consumed := &rfrb.Bitmap{}
+	for _, sp := range rec.Spaces {
+		for _, r := range sp.RB.CloudRanges() {
+			consumed.AddRange(r)
 		}
+	}
+	if m.cfg.Keys != nil {
 		m.cfg.Keys.OnCommit(rec.Node, consumed)
+	} else if m.cfg.Notify != nil && consumed.Count() > 0 {
+		m.cfg.Notify(rec.Node, consumed)
 	}
 	// Re-apply block allocations to the freelists (the checkpoint image
 	// predates these commits) and queue RF extents for collection. A space

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"cloudiq/internal/blockdev"
+	"cloudiq/internal/faultinject"
 )
 
 // RecordType identifies the kind of a log record.
@@ -73,10 +74,22 @@ const magic = 0x69715741 // "iqWA"
 // Log is an append-only transaction log over a block device. It is safe for
 // concurrent use.
 type Log struct {
-	mu  sync.Mutex
-	dev blockdev.Device
-	end int64 // next append offset
-	ckp int64 // offset of the last checkpoint record (0 = none)
+	mu     sync.Mutex
+	dev    blockdev.Device
+	end    int64 // next append offset
+	ckp    int64 // offset of the last checkpoint record (0 = none)
+	faults *faultinject.Plan
+}
+
+// InjectFaults arms the log with a fault plan. The WALAppend site fails
+// appends outright; a non-zero WALTornTail lag draw persists only that many
+// bytes of the frame and fails the append — the torn tail a crash
+// mid-append leaves, which a subsequent Open must stop at cleanly. The
+// detail for both sites is the record-type name ("commit", "alloc", ...).
+func (l *Log) InjectFaults(p *faultinject.Plan) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.faults = p
 }
 
 // Open attaches to the log stored on dev, creating the header if the device
@@ -126,6 +139,20 @@ func (l *Log) Append(ctx context.Context, typ RecordType, payload []byte) (uint6
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	lsn := l.end
+	if err := l.faults.Check(faultinject.WALAppend, typ.String()); err != nil {
+		return 0, fmt.Errorf("wal: append %s: %w", typ, err)
+	}
+	if n := l.faults.LagAt(faultinject.WALTornTail, typ.String()); n > 0 {
+		// Persist a strict prefix of the frame without advancing end:
+		// the on-device image of a crash mid-append. The next Open's
+		// scan stops at this torn frame.
+		if n >= len(frame) {
+			n = len(frame) - 1
+		}
+		_ = l.dev.WriteAt(ctx, frame[:n], lsn)
+		return 0, fmt.Errorf("wal: append %s: torn after %d of %d bytes: %w",
+			typ, n, len(frame), faultinject.ErrInjected)
+	}
 	if err := l.dev.WriteAt(ctx, frame, lsn); err != nil {
 		return 0, fmt.Errorf("wal: append %s: %w", typ, err)
 	}

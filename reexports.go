@@ -8,6 +8,7 @@ import (
 	"cloudiq/internal/blockdev"
 	"cloudiq/internal/column"
 	"cloudiq/internal/exec"
+	"cloudiq/internal/faultinject"
 	"cloudiq/internal/iomodel"
 	"cloudiq/internal/multiplex"
 	"cloudiq/internal/objstore"
@@ -87,6 +88,31 @@ type (
 	Latency = iomodel.Latency
 	// Resource models shared capacity (bandwidth, IOPS, a NIC).
 	Resource = iomodel.Resource
+)
+
+// Deterministic fault injection (internal/faultinject).
+type (
+	// FaultPlan is a seeded, deterministic fault schedule threaded
+	// through the storage stack (ObjectStoreConfig.Faults,
+	// BlockDeviceConfig.Faults, Config.Faults).
+	FaultPlan = faultinject.Plan
+	// FaultSite names one injection point.
+	FaultSite = faultinject.Site
+)
+
+// NewFaultPlan returns a fault plan fully determined by seed.
+var NewFaultPlan = faultinject.New
+
+// Injection sites most useful from the public API.
+const (
+	FaultObjPut        = faultinject.ObjPut
+	FaultObjGet        = faultinject.ObjGet
+	FaultObjDelete     = faultinject.ObjDelete
+	FaultObjList       = faultinject.ObjList
+	FaultObjVisibility = faultinject.ObjVisibility
+	FaultWALAppend     = faultinject.WALAppend
+	FaultWALTornTail   = faultinject.WALTornTail
+	FaultRPCNotify     = faultinject.RPCNotify
 )
 
 // NewMemObjectStore returns an in-memory simulated object store.
