@@ -1,0 +1,74 @@
+// Command cloudiq-lint runs the engine's custom static analyzers — noclock,
+// lockcheck, iqerrcheck, keyhygiene and faultsite — over module packages and
+// reports file:line:col: rule: message diagnostics, exiting non-zero on any
+// finding. It is built purely on the standard library's go/parser, go/ast
+// and go/types.
+//
+// Usage:
+//
+//	cloudiq-lint [-json] [pattern ...]
+//
+// Patterns are module-relative directories, optionally ending in /... to
+// recurse ("./...", the default, analyzes the whole module). Intentional
+// exceptions are declared in the source as:
+//
+//	//lint:ignore <rule> <reason>
+//
+// on the flagged line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudiq/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON diagnostics")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cloudiq-lint [-json] [pattern ...]\n\nanalyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cloudiq-lint:", err)
+		os.Exit(2)
+	}
+	units, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cloudiq-lint:", err)
+		os.Exit(2)
+	}
+	if len(loader.Errors) > 0 {
+		for _, e := range loader.Errors {
+			fmt.Fprintln(os.Stderr, "cloudiq-lint: type error:", e)
+		}
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(units, analysis.Analyzers())
+	cwd, _ := os.Getwd()
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, cwd, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "cloudiq-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		analysis.WriteText(os.Stdout, cwd, diags)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,247 @@
+// Package analysis is a self-contained static-analysis driver for the
+// cloudiq engine, built purely on the standard library's go/parser, go/ast
+// and go/types (no golang.org/x/tools dependency). It loads every package in
+// the module, runs a pluggable set of analyzers that machine-check the
+// paper's discipline rules — never-write-twice key hygiene, deterministic
+// simulation clocks, fault-injection coverage, lock balance, and I/O error
+// handling — and reports file:line:col diagnostics.
+//
+// Intentional exceptions are declared in the source with a suppression
+// comment on the flagged line or the line directly above it:
+//
+//	//lint:ignore <rule> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported, so
+// every suppression in the tree stays visible and audited.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named rule. Run inspects a single package unit and reports
+// findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one package unit through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Path     string // import path of the unit
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// analyze marks the files this unit is responsible for reporting on.
+	// Test variants re-type-check the base files alongside the _test files;
+	// restricting reports avoids duplicating the base pass's findings.
+	analyze map[*ast.File]bool
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if !p.analyzed(position.Filename) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Position: position,
+		Rule:     p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) analyzed(filename string) bool {
+	if p.analyze == nil {
+		return true
+	}
+	for f := range p.analyze {
+		if p.Fset.Position(f.Package).Filename == filename {
+			return p.analyze[f]
+		}
+	}
+	return false
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Position token.Position
+	Rule     string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		d.Position.Filename, d.Position.Line, d.Position.Column, d.Rule, d.Message)
+}
+
+// Analyzers returns the full rule set, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoClock(),
+		LockCheck(),
+		IQErrCheck(),
+		KeyHygiene(),
+		FaultSite(),
+	}
+}
+
+// Run applies the analyzers to every unit and returns the surviving
+// diagnostics sorted by position, with //lint:ignore suppressions applied.
+// Malformed or reason-less directives are reported under the "lintdirective"
+// pseudo-rule so suppressions cannot rot silently.
+func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	sup := newSuppressions()
+	for _, u := range units {
+		for _, f := range u.Files {
+			if u.Analyze[f] {
+				sup.scanFile(u.Fset, f)
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     u.Fset,
+				Path:     u.Path,
+				Files:    u.Files,
+				Pkg:      u.Pkg,
+				Info:     u.Info,
+				analyze:  u.Analyze,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	diags = append(diags, sup.malformed...)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return kept
+}
+
+// --- suppression directives ---
+
+const ignorePrefix = "//lint:ignore"
+
+type directive struct {
+	rule string
+}
+
+type suppressions struct {
+	// byLine maps file -> line -> rules suppressed on that line.
+	byLine    map[string]map[int][]directive
+	malformed []Diagnostic
+}
+
+func newSuppressions() *suppressions {
+	return &suppressions{byLine: make(map[string]map[int][]directive)}
+}
+
+func (s *suppressions) scanFile(fset *token.FileSet, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				s.malformed = append(s.malformed, Diagnostic{
+					Position: pos,
+					Rule:     "lintdirective",
+					Message:  "malformed //lint:ignore directive: want \"//lint:ignore <rule> <reason>\"",
+				})
+				continue
+			}
+			lines := s.byLine[pos.Filename]
+			if lines == nil {
+				lines = make(map[int][]directive)
+				s.byLine[pos.Filename] = lines
+			}
+			d := directive{rule: fields[0]}
+			// A directive covers its own line (trailing comment) and the
+			// line below it (comment-above form).
+			lines[pos.Line] = append(lines[pos.Line], d)
+			lines[pos.Line+1] = append(lines[pos.Line+1], d)
+		}
+	}
+}
+
+func (s *suppressions) suppressed(d Diagnostic) bool {
+	if d.Rule == "lintdirective" {
+		return false
+	}
+	for _, dir := range s.byLine[d.Position.Filename][d.Position.Line] {
+		if dir.rule == d.Rule {
+			return true
+		}
+	}
+	return false
+}
+
+// --- shared type helpers used by several analyzers ---
+
+// pkgBase returns the last path segment of an import path ("" for nil).
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil for
+// non-function calls (conversions, built-ins, function-typed variables).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

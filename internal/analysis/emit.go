@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// JSONDiagnostic is the machine-readable diagnostic schema emitted by
+// cloudiq-lint -json. The field set is a stability contract: tools consume
+// it, so fields may be added but never renamed or removed.
+type JSONDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// JSONReport is the top-level -json document.
+type JSONReport struct {
+	Diagnostics []JSONDiagnostic `json:"diagnostics"`
+	Count       int              `json:"count"`
+}
+
+// WriteJSON renders diagnostics as the stable JSON schema. File paths are
+// made relative to root when possible, so output is machine-portable.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
+	report := JSONReport{Diagnostics: make([]JSONDiagnostic, 0, len(diags)), Count: len(diags)}
+	for _, d := range diags {
+		report.Diagnostics = append(report.Diagnostics, JSONDiagnostic{
+			File:    relPath(root, d.Position.Filename),
+			Line:    d.Position.Line,
+			Col:     d.Position.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// WriteText renders diagnostics one per line as file:line:col: rule: message.
+func WriteText(w io.Writer, root string, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n",
+			relPath(root, d.Position.Filename), d.Position.Line, d.Position.Column, d.Rule, d.Message)
+	}
+}
+
+func relPath(root, path string) string {
+	if root == "" {
+		return path
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil || len(rel) > len(path) {
+		return path
+	}
+	return rel
+}

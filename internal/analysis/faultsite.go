@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// boundaryPkgs are the storage-boundary packages: every exported mutating
+// operation they offer must be reachable by the fault planner, or new
+// operations silently escape crash-simulation coverage.
+var boundaryPkgs = map[string]bool{
+	"objstore": true,
+	"blockdev": true,
+	"wal":      true,
+	"ocm":      true,
+}
+
+// mutatingPrefixes identify state-changing operations by name. Read paths
+// (Get, ReadAt, List, Exists, Replay) are injected too in practice, but the
+// invariant the paper needs is that no WRITE can bypass fault coverage —
+// a write that never sees a fault in simulation is a write whose failure
+// handling is never exercised.
+var mutatingPrefixes = []string{"Put", "Write", "Append", "Delete", "Checkpoint", "Remove", "Truncate"}
+
+// FaultSite checks that every exported mutating method on the
+// objstore/blockdev/wal/ocm boundary routes through a faultinject hook:
+// its same-package transitive call closure must reach Plan.Check or
+// Plan.LagAt, or delegate the mutation to another covered boundary (for
+// example, ocm's write paths delegate to objstore.Store.Put and
+// blockdev.Device.WriteAt, which are themselves hooked).
+func FaultSite() *Analyzer {
+	a := &Analyzer{
+		Name: "faultsite",
+		Doc:  "exported mutating boundary operations must route through a faultinject site",
+	}
+	a.Run = func(pass *Pass) {
+		if !boundaryPkgs[pkgBase(pass.Pkg.Path())] {
+			return
+		}
+		// Map every function/method declared in this unit to its body so
+		// the closure walk can follow same-package calls.
+		bodies := make(map[*types.Func]*ast.BlockStmt)
+		var targets []*ast.FuncDecl
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				bodies[fn] = fd.Body
+				if isExportedMutatingMethod(fd, fn) && !pass.InTestFile(fd.Pos()) {
+					targets = append(targets, fd)
+				}
+			}
+		}
+		for _, fd := range targets {
+			fn := pass.Info.Defs[fd.Name].(*types.Func)
+			seen := make(map[*types.Func]bool)
+			if !reachesFaultHook(pass, fn, bodies, seen) {
+				recv := recvTypeName(fn)
+				pass.Reportf(fd.Name.Pos(),
+					"exported mutating operation %s.%s has no faultinject site on any path: add a Plan.Check call or route the write through a covered boundary",
+					recv, fn.Name())
+			}
+		}
+	}
+	return a
+}
+
+// isExportedMutatingMethod selects exported methods on exported receiver
+// types whose name carries a mutating verb. Requiring a leading
+// context.Context parameter separates real I/O operations from
+// similarly-named counter accessors (Metrics.Puts, Stats.Writes,
+// Log.CheckpointLSN): every boundary mutation is context-aware.
+func isExportedMutatingMethod(fd *ast.FuncDecl, fn *types.Func) bool {
+	if fd.Recv == nil || !fn.Exported() {
+		return false
+	}
+	name := recvTypeName(fn)
+	if name == "" || !ast.IsExported(name) {
+		return false
+	}
+	if !hasMutatingName(fn.Name()) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
+}
+
+func hasMutatingName(name string) bool {
+	for _, p := range mutatingPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// reachesFaultHook walks fn's call closure within the package, following
+// calls to same-package functions, and succeeds on a faultinject Plan hook
+// or a delegated mutating call into another covered boundary package.
+func reachesFaultHook(pass *Pass, fn *types.Func, bodies map[*types.Func]*ast.BlockStmt, seen map[*types.Func]bool) bool {
+	if seen[fn] {
+		return false
+	}
+	seen[fn] = true
+	body, ok := bodies[fn]
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass.Info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		switch {
+		case isFaultHook(callee):
+			found = true
+		case isBoundaryDelegate(pass, callee):
+			found = true
+		case callee.Pkg() == pass.Pkg:
+			if reachesFaultHook(pass, callee, bodies, seen) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isFaultHook matches (*faultinject.Plan).Check and LagAt.
+func isFaultHook(fn *types.Func) bool {
+	if pkgBase(fn.Pkg().Path()) != "faultinject" {
+		return false
+	}
+	return fn.Name() == "Check" || fn.Name() == "LagAt"
+}
+
+// isBoundaryDelegate matches mutating calls into a DIFFERENT covered
+// boundary package (interface or concrete): the callee's own faultsite
+// obligations guarantee the hook.
+func isBoundaryDelegate(pass *Pass, fn *types.Func) bool {
+	path := fn.Pkg().Path()
+	if fn.Pkg() == pass.Pkg || !boundaryPkgs[pkgBase(path)] {
+		return false
+	}
+	return hasMutatingName(fn.Name())
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ioLayerPkgs are the packages whose methods' errors carry the engine's
+// durability story: dropping one silently can turn an injected fault or a
+// failed upload into lost data. Errors from these calls must be handled or
+// explicitly discarded with `_ =` (which is visible in review), never
+// dropped by using the call as a bare statement, a bare defer, or a go
+// statement.
+var ioLayerPkgs = map[string]bool{
+	"objstore": true,
+	"blockdev": true,
+	"wal":      true,
+	"ocm":      true,
+}
+
+// IQErrCheck flags discarded error results from objstore, blockdev, wal and
+// ocm calls, including errors dropped by `defer f.Close()` patterns.
+func IQErrCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "iqerrcheck",
+		Doc:  "errors from objstore/blockdev/wal/ocm calls must not be silently discarded",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+						checkDroppedErr(pass, call, "")
+					}
+				case *ast.DeferStmt:
+					checkDroppedErr(pass, st.Call, "defer ")
+				case *ast.GoStmt:
+					checkDroppedErr(pass, st.Call, "go ")
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkDroppedErr(pass *Pass, call *ast.CallExpr, form string) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || !ioLayerPkgs[pkgBase(fn.Pkg().Path())] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		// Only the object/device/log/cache method surfaces are in scope;
+		// package-level helpers are judged by the general vet rules.
+		return
+	}
+	results := sig.Results()
+	if results.Len() == 0 || !isErrorType(results.At(results.Len()-1).Type()) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s%s.%s drops its error: handle it or assign it explicitly (e.g. `_ = ...` with a reason)",
+		form, pkgBase(fn.Pkg().Path()), fn.Name())
+}

@@ -1,0 +1,32 @@
+// Package errdemo is an iqerrcheck golden corpus: errors returned by
+// objstore/blockdev/wal/ocm methods must be handled or explicitly discarded
+// with `_ =`, never dropped by a bare statement, bare defer, or go statement.
+package errdemo
+
+import (
+	"context"
+
+	"cloudiq/internal/objstore"
+)
+
+// drops loses boundary errors as a bare statement and a go statement.
+func drops(ctx context.Context, s objstore.Store) {
+	s.Put(ctx, "k", nil)  // want "iqerrcheck: objstore.Put drops its error"
+	go s.Delete(ctx, "k") // want "iqerrcheck: go objstore.Delete drops its error"
+}
+
+// deferredDrop loses the error of a deferred boundary call.
+func deferredDrop(ctx context.Context, s objstore.Store) {
+	defer s.Delete(ctx, "k") // want "iqerrcheck: defer objstore.Delete drops its error"
+	_ = s.Put(ctx, "k", []byte("v"))
+}
+
+// handled and explicitly discarded forms are both legal: the first is the
+// normal path, the second is visible in review.
+func handled(ctx context.Context, s objstore.Store) error {
+	if err := s.Put(ctx, "k", []byte("v")); err != nil {
+		return err
+	}
+	_ = s.Delete(ctx, "k")
+	return nil
+}

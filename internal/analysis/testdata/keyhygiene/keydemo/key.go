@@ -1,0 +1,48 @@
+// Package keydemo is a keyhygiene golden corpus: a string key fabricated at
+// an object-store Put site — literal, concatenation, or formatting call,
+// directly or through a local variable — is a finding; keys that flow in from
+// parameters or dedicated naming functions pass.
+package keydemo
+
+import (
+	"context"
+	"fmt"
+
+	"cloudiq/internal/objstore"
+)
+
+// literalKey fabricates the key at the call site.
+func literalKey(ctx context.Context, s objstore.Store) error {
+	return s.Put(ctx, "pages/0001", []byte("v")) // want "keyhygiene: key passed to s.Put is constructed locally"
+}
+
+// formattedKey builds the key with Sprintf through a local variable.
+func formattedKey(ctx context.Context, s objstore.Store, page int) error {
+	key := fmt.Sprintf("p/%06d", page)
+	return s.Put(ctx, key, nil) // want "keyhygiene: key passed to s.Put is constructed locally"
+}
+
+// concatKey derives the key by concatenation onto a literal prefix.
+func concatKey(ctx context.Context, s objstore.Store, suffix string) error {
+	return s.Put(ctx, "prefix/"+suffix, nil) // want "keyhygiene: key passed to s.Put is constructed locally"
+}
+
+// mintedKey arrives from elsewhere (ultimately the key generator); legal.
+func mintedKey(ctx context.Context, s objstore.Store, key string) error {
+	return s.Put(ctx, key, nil)
+}
+
+// namer renders minted identifiers into keys, the core.KeyNamer pattern.
+type namer struct {
+	prefix string
+}
+
+func (n namer) name(id uint64) string {
+	return fmt.Sprintf("%s/%016x", n.prefix, id)
+}
+
+// namedKey routes through a dedicated naming method; legal.
+func namedKey(ctx context.Context, s objstore.Store, id uint64) error {
+	n := namer{prefix: "pages"}
+	return s.Put(ctx, n.name(id), nil)
+}

@@ -1,0 +1,100 @@
+// Package lockdemo is a lockcheck golden corpus: a Lock whose Unlock is
+// neither deferred nor executed on every path out of the function is a
+// finding; deferred unlocks, all-path unlocks and caller-managed *Locked
+// helpers are not.
+package lockdemo
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// leakOnEarlyReturn forgets the unlock on the early-return path.
+func (c *counter) leakOnEarlyReturn(fail bool) int {
+	c.mu.Lock() // want "lockcheck: c.mu.Lock() is not deferred and not released on every path"
+	if fail {
+		return -1
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// leakFallOff takes the read lock and never releases it.
+func (c *counter) leakFallOff() {
+	c.rw.RLock() // want "lockcheck: c.rw.RLock() is not deferred and not released on every path"
+	_ = c.n
+}
+
+// leakViaBreak exits the loop — and then the function — holding the lock.
+func (c *counter) leakViaBreak(rounds int) {
+	for i := 0; i < rounds; i++ {
+		c.mu.Lock() // want "lockcheck: c.mu.Lock() is not deferred and not released on every path"
+		if c.n > 10 {
+			break
+		}
+		c.mu.Unlock()
+	}
+}
+
+// deferredUnlock is the canonical correct form.
+func (c *counter) deferredUnlock() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// branchBalanced unlocks on every path without defer; still correct.
+func (c *counter) branchBalanced(fast bool) int {
+	c.mu.Lock()
+	if fast {
+		n := c.n
+		c.mu.Unlock()
+		return n
+	}
+	c.n++
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// wrappedDefer releases through a deferred closure; recognised as correct.
+func (c *counter) wrappedDefer() int {
+	c.mu.Lock()
+	defer func() {
+		c.n++
+		c.mu.Unlock()
+	}()
+	return c.n
+}
+
+// drainLocked follows the *Locked helper convention: the caller holds mu and
+// the helper may drop and retake it, so the function is exempt.
+func (c *counter) drainLocked() {
+	c.mu.Unlock()
+	c.n = 0
+	c.mu.Lock()
+}
+
+// loopBalanced locks and unlocks once per iteration; correct.
+func (c *counter) loopBalanced(rounds int) {
+	for i := 0; i < rounds; i++ {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+// readersAndWriters tracks the two RWMutex balances independently.
+func (c *counter) readersAndWriters() int {
+	c.rw.RLock()
+	n := c.n
+	c.rw.RUnlock()
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	c.n = n + 1
+	return c.n
+}

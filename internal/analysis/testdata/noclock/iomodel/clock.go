@@ -1,0 +1,41 @@
+// Package iomodel is a noclock golden corpus: its directory base matches a
+// deterministic simulation package, so wall-clock reads and global math/rand
+// draws must be reported, while seeded sources and time.Sleep stay legal.
+package iomodel
+
+import (
+	"math/rand"
+	"time"
+)
+
+// wallClock reads the real clock three ways; all are findings.
+func wallClock() time.Duration {
+	start := time.Now()      // want "noclock: time.Now in deterministic package iomodel"
+	_ = time.Until(start)    // want "noclock: time.Until in deterministic package iomodel"
+	return time.Since(start) // want "noclock: time.Since in deterministic package iomodel"
+}
+
+// globalDraws uses the process-global shared source; both are findings.
+func globalDraws() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "noclock: global rand.Shuffle in deterministic package iomodel"
+	return rand.Intn(10)               // want "noclock: global rand.Intn in deterministic package iomodel"
+}
+
+// seededDraws is the sanctioned pattern: a locally seeded generator.
+func seededDraws(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// scaledSleep is legal: time.Sleep is how the injected clock (iomodel.Scale)
+// implements its scaled sleeping.
+func scaledSleep() {
+	time.Sleep(time.Microsecond)
+}
+
+// suppressed documents an audited exception; the directive keeps the call out
+// of the report, so this function has no expected findings.
+func suppressed() time.Time {
+	//lint:ignore noclock corpus demonstration of an audited, reasoned exception
+	return time.Now()
+}

@@ -504,6 +504,13 @@ func AblationRetryPolicy(ctx context.Context, pages int) ([]AblationResult, erro
 	return out, nil
 }
 
+// ablationPageKey names a synthetic churn page for the write-mode ablation.
+// These pages live in a per-run throwaway store and never coexist with
+// engine-minted keys, so the naming is local to the experiment.
+func ablationPageKey(i int) string {
+	return fmt.Sprintf("p/%06d", i)
+}
+
 // AblationOCMWriteMode measures the churn-phase latency benefit of
 // write-back over write-through for a burst of page writes (§4: the churn
 // phase is the longest part of a transaction and must be optimized).
@@ -523,7 +530,7 @@ func AblationOCMWriteMode(ctx context.Context, pages int, timeScale float64) ([]
 		data := make([]byte, 4096)
 		start := time.Now()
 		for i := 0; i < pages; i++ {
-			key := fmt.Sprintf("p/%06d", i)
+			key := ablationPageKey(i)
 			if mode == "write-back" {
 				err = cache.PutBack(ctx, key, data)
 			} else {
@@ -537,7 +544,7 @@ func AblationOCMWriteMode(ctx context.Context, pages int, timeScale float64) ([]
 		// Commit phase: everything must still reach the store.
 		var keys []string
 		for i := 0; i < pages; i++ {
-			keys = append(keys, fmt.Sprintf("p/%06d", i))
+			keys = append(keys, ablationPageKey(i))
 		}
 		if err := cache.FlushForCommit(ctx, keys); err != nil {
 			return nil, err

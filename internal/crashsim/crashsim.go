@@ -50,9 +50,9 @@ var (
 
 // Crash modes, rotated per cycle.
 const (
-	ModeWriterCrash = "writer-crash"  // writer dies between transactions
-	ModeCoordCrash  = "coord-crash"   // coordinator dies mid-cycle, writer survives
-	ModeMidFlush    = "mid-flush"     // writer dies during a commit's page flush
+	ModeWriterCrash = "writer-crash" // writer dies between transactions
+	ModeCoordCrash  = "coord-crash"  // coordinator dies mid-cycle, writer survives
+	ModeMidFlush    = "mid-flush"    // writer dies during a commit's page flush
 )
 
 var modes = []string{ModeWriterCrash, ModeCoordCrash, ModeMidFlush}

@@ -160,7 +160,11 @@ func TestLocalDeviceFailureDegradesToDirectWrite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer c.Close()
+	defer func() {
+		if err := c.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
 	if err := c.PutBack(ctxb(), "p", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +215,11 @@ func TestUploadQueueDropOnCrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer c.Close()
+	defer func() {
+		if err := c.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
 	if err := c.PutBack(ctxb(), "dropped", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
