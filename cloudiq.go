@@ -34,6 +34,7 @@ import (
 	"cloudiq/internal/keygen"
 	"cloudiq/internal/objstore"
 	"cloudiq/internal/ocm"
+	"cloudiq/internal/pageio"
 	"cloudiq/internal/rfrb"
 	"cloudiq/internal/snapshot"
 	"cloudiq/internal/txn"
@@ -73,16 +74,21 @@ type Config struct {
 	// plan's WAL injection sites (WALAppend, WALTornTail). Storage-side
 	// sites are armed on the stores/devices directly via their configs.
 	Faults *faultinject.Plan
+	// IOStats, when non-nil, collects per-layer pageio counters and latency
+	// histograms from every dbspace and OCM cache attached to this node.
+	// Dump it with its WriteJSON method (iqbench -iostats does).
+	IOStats *pageio.StatsRegistry
 }
 
 // Database is one node's database instance.
 type Database struct {
-	cfg  Config
-	log  *wal.Log
-	gen  *keygen.Generator // nil on secondary nodes
-	mgr  *txn.Manager
-	cat  *catalog.Catalog
-	pool *buffer.Pool
+	cfg    Config
+	log    *wal.Log
+	gen    *keygen.Generator // nil on secondary nodes
+	mgr    *txn.Manager
+	cat    *catalog.Catalog
+	pool   *buffer.Pool
+	iopool *pageio.WorkPool // shared batch-I/O fan-out across dbspaces
 
 	mu     sync.Mutex
 	spaces map[string]core.Dbspace
@@ -112,11 +118,16 @@ func Open(ctx context.Context, cfg Config) (*Database, error) {
 	if cfg.Faults != nil {
 		log.InjectFaults(cfg.Faults)
 	}
+	workers := cfg.PrefetchWorkers
+	if workers <= 0 {
+		workers = 8
+	}
 	db := &Database{
 		cfg:    cfg,
 		log:    log,
 		cat:    catalog.New(),
 		pool:   buffer.NewPool(buffer.Config{Capacity: cfg.CacheBytes, PrefetchWorkers: cfg.PrefetchWorkers}),
+		iopool: pageio.NewPool(workers),
 		spaces: make(map[string]core.Dbspace),
 	}
 	tcfg := txn.Config{
@@ -205,6 +216,8 @@ func (db *Database) AttachCloudDbspace(name string, store objstore.Store, opts C
 		ReadRetries:  opts.ReadRetries,
 		WriteRetries: opts.WriteRetries,
 		Scale:        db.cfg.Scale,
+		Pool:         db.iopool,
+		Stats:        db.cfg.IOStats,
 	}
 	if opts.CacheDevice != nil {
 		cache, err := ocm.New(ocm.Config{
@@ -212,6 +225,7 @@ func (db *Database) AttachCloudDbspace(name string, store objstore.Store, opts C
 			Store:     store,
 			BlockSize: opts.CacheBlockSize,
 			Workers:   db.cfg.PrefetchWorkers,
+			Stats:     db.cfg.IOStats,
 		})
 		if err != nil {
 			return fmt.Errorf("cloudiq: dbspace %q: %w", name, err)
@@ -232,7 +246,7 @@ func (db *Database) AttachBlockDbspace(name string, dev blockdev.Device, blockSi
 	if _, dup := db.spaces[name]; dup {
 		return fmt.Errorf("cloudiq: dbspace %q already attached", name)
 	}
-	ds, err := core.NewBlock(core.BlockConfig{Name: name, Device: dev, BlockSize: blockSize})
+	ds, err := core.NewBlock(core.BlockConfig{Name: name, Device: dev, BlockSize: blockSize, Stats: db.cfg.IOStats, Pool: db.iopool})
 	if err != nil {
 		return err
 	}

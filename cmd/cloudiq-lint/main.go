@@ -1,5 +1,5 @@
 // Command cloudiq-lint runs the engine's custom static analyzers — noclock,
-// lockcheck, iqerrcheck, keyhygiene and faultsite — over module packages and
+// lockcheck, iqerrcheck, keyhygiene, faultsite and pageioonly — over module packages and
 // reports file:line:col: rule: message diagnostics, exiting non-zero on any
 // finding. It is built purely on the standard library's go/parser, go/ast
 // and go/types.

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"cloudiq/internal/bench"
+	"cloudiq/internal/pageio"
 )
 
 func main() {
@@ -29,14 +30,42 @@ func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	timeScale := flag.Float64("timescale", 0.2, "real seconds per simulated second (larger = higher fidelity, slower)")
 	seed := flag.Int64("seed", 1, "jitter seed")
+	short := flag.Bool("short", false, "shrink scale factor and timescale for a fast smoke run (overrides -sf/-timescale)")
+	iostats := flag.String("iostats", "", "write per-layer pageio statistics JSON to this file after the run")
 	flag.Parse()
 
 	base := bench.Options{SF: *sf, TimeScale: *timeScale, Seed: *seed}
+	if *short {
+		base.SF = 0.002
+		base.TimeScale = 0.01
+	}
+	if *iostats != "" {
+		base.IOStats = pageio.NewRegistry()
+	}
 	ctx := context.Background()
 	if err := run(ctx, strings.ToLower(*exp), base); err != nil {
 		fmt.Fprintln(os.Stderr, "iqbench:", err)
 		os.Exit(1)
 	}
+	if *iostats != "" {
+		if err := writeStats(*iostats, base.IOStats); err != nil {
+			fmt.Fprintln(os.Stderr, "iqbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeStats dumps the per-layer I/O counters collected during the run.
+func writeStats(path string, reg *pageio.StatsRegistry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(ctx context.Context, exp string, base bench.Options) error {

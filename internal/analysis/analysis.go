@@ -99,6 +99,7 @@ func Analyzers() []*Analyzer {
 		IQErrCheck(),
 		KeyHygiene(),
 		FaultSite(),
+		PageioOnly(),
 	}
 }
 

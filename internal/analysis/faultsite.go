@@ -14,6 +14,7 @@ var boundaryPkgs = map[string]bool{
 	"blockdev": true,
 	"wal":      true,
 	"ocm":      true,
+	"pageio":   true,
 }
 
 // mutatingPrefixes identify state-changing operations by name. Read paths

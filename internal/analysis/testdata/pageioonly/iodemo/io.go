@@ -1,0 +1,90 @@
+// Package iodemo exercises the pageioonly analyzer: direct store/device
+// calls are flagged, decorator forwarding and suppressed sites pass.
+package iodemo
+
+import "context"
+
+// Store mirrors the object-store surface the analyzer matches on.
+type Store interface {
+	Put(ctx context.Context, key string, data []byte) error
+	Get(ctx context.Context, key string) ([]byte, error)
+	Delete(ctx context.Context, key string) error
+	Exists(ctx context.Context, key string) (bool, error)
+	List(ctx context.Context, prefix string) ([]string, error)
+}
+
+// Device mirrors the block-device surface.
+type Device interface {
+	ReadAt(ctx context.Context, p []byte, off int64) error
+	WriteAt(ctx context.Context, p []byte, off int64) error
+	Size() int64
+}
+
+func loadPage(ctx context.Context, s Store) ([]byte, error) {
+	return s.Get(ctx, "page-1") // want "bypasses the pageio pipeline"
+}
+
+func storePage(ctx context.Context, s Store, data []byte) error {
+	return s.Put(ctx, "page-1", data) // want "bypasses the pageio pipeline"
+}
+
+func readBlock(ctx context.Context, d Device, buf []byte) error {
+	return d.ReadAt(ctx, buf, 0) // want "bypasses the pageio pipeline"
+}
+
+func writeBlock(ctx context.Context, d Device, buf []byte) error {
+	return d.WriteAt(ctx, buf, 4096) // want "bypasses the pageio pipeline"
+}
+
+// listKeys uses a method outside the banned set; listing is metadata, not
+// page I/O.
+func listKeys(ctx context.Context, s Store) ([]string, error) {
+	return s.List(ctx, "pages/")
+}
+
+// lookup has a Get-shaped name on a non-store type and must not be flagged.
+type registry map[string]int
+
+func (r registry) Get(name string) int { return r[name] }
+
+func lookup(r registry) int { return r.Get("x") }
+
+// countingStore is a decorator: its receiver implements the full Store
+// interface, so forwarding to the inner store is part of the storage
+// substrate, not a bypass.
+type countingStore struct {
+	inner Store
+	gets  int
+}
+
+func (c *countingStore) Put(ctx context.Context, key string, data []byte) error {
+	return c.inner.Put(ctx, key, data)
+}
+
+func (c *countingStore) Get(ctx context.Context, key string) ([]byte, error) {
+	c.gets++
+	return c.inner.Get(ctx, key)
+}
+
+func (c *countingStore) Delete(ctx context.Context, key string) error {
+	return c.inner.Delete(ctx, key)
+}
+
+func (c *countingStore) Exists(ctx context.Context, key string) (bool, error) {
+	return c.inner.Exists(ctx, key)
+}
+
+func (c *countingStore) List(ctx context.Context, prefix string) ([]string, error) {
+	return c.inner.List(ctx, prefix)
+}
+
+// clone performs a whole-image device copy, legitimately outside the page
+// pipeline; the suppression must silence the diagnostic.
+func clone(ctx context.Context, src, dst Device, buf []byte) error {
+	//lint:ignore pageioonly whole-image device clone, not page I/O
+	if err := src.ReadAt(ctx, buf, 0); err != nil {
+		return err
+	}
+	//lint:ignore pageioonly whole-image device clone, not page I/O
+	return dst.WriteAt(ctx, buf, 0)
+}

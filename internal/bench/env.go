@@ -7,6 +7,7 @@ import (
 
 	"cloudiq"
 	"cloudiq/internal/iomodel"
+	"cloudiq/internal/pageio"
 	"cloudiq/tpch"
 )
 
@@ -36,6 +37,9 @@ type Options struct {
 	// SkipLoad builds the environment without loading (the bandwidth
 	// experiment drives the load itself).
 	SkipLoad bool
+	// IOStats, when non-nil, collects the engine's per-layer pageio
+	// counters (iqbench -iostats plumbs it here).
+	IOStats *pageio.StatsRegistry
 }
 
 func (o Options) withDefaults() Options {
@@ -127,6 +131,7 @@ func Setup(ctx context.Context, opts Options) (*Env, error) {
 		PrefetchWorkers: opts.Instance.CPUs,
 		Compress:        true,
 		Scale:           e.Scale,
+		IOStats:         opts.IOStats,
 	})
 	if err != nil {
 		return nil, err
@@ -221,11 +226,13 @@ func (e *Env) Close() error {
 func copyDevice(ctx context.Context, src *cloudiq.MemBlockDevice) (*cloudiq.MemBlockDevice, error) {
 	size := src.Size()
 	buf := make([]byte, size)
+	//lint:ignore pageioonly whole-image device clone, not engine page I/O
 	if err := src.ReadAt(ctx, buf, 0); err != nil {
 		return nil, err
 	}
 	dst := cloudiq.NewMemBlockDevice(cloudiq.BlockDeviceConfig{Growable: true})
 	if size > 0 {
+		//lint:ignore pageioonly whole-image device clone, not engine page I/O
 		if err := dst.WriteAt(ctx, buf, 0); err != nil {
 			return nil, err
 		}

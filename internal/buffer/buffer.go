@@ -12,10 +12,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
-	"sync/atomic"
 
 	"cloudiq/internal/core"
+	"cloudiq/internal/pageio"
 )
 
 // ErrReadOnly is returned when writing through a read-only object handle.
@@ -204,6 +205,108 @@ func (o *Object) load(ctx context.Context, logical uint64) ([]byte, error) {
 	return data, nil
 }
 
+// ReadBatch returns the decompressed contents of the given logical pages.
+// Cache misses are fetched through one dbspace ReadBatch, so adjacent block
+// extents coalesce into scatter-gather reads and cloud reads overlap in the
+// pipeline's worker pool. Results are positional; like Read, the returned
+// slices are cached images and must not be modified. The error joins every
+// failed page.
+func (o *Object) ReadBatch(ctx context.Context, logicals []uint64) ([][]byte, error) {
+	p := o.pool
+	out := make([][]byte, len(logicals))
+	var errs []error
+
+	type miss struct {
+		i  int
+		pg *page
+	}
+	var misses []miss
+	var waiters []int // pages another goroutine is loading right now
+
+	p.mu.Lock()
+	for i, logical := range logicals {
+		key := pageKey{o.id, logical}
+		pg, ok := p.pages[key]
+		switch {
+		case ok && !pg.loading:
+			p.touch(pg)
+			p.stats.Hits++
+			out[i] = pg.data
+		case ok:
+			waiters = append(waiters, i)
+		default:
+			npg := &page{key: key, owner: o, loading: true}
+			p.pages[key] = npg
+			p.stats.Misses++
+			misses = append(misses, miss{i: i, pg: npg})
+		}
+	}
+	p.mu.Unlock()
+
+	if len(misses) > 0 {
+		itemErrs := make([]error, len(misses))
+		data := make([][]byte, len(misses))
+
+		var entries []core.Entry
+		var submit []int
+		for j, m := range misses {
+			entry, err := o.bm.Get(ctx, logicals[m.i])
+			if err == nil && entry.IsZero() {
+				err = fmt.Errorf("buffer: object %d has no page %d", o.id, logicals[m.i])
+			}
+			if err != nil {
+				itemErrs[j] = err
+				continue
+			}
+			entries = append(entries, entry)
+			submit = append(submit, j)
+		}
+		stored, err := o.ds.ReadBatch(ctx, entries)
+		subErrs := pageio.ItemErrors(err, len(entries))
+		for k, j := range submit {
+			if subErrs[k] != nil {
+				itemErrs[j] = subErrs[k]
+				continue
+			}
+			dec, derr := o.codec.Decompress(stored[k])
+			if derr != nil {
+				itemErrs[j] = fmt.Errorf("buffer: page %d of object %d: %w", logicals[misses[j].i], o.id, derr)
+				continue
+			}
+			data[j] = dec
+		}
+
+		p.mu.Lock()
+		for j, m := range misses {
+			m.pg.loading = false
+			if itemErrs[j] != nil {
+				delete(p.pages, m.pg.key)
+				errs = append(errs, itemErrs[j])
+				continue
+			}
+			m.pg.data = data[j]
+			m.pg.lru = p.lruList.PushFront(m.pg)
+			p.size += int64(len(data[j]))
+			out[m.i] = data[j]
+		}
+		p.cond.Broadcast()
+		p.evictLocked(ctx)
+		p.mu.Unlock()
+	}
+
+	// Pages that were mid-load by someone else resolve through Read, which
+	// waits on the loader.
+	for _, i := range waiters {
+		data, err := o.Read(ctx, logicals[i])
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		out[i] = data
+	}
+	return out, errors.Join(errs...)
+}
+
 // Write installs data as the new contents of the page, marking it dirty in
 // the cache. The page is born in RAM; permanent storage sees it on eviction
 // or commit.
@@ -381,10 +484,16 @@ func (o *Object) finishFlush(pg *page, entry core.Entry) error {
 }
 
 // FlushForCommit writes out every dirty page of the object in write-through
-// mode — in parallel, masking per-request storage latency exactly as the
-// paper's load engine does — and then flushes the blockmap's copy-on-write
-// cascade, returning the new identity for the catalog. This is the
-// commit-phase half of §4.
+// mode — as one dbspace WriteBatch, whose pipeline masks per-request storage
+// latency exactly as the paper's load engine does — and then flushes the
+// blockmap's copy-on-write cascade, returning the new identity for the
+// catalog. This is the commit-phase half of §4. Pages flush in logical
+// order; pages eligible for the §3.1 in-place rewrite keep their fixed
+// locations and fan out across the flush workers instead of batching.
+//
+// A cancelled context stops the flush promptly (pages not yet submitted
+// report ctx.Err()), and every distinct page failure is preserved in the
+// joined error — crash-sim triage sees all of them, not just a race winner.
 func (o *Object) FlushForCommit(ctx context.Context) (core.Identity, error) {
 	if o.sink == nil {
 		return core.Identity{}, ErrReadOnly
@@ -395,57 +504,147 @@ func (o *Object) FlushForCommit(ctx context.Context) (core.Identity, error) {
 		dirty = append(dirty, pg)
 	}
 	o.mu.Unlock()
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].key.logical < dirty[j].key.logical })
 
-	workers := o.pool.cfg.PrefetchWorkers
-	if workers > len(dirty) {
-		workers = len(dirty)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	work := make(chan *page)
-	errs := make(chan error, workers)
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for pg := range work {
-				if failed.Load() {
-					continue // drain; first error wins
-				}
-				o.pool.mu.Lock()
-				stillDirty := pg.dirty
-				o.pool.mu.Unlock()
-				if !stillDirty {
-					continue
-				}
-				if err := o.flushPage(ctx, pg, core.WriteThrough); err != nil {
-					failed.Store(true)
-					select {
-					case errs <- err:
-					default:
-					}
-					continue
-				}
-				o.pool.mu.Lock()
-				o.pool.stats.Flushes++
-				o.pool.mu.Unlock()
-			}
-		}()
-	}
+	_, isBlock := o.ds.(*core.BlockDbspace)
+	var errs []error
+	var batch, rewrites []*page
 	for _, pg := range dirty {
-		work <- pg
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
+			break
+		}
+		o.pool.mu.Lock()
+		stillDirty := pg.dirty
+		o.pool.mu.Unlock()
+		if !stillDirty {
+			continue // e.g. flushed by a concurrent eviction
+		}
+		if isBlock {
+			o.mu.Lock()
+			_, rewritable := o.flushed[pg.key.logical]
+			o.mu.Unlock()
+			if rewritable {
+				rewrites = append(rewrites, pg)
+				continue
+			}
+		}
+		batch = append(batch, pg)
 	}
-	close(work)
-	wg.Wait()
-	select {
-	case err := <-errs:
-		return core.Identity{}, err
-	default:
+	if len(rewrites) > 0 && ctx.Err() == nil {
+		// In-place rewrites target fixed block runs, so they cannot ride
+		// the allocating WriteBatch; overlap their device latency in the
+		// worker pool instead (a size-1 pool keeps logical order).
+		rwErrs := pageio.NewPool(o.pool.cfg.PrefetchWorkers).Do(ctx, len(rewrites), func(i int) error {
+			if err := o.flushPage(ctx, rewrites[i], core.WriteThrough); err != nil {
+				return err
+			}
+			o.noteFlushed()
+			return nil
+		})
+		for _, err := range rwErrs {
+			if err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	if len(batch) > 0 && ctx.Err() == nil {
+		errs = append(errs, o.flushBatch(ctx, batch)...)
+	}
+	if joined := errors.Join(errs...); joined != nil {
+		return core.Identity{}, joined
 	}
 	return o.bm.Flush(ctx, o.sink)
+}
+
+// flushChunk bounds how many pages flushBatch compresses before handing
+// them to the dbspace, so that compressing one chunk overlaps the previous
+// chunk's storage writes. Large enough that coalescing and batch fan-out
+// see real batches, small enough that the CPU and I/O halves of a big
+// commit pipeline instead of running as two serial phases.
+const flushChunk = 64
+
+// flushBatch writes a group of dirty pages through chunked dbspace
+// WriteBatches and installs the surviving entries. Compression (the CPU
+// half of a flush) is fanned out across the flush workers and double-
+// buffered against the writes: while chunk k is in flight at the device,
+// chunk k+1 is compressing. Chunks are issued strictly in order — at most
+// one write is outstanding — so a size-1 worker pool still observes the
+// deterministic page order crash simulations rely on. It returns every
+// item failure.
+func (o *Object) flushBatch(ctx context.Context, batch []*page) []error {
+	type writeResult struct {
+		entries []core.Entry
+		err     error
+	}
+	var errs []error
+	var prevPages []*page // pages of the in-flight chunk, submit order
+	var prevDone chan writeResult
+
+	// collect waits for the in-flight write and installs its entries.
+	collect := func() {
+		if prevDone == nil {
+			return
+		}
+		res := <-prevDone
+		prevDone = nil
+		for j, itemErr := range pageio.ItemErrors(res.err, len(prevPages)) {
+			pg := prevPages[j]
+			if itemErr != nil {
+				errs = append(errs, itemErr)
+				continue
+			}
+			old, setErr := o.bm.Set(ctx, pg.key.logical, res.entries[j])
+			if setErr != nil {
+				errs = append(errs, setErr)
+				continue
+			}
+			o.sink.NoteAllocated(res.entries[j])
+			if !old.IsZero() {
+				o.sink.NoteFreed(old)
+			}
+			_ = o.finishFlush(pg, res.entries[j])
+			o.noteFlushed()
+		}
+	}
+
+	comp := pageio.NewPool(o.pool.cfg.PrefetchWorkers)
+	for start := 0; start < len(batch); start += flushChunk {
+		chunk := batch[start:min(start+flushChunk, len(batch))]
+		pages := make([][]byte, len(chunk))
+		compErrs := comp.Do(ctx, len(chunk), func(i int) error {
+			pages[i] = o.codec.Compress(chunk[i].data)
+			return nil
+		})
+		var sub [][]byte
+		var subPages []*page
+		for i, err := range compErrs {
+			if err != nil {
+				errs = append(errs, err) // cancelled before compression
+				continue
+			}
+			sub = append(sub, pages[i])
+			subPages = append(subPages, chunk[i])
+		}
+		collect()
+		if len(sub) == 0 {
+			continue
+		}
+		done := make(chan writeResult, 1)
+		go func() {
+			entries, err := o.ds.WriteBatch(ctx, sub, core.WriteThrough)
+			done <- writeResult{entries: entries, err: err}
+		}()
+		prevPages, prevDone = subPages, done
+	}
+	collect()
+	return errs
+}
+
+func (o *Object) noteFlushed() {
+	o.pool.mu.Lock()
+	o.pool.stats.Flushes++
+	o.pool.mu.Unlock()
 }
 
 // DirtyCount reports the object's dirty pages awaiting flush.
@@ -472,22 +671,24 @@ func (o *Object) Discard() {
 	o.mu.Unlock()
 }
 
-// Prefetch schedules asynchronous loads of the given logical pages,
-// bounded by the pool's prefetch worker budget, and returns immediately.
-// Prefetching is how parallel I/O masks object-store latency (§6).
+// Prefetch schedules an asynchronous batched load of the given logical
+// pages and returns immediately. The pages travel as one ReadBatch, whose
+// pipeline fans out across the dbspace's worker pool — parallel I/O masking
+// object-store latency (§6); the prefetch semaphore bounds how many batches
+// are in flight.
 func (o *Object) Prefetch(ctx context.Context, logicals []uint64) {
-	for _, logical := range logicals {
-		logical := logical
-		select {
-		case o.pool.prefetchSem <- struct{}{}:
-		case <-ctx.Done():
-			return
-		}
-		go func() {
-			defer func() { <-o.pool.prefetchSem }()
-			_, _ = o.Read(ctx, logical)
-		}()
+	if len(logicals) == 0 {
+		return
 	}
+	select {
+	case o.pool.prefetchSem <- struct{}{}:
+	case <-ctx.Done():
+		return
+	}
+	go func() {
+		defer func() { <-o.pool.prefetchSem }()
+		_, _ = o.ReadBatch(ctx, logicals)
+	}()
 }
 
 // Wait blocks until all prefetch slots are idle; used by tests and the

@@ -491,3 +491,134 @@ func TestInPlaceRewriteOnConventionalDbspace(t *testing.T) {
 		t.Fatal("cloud re-flush did not supersede the old version")
 	}
 }
+
+// cancelStore cancels a context after a fixed number of Puts, simulating an
+// operator abort arriving while a commit flush is mid-flight.
+type cancelStore struct {
+	objstore.Store
+	mu     sync.Mutex
+	puts   int
+	after  int
+	cancel context.CancelFunc
+}
+
+func (c *cancelStore) Put(ctx context.Context, key string, data []byte) error {
+	err := c.Store.Put(ctx, key, data)
+	c.mu.Lock()
+	c.puts++
+	if c.puts == c.after {
+		c.cancel()
+	}
+	c.mu.Unlock()
+	return err
+}
+
+func (c *cancelStore) Puts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.puts
+}
+
+// TestFlushForCommitHonorsCancellation cancels the context after the second
+// page upload of a 32-page commit flush. The flush must return the
+// cancellation error, and must stop flushing promptly instead of driving all
+// remaining uploads to completion (the pre-pageio flush workers never looked
+// at ctx again once started).
+func TestFlushForCommitHonorsCancellation(t *testing.T) {
+	const pages = 32
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inner := objstore.NewMem(objstore.Config{})
+	cs := &cancelStore{Store: inner, after: 2, cancel: cancel}
+	gen := keygen.NewGenerator(nil)
+	client := keygen.NewClient(func(ctx context.Context, n uint64) (rfrb.Range, error) {
+		return gen.Allocate(ctx, "node", n)
+	})
+	ds := core.NewCloud(core.CloudConfig{Name: "user", Store: cs, Keys: client})
+	pool := NewPool(Config{Capacity: 1 << 20})
+	bm, err := core.NewBlockmap(ds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, rf := &rfrb.Bitmap{}, &rfrb.Bitmap{}
+	obj := pool.OpenObject(ds, bm, core.LockedSink(core.BitmapSink{RB: rb, RF: rf}), nil)
+	for i := uint64(0); i < pages; i++ {
+		if err := obj.Write(ctxb(), i, pageData(i, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = obj.FlushForCommit(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("FlushForCommit after mid-flight cancel = %v, want context.Canceled", err)
+	}
+	if got := cs.Puts(); got >= pages {
+		t.Fatalf("flush drove %d uploads to completion despite cancellation", got)
+	}
+}
+
+// failingStore fails every Put of designated keys (by order of first
+// appearance) with that key's own sentinel error; retries of the same key
+// keep failing identically.
+type failingStore struct {
+	objstore.Store
+	mu    sync.Mutex
+	seen  map[string]int
+	fails map[int]error // first-appearance index -> error
+}
+
+func (f *failingStore) Put(ctx context.Context, key string, data []byte) error {
+	f.mu.Lock()
+	idx, ok := f.seen[key]
+	if !ok {
+		idx = len(f.seen)
+		f.seen[key] = idx
+	}
+	err := f.fails[idx]
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.Store.Put(ctx, key, data)
+}
+
+// TestFlushForCommitJoinsDistinctErrors makes two different pages fail their
+// uploads with two different errors. Before the errors.Join fix the flush
+// reported only whichever failure drained first and discarded the other;
+// both must now be visible via errors.Is on the returned error.
+func TestFlushForCommitJoinsDistinctErrors(t *testing.T) {
+	errA := errors.New("disk quota exhausted")
+	errB := errors.New("credential expired")
+	inner := objstore.NewMem(objstore.Config{})
+	fs := &failingStore{
+		Store: inner,
+		seen:  map[string]int{},
+		fails: map[int]error{0: errA, 2: errB},
+	}
+	gen := keygen.NewGenerator(nil)
+	client := keygen.NewClient(func(ctx context.Context, n uint64) (rfrb.Range, error) {
+		return gen.Allocate(ctx, "node", n)
+	})
+	ds := core.NewCloud(core.CloudConfig{Name: "user", Store: fs, Keys: client})
+	pool := NewPool(Config{Capacity: 1 << 20})
+	bm, err := core.NewBlockmap(ds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, rf := &rfrb.Bitmap{}, &rfrb.Bitmap{}
+	obj := pool.OpenObject(ds, bm, core.LockedSink(core.BitmapSink{RB: rb, RF: rf}), nil)
+	for i := uint64(0); i < 4; i++ {
+		if err := obj.Write(ctxb(), i, pageData(i, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = obj.FlushForCommit(ctxb())
+	if err == nil {
+		t.Fatal("FlushForCommit succeeded despite two failing uploads")
+	}
+	if !errors.Is(err, errA) {
+		t.Errorf("first failure lost: %v", err)
+	}
+	if !errors.Is(err, errB) {
+		t.Errorf("second distinct failure discarded (first-error-wins bug): %v", err)
+	}
+}

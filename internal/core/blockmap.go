@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+
+	"cloudiq/internal/pageio"
 )
 
 // Blockmap maps logical page numbers to physical entries. Blockmap pages are
@@ -283,70 +285,87 @@ func (b *Blockmap) Delete(ctx context.Context, logical uint64) (Entry, error) {
 	return b.Set(ctx, logical, Entry{})
 }
 
-// flushParallelism bounds concurrent sibling flushes during the
-// copy-on-write cascade; masking per-object write latency here matters on
-// cloud dbspaces, where every rewritten blockmap page is one PUT.
-const flushParallelism = 16
+// dirtyNode is one node awaiting flush, with the parent slot its fresh
+// location must be installed into (nil parent for the root).
+type dirtyNode struct {
+	node   *bmNode
+	parent *bmNode
+	idx    int
+}
 
 // Flush writes every dirty node bottom-up, allocating a fresh location for
 // each (the copy-on-write cascade), reporting superseded and fresh extents
 // to sink, and returns the new identity. Blockmap page allocations and frees
 // are reported through the same sink as data pages, so the transaction's
-// RF/RB bitmaps capture the whole cascade. Dirty siblings flush in parallel.
+// RF/RB bitmaps capture the whole cascade.
+//
+// All dirty nodes of one level are submitted as a single WriteBatch: the
+// dbspace pipeline masks per-object write latency on cloud dbspaces and
+// coalesces adjacent runs on conventional ones, while sink notifications
+// and tree mutations happen serially in tree order — the flush is
+// deterministic, no LockedSink needed.
 func (b *Blockmap) Flush(ctx context.Context, sink FlushSink) (Identity, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.root.dirty {
-		sem := make(chan struct{}, flushParallelism)
-		if err := b.flush(ctx, b.root, LockedSink(sink), sem); err != nil {
-			return Identity{}, err
+	if !b.root.dirty {
+		return b.identityLocked(), nil
+	}
+
+	// Every ancestor of a dirty node is dirty (Set marks the whole path),
+	// so a DFS over dirty nodes finds the complete cascade.
+	levels := make([][]dirtyNode, b.root.level+1)
+	var collect func(n, parent *bmNode, idx int)
+	collect = func(n, parent *bmNode, idx int) {
+		levels[n.level] = append(levels[n.level], dirtyNode{node: n, parent: parent, idx: idx})
+		if n.level == 0 {
+			return
+		}
+		for i, child := range n.children {
+			if child != nil && child.dirty {
+				collect(child, n, i)
+			}
 		}
 	}
-	return Identity{Root: b.root.stored, Pages: b.pages, Fanout: uint32(b.fanout), Levels: uint32(b.root.level)}, nil
-}
+	collect(b.root, nil, 0)
 
-func (b *Blockmap) flush(ctx context.Context, n *bmNode, sink FlushSink, sem chan struct{}) error {
-	if n.level > 0 {
-		var wg sync.WaitGroup
-		errCh := make(chan error, 1)
-		for i, child := range n.children {
-			if child == nil || !child.dirty {
+	for level := 0; level <= b.root.level; level++ {
+		batch := levels[level]
+		if len(batch) == 0 {
+			continue
+		}
+		pages := make([][]byte, len(batch))
+		for i, dn := range batch {
+			// Children of this node already flushed in the previous level
+			// pass and installed their fresh entries.
+			pages[i] = encodeNode(dn.node.level, dn.node.entries)
+		}
+		entries, err := b.ds.WriteBatch(ctx, pages, WriteThrough)
+		// Successful items are installed even when siblings failed: their
+		// allocations must reach the sink so a rollback can reclaim them.
+		for i, itemErr := range pageio.ItemErrors(err, len(batch)) {
+			if itemErr != nil {
 				continue
 			}
-			i, child := i, child
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				if err := b.flush(ctx, child, sink, sem); err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
-					return
-				}
-				n.entries[i] = child.stored
-			}()
+			n := batch[i].node
+			if !n.stored.IsZero() {
+				sink.NoteFreed(n.stored)
+			}
+			sink.NoteAllocated(entries[i])
+			n.stored = entries[i]
+			n.dirty = false
+			if p := batch[i].parent; p != nil {
+				p.entries[batch[i].idx] = entries[i]
+			}
 		}
-		wg.Wait()
-		select {
-		case err := <-errCh:
-			return err
-		default:
+		if err != nil {
+			return Identity{}, fmt.Errorf("core: flush blockmap level %d: %w", level, err)
 		}
 	}
-	sem <- struct{}{}
-	fresh, err := b.ds.WritePage(ctx, encodeNode(n.level, n.entries), WriteThrough)
-	<-sem
-	if err != nil {
-		return fmt.Errorf("core: flush blockmap level %d: %w", n.level, err)
-	}
-	if !n.stored.IsZero() {
-		sink.NoteFreed(n.stored)
-	}
-	sink.NoteAllocated(fresh)
-	n.stored = fresh
-	n.dirty = false
-	return nil
+	return b.identityLocked(), nil
+}
+
+func (b *Blockmap) identityLocked() Identity {
+	return Identity{Root: b.root.stored, Pages: b.pages, Fanout: uint32(b.fanout), Levels: uint32(b.root.level)}
 }
 
 // ForEachPhysical visits the physical entry of every mapped data page AND

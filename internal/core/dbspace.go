@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"time"
 
@@ -12,14 +11,16 @@ import (
 	"cloudiq/internal/keygen"
 	"cloudiq/internal/mt"
 	"cloudiq/internal/objstore"
+	"cloudiq/internal/pageio"
 	"cloudiq/internal/rfrb"
 )
 
 // ErrRetriesExhausted is returned when a cloud page cannot be read or
 // written within the configured retry budget. The caller (the buffer
 // manager, on behalf of a transaction) responds by rolling the transaction
-// back (§4).
-var ErrRetriesExhausted = errors.New("core: retries exhausted")
+// back (§4). It is the pageio pipeline's exhaustion sentinel: the retry
+// policy itself lives in pageio.Retry.
+var ErrRetriesExhausted = pageio.ErrExhausted
 
 // WriteMode selects how a page flush interacts with the Object Cache
 // Manager (§4). During the churn phase evictions use WriteBack to keep
@@ -38,7 +39,9 @@ const (
 
 // Dbspace is the storage unit databases are built from: a collection of
 // pages on either an object store (cloud dbspace) or a block device
-// (conventional dbspace).
+// (conventional dbspace). All implementations route their I/O through an
+// internal pageio pipeline, so retries, fault injection, metering and
+// batching are uniform across backends.
 type Dbspace interface {
 	// Name returns the dbspace name.
 	Name() string
@@ -48,9 +51,17 @@ type Dbspace interface {
 	// never used before, or a newly allocated block run — and returns its
 	// entry. Cloud dbspaces never overwrite an existing key.
 	WritePage(ctx context.Context, data []byte, mode WriteMode) (Entry, error)
+	// WriteBatch stores each page at a freshly allocated location. The
+	// returned entries are positional; a failed item leaves a zero Entry and
+	// the error expands per item via pageio.ItemErrors. Successful items are
+	// as durable as a WritePage in the same mode.
+	WriteBatch(ctx context.Context, pages [][]byte, mode WriteMode) ([]Entry, error)
 	// ReadPage fetches the stored bytes for e, retrying object-not-found
 	// errors caused by eventual consistency up to the configured budget.
 	ReadPage(ctx context.Context, e Entry) ([]byte, error)
+	// ReadBatch fetches one page per entry. Results are positional (nil for
+	// failed items) and the error expands per item via pageio.ItemErrors.
+	ReadBatch(ctx context.Context, entries []Entry) ([][]byte, error)
 	// FlushForCommit blocks until every WriteBack page in the given extents
 	// is durable on permanent storage, prioritizing their uploads. It is a
 	// no-op for conventional dbspaces (their writes are already durable).
@@ -64,11 +75,8 @@ type Dbspace interface {
 // PageCache is the slice of the Object Cache Manager a cloud dbspace uses.
 // *ocm.Cache implements it.
 type PageCache interface {
-	Get(ctx context.Context, key string) ([]byte, error)
-	PutBack(ctx context.Context, key string, data []byte) error
-	PutThrough(ctx context.Context, key string, data []byte) error
+	pageio.CacheLayer
 	FlushForCommit(ctx context.Context, keys []string) error
-	Delete(ctx context.Context, key string) error
 }
 
 // KeyNamer maps a 64-bit object key to the full key used on the object
@@ -100,29 +108,44 @@ type CloudConfig struct {
 
 	// ReadRetries bounds retry-until-found for eventually consistent reads;
 	// WriteRetries bounds retries of failed uploads before the transaction
-	// is rolled back. Zero values select defaults.
+	// is rolled back. Zero values select defaults. With a Cache configured
+	// the cache owns upload retries, so the pipeline writes once.
 	ReadRetries  int
 	WriteRetries int
-	// RetryDelay is the simulated backoff between attempts.
+	// RetryDelay is the first simulated backoff between attempts; it doubles
+	// per retry, capped at 8x.
 	RetryDelay time.Duration
 	// Scale drives the backoff sleeps. Nil disables sleeping.
 	Scale *iomodel.Scale
+
+	// Pool bounds batch fan-out. Nil runs batches sequentially.
+	Pool *pageio.WorkPool
+	// Stats, when non-nil, receives per-layer I/O metrics under
+	// "dbspace:<name>" (above the retry stage) and "store:<name>" or
+	// "ocm:<name>" (below it).
+	Stats *pageio.StatsRegistry
 }
 
 const (
 	defaultReadRetries  = 10
 	defaultWriteRetries = 3
+	retryCapFactor      = 8
 )
 
 // CloudDbspace stores each page as one object under a never-reused key.
 type CloudDbspace struct {
-	cfg   CloudConfig
-	scale *iomodel.Scale
+	cfg  CloudConfig
+	pipe pageio.Handler
 }
 
 var _ Dbspace = (*CloudDbspace)(nil)
 
 // NewCloud returns a cloud dbspace over cfg.Store drawing keys from cfg.Keys.
+// Its pipeline is
+//
+//	Meter("dbspace:<name>") -> Retry -> Meter("ocm:|store:<name>") -> terminal
+//
+// where the terminal is the OCM (when configured) or the store adapter.
 func NewCloud(cfg CloudConfig) *CloudDbspace {
 	if cfg.ReadRetries <= 0 {
 		cfg.ReadRetries = defaultReadRetries
@@ -130,11 +153,31 @@ func NewCloud(cfg CloudConfig) *CloudDbspace {
 	if cfg.WriteRetries <= 0 {
 		cfg.WriteRetries = defaultWriteRetries
 	}
-	scale := cfg.Scale
-	if scale == nil {
-		scale = iomodel.NewScale(0)
+	var terminal pageio.Handler
+	var innerMeter pageio.Middleware
+	writeAttempts := cfg.WriteRetries
+	if cfg.Cache != nil {
+		terminal = pageio.NewCache(cfg.Cache)
+		innerMeter = pageio.Meter(cfg.Stats, "ocm:"+cfg.Name)
+		// The OCM's write paths carry their own upload retry budget.
+		writeAttempts = 1
+	} else {
+		terminal = pageio.NewStore(cfg.Store, nil)
+		innerMeter = pageio.Meter(cfg.Stats, "store:"+cfg.Name)
 	}
-	return &CloudDbspace{cfg: cfg, scale: scale}
+	pipe := pageio.Chain(terminal,
+		pageio.Meter(cfg.Stats, "dbspace:"+cfg.Name),
+		pageio.Retry(pageio.Policy{
+			ReadAttempts:  cfg.ReadRetries,
+			WriteAttempts: writeAttempts,
+			Delay:         cfg.RetryDelay,
+			Cap:           retryCapFactor * cfg.RetryDelay,
+			Scale:         cfg.Scale,
+			Pool:          cfg.Pool,
+		}),
+		innerMeter,
+	)
+	return &CloudDbspace{cfg: cfg, pipe: pipe}
 }
 
 // Name implements Dbspace.
@@ -159,33 +202,45 @@ func (d *CloudDbspace) WritePage(ctx context.Context, data []byte, mode WriteMod
 	if err != nil {
 		return Entry{}, fmt.Errorf("dbspace %s: %w", d.cfg.Name, err)
 	}
-	name := d.cfg.Namer.Name(key)
-	entry := Entry{Loc: key, Size: uint32(len(data))}
-	if d.cfg.Cache != nil {
-		if mode == WriteBack {
-			if err := d.cfg.Cache.PutBack(ctx, name, data); err != nil {
-				return Entry{}, fmt.Errorf("dbspace %s: write-back key %#x: %w", d.cfg.Name, key, err)
-			}
-		} else {
-			if err := d.cfg.Cache.PutThrough(ctx, name, data); err != nil {
-				return Entry{}, fmt.Errorf("dbspace %s: write-through key %#x: %w", d.cfg.Name, key, err)
-			}
-		}
-		return entry, nil
+	req := pageio.WriteReq{
+		Ref:   pageio.Ref{Key: d.cfg.Namer.Name(key)},
+		Data:  data,
+		Async: mode == WriteBack,
 	}
-	var lastErr error
-	for attempt := 0; attempt < d.cfg.WriteRetries; attempt++ {
-		if attempt > 0 {
-			d.scale.Sleep(d.cfg.RetryDelay)
+	if err := d.pipe.WritePage(ctx, req); err != nil {
+		return Entry{}, fmt.Errorf("dbspace %s: write key %#x: %w", d.cfg.Name, key, err)
+	}
+	return Entry{Loc: key, Size: uint32(len(data))}, nil
+}
+
+// WriteBatch implements Dbspace: one key per page, one pipeline batch.
+// Failed items leave zero entries; their keys are never reused, which is
+// safe because the RB bitmap reclaims whole allocated key ranges on
+// rollback.
+func (d *CloudDbspace) WriteBatch(ctx context.Context, pages [][]byte, mode WriteMode) ([]Entry, error) {
+	entries := make([]Entry, len(pages))
+	reqs := make([]pageio.WriteReq, len(pages))
+	for i, data := range pages {
+		key, err := d.cfg.Keys.NextKey(ctx)
+		if err != nil {
+			return entries, fmt.Errorf("dbspace %s: %w", d.cfg.Name, err)
 		}
-		if lastErr = d.cfg.Store.Put(ctx, name, data); lastErr == nil {
-			return entry, nil
-		}
-		if ctx.Err() != nil {
-			return Entry{}, ctx.Err()
+		entries[i] = Entry{Loc: key, Size: uint32(len(data))}
+		reqs[i] = pageio.WriteReq{
+			Ref:   pageio.Ref{Key: d.cfg.Namer.Name(key)},
+			Data:  data,
+			Async: mode == WriteBack,
 		}
 	}
-	return Entry{}, fmt.Errorf("dbspace %s: write key %#x: %w: %v", d.cfg.Name, key, ErrRetriesExhausted, lastErr)
+	err := d.pipe.WriteBatch(ctx, reqs)
+	if err != nil {
+		for i, itemErr := range pageio.ItemErrors(err, len(pages)) {
+			if itemErr != nil {
+				entries[i] = Entry{}
+			}
+		}
+	}
+	return entries, err
 }
 
 // FlushForCommit implements Dbspace: with an OCM configured it promotes and
@@ -214,43 +269,66 @@ func (d *CloudDbspace) FlushForCommit(ctx context.Context, extents []rfrb.Range)
 
 // ReadPage implements Dbspace. An object-not-found error is assumed to be an
 // eventual-consistency artifact — the never-write-twice policy guarantees a
-// stored page has exactly one version — so the read is retried up to the
-// configured budget before failing.
+// stored page has exactly one version — so the pipeline's retry stage polls
+// it up to the configured budget before failing.
 func (d *CloudDbspace) ReadPage(ctx context.Context, e Entry) ([]byte, error) {
 	if !e.IsCloud() {
 		return nil, fmt.Errorf("dbspace %s: entry %v is not a cloud entry", d.cfg.Name, e)
 	}
-	name := d.cfg.Namer.Name(e.Loc)
-	var lastErr error
-	for attempt := 0; attempt < d.cfg.ReadRetries; attempt++ {
-		if attempt > 0 {
-			d.scale.Sleep(d.cfg.RetryDelay)
-		}
-		data, err := d.get(ctx, name)
-		if err == nil {
-			if len(data) != int(e.Size) {
-				return nil, fmt.Errorf("dbspace %s: key %#x: stored %d bytes, entry says %d",
-					d.cfg.Name, e.Loc, len(data), e.Size)
-			}
-			return data, nil
-		}
-		lastErr = err
-		if !errors.Is(err, objstore.ErrNotFound) {
-			return nil, fmt.Errorf("dbspace %s: read key %#x: %w", d.cfg.Name, e.Loc, err)
-		}
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
+	data, err := d.pipe.ReadPage(ctx, pageio.Ref{Key: d.cfg.Namer.Name(e.Loc)})
+	if err != nil {
+		return nil, fmt.Errorf("dbspace %s: read key %#x: %w", d.cfg.Name, e.Loc, err)
 	}
-	return nil, fmt.Errorf("dbspace %s: read key %#x: %w: %v", d.cfg.Name, e.Loc, ErrRetriesExhausted, lastErr)
+	return data, d.checkSize(e, data)
 }
 
-// get routes a read through the OCM when configured, else to the store.
-func (d *CloudDbspace) get(ctx context.Context, name string) ([]byte, error) {
-	if d.cfg.Cache != nil {
-		return d.cfg.Cache.Get(ctx, name)
+func (d *CloudDbspace) checkSize(e Entry, data []byte) error {
+	if len(data) != int(e.Size) {
+		return fmt.Errorf("dbspace %s: key %#x: stored %d bytes, entry says %d",
+			d.cfg.Name, e.Loc, len(data), e.Size)
 	}
-	return d.cfg.Store.Get(ctx, name)
+	return nil
+}
+
+// ReadBatch implements Dbspace: one pipeline batch, retried per item.
+func (d *CloudDbspace) ReadBatch(ctx context.Context, entries []Entry) ([][]byte, error) {
+	out := make([][]byte, len(entries))
+	errs := make([]error, len(entries))
+	var refs []pageio.Ref
+	var submit []int
+	for i, e := range entries {
+		if !e.IsCloud() {
+			errs[i] = fmt.Errorf("dbspace %s: entry %v is not a cloud entry", d.cfg.Name, e)
+			continue
+		}
+		refs = append(refs, pageio.Ref{Key: d.cfg.Namer.Name(e.Loc)})
+		submit = append(submit, i)
+	}
+	res, err := d.pipe.ReadBatch(ctx, refs)
+	itemErrs := pageio.ItemErrors(err, len(refs))
+	for j, i := range submit {
+		if itemErrs[j] != nil {
+			errs[i] = fmt.Errorf("dbspace %s: read key %#x: %w", d.cfg.Name, entries[i].Loc, itemErrs[j])
+			continue
+		}
+		if sizeErr := d.checkSize(entries[i], res[j]); sizeErr != nil {
+			errs[i] = sizeErr
+			continue
+		}
+		out[i] = res[j]
+	}
+	return out, batchError(errs)
+}
+
+// batchError folds positional errors into a *pageio.BatchError (nil when
+// every item succeeded).
+func batchError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return &pageio.BatchError{Errs: errs}
+		}
+	}
+	return nil
 }
 
 // Reclaim implements Dbspace: every key in the range is deleted. Deletion is
@@ -261,14 +339,7 @@ func (d *CloudDbspace) Reclaim(ctx context.Context, r rfrb.Range) error {
 		if !rfrb.IsCloudKey(key) {
 			return fmt.Errorf("dbspace %s: reclaim %#x: not a cloud key", d.cfg.Name, key)
 		}
-		name := d.cfg.Namer.Name(key)
-		var err error
-		if d.cfg.Cache != nil {
-			err = d.cfg.Cache.Delete(ctx, name)
-		} else {
-			err = d.cfg.Store.Delete(ctx, name)
-		}
-		if err != nil {
+		if err := d.pipe.Delete(ctx, pageio.Ref{Key: d.cfg.Namer.Name(key)}); err != nil {
 			return fmt.Errorf("dbspace %s: reclaim %#x: %w", d.cfg.Name, key, err)
 		}
 	}
@@ -286,12 +357,27 @@ type BlockConfig struct {
 	// Blocks is the number of blocks the dbspace manages. Zero derives it
 	// from the device size.
 	Blocks uint64
+
+	// Stats, when non-nil, receives per-layer I/O metrics under
+	// "dbspace:<name>" (batch-level) and "dev:<name>" (after extent
+	// coalescing).
+	Stats *pageio.StatsRegistry
+	// Pool bounds batch fan-out at the device terminal, overlapping per-op
+	// device latency. Nil runs batch items sequentially.
+	Pool *pageio.WorkPool
 }
 
 // BlockDbspace stores pages as contiguous block runs tracked by a freelist.
+// Its pipeline is
+//
+//	Meter("dbspace:<name>") -> Coalesce -> Meter("dev:<name>") -> device
+//
+// so adjacent pages in a batch reach the device as one scatter-gather
+// request.
 type BlockDbspace struct {
 	cfg  BlockConfig
 	free *freelist.List
+	pipe pageio.Handler
 }
 
 var _ Dbspace = (*BlockDbspace)(nil)
@@ -313,7 +399,12 @@ func NewBlock(cfg BlockConfig) (*BlockDbspace, error) {
 	if rfrb.IsCloudKey(cfg.Blocks) {
 		return nil, fmt.Errorf("dbspace %s: %d blocks collides with the reserved cloud-key range", cfg.Name, cfg.Blocks)
 	}
-	return &BlockDbspace{cfg: cfg, free: freelist.New(cfg.Blocks)}, nil
+	pipe := pageio.Chain(pageio.NewDevice(cfg.Device, cfg.Pool),
+		pageio.Meter(cfg.Stats, "dbspace:"+cfg.Name),
+		pageio.Coalesce(0),
+		pageio.Meter(cfg.Stats, "dev:"+cfg.Name),
+	)
+	return &BlockDbspace{cfg: cfg, free: freelist.New(cfg.Blocks), pipe: pipe}, nil
 }
 
 // Name implements Dbspace.
@@ -329,25 +420,77 @@ func (d *BlockDbspace) Freelist() *freelist.List { return d.free }
 // crash recovery.
 func (d *BlockDbspace) RestoreFreelist(l *freelist.List) { d.free = l }
 
-// WritePage implements Dbspace, allocating a fresh block run.
-func (d *BlockDbspace) WritePage(ctx context.Context, data []byte, _ WriteMode) (Entry, error) {
-	n := (len(data) + d.cfg.BlockSize - 1) / d.cfg.BlockSize
+// allocate reserves a run for a page of len(data) bytes.
+func (d *BlockDbspace) allocate(data []byte) (start uint64, n int, err error) {
+	n = (len(data) + d.cfg.BlockSize - 1) / d.cfg.BlockSize
 	if n == 0 {
 		n = 1
 	}
 	if n > d.cfg.MaxBlocks {
-		return Entry{}, fmt.Errorf("dbspace %s: page of %d bytes needs %d blocks, max %d",
+		return 0, 0, fmt.Errorf("dbspace %s: page of %d bytes needs %d blocks, max %d",
 			d.cfg.Name, len(data), n, d.cfg.MaxBlocks)
 	}
-	start, err := d.free.Allocate(uint64(n))
+	start, err = d.free.Allocate(uint64(n))
 	if err != nil {
-		return Entry{}, fmt.Errorf("dbspace %s: %w", d.cfg.Name, err)
+		return 0, 0, fmt.Errorf("dbspace %s: %w", d.cfg.Name, err)
 	}
-	if err := d.cfg.Device.WriteAt(ctx, data, int64(start)*int64(d.cfg.BlockSize)); err != nil {
+	return start, n, nil
+}
+
+// WritePage implements Dbspace, allocating a fresh block run.
+func (d *BlockDbspace) WritePage(ctx context.Context, data []byte, _ WriteMode) (Entry, error) {
+	start, n, err := d.allocate(data)
+	if err != nil {
+		return Entry{}, err
+	}
+	req := pageio.WriteReq{
+		Ref:  pageio.Ref{Off: int64(start) * int64(d.cfg.BlockSize)},
+		Data: data,
+	}
+	if err := d.pipe.WritePage(ctx, req); err != nil {
 		_ = d.free.Free(start, uint64(n))
 		return Entry{}, fmt.Errorf("dbspace %s: write blocks %d+%d: %w", d.cfg.Name, start, n, err)
 	}
 	return Entry{Loc: start, Size: uint32(len(data)), Blocks: uint16(n)}, nil
+}
+
+// WriteBatch implements Dbspace: runs are allocated up front, then the whole
+// batch goes through the pipeline so the coalescer can group-commit adjacent
+// runs. Failed items release their runs and leave zero entries.
+func (d *BlockDbspace) WriteBatch(ctx context.Context, pages [][]byte, _ WriteMode) ([]Entry, error) {
+	entries := make([]Entry, len(pages))
+	reqs := make([]pageio.WriteReq, len(pages))
+	errs := make([]error, len(pages))
+	var submit []int
+	for i, data := range pages {
+		start, n, err := d.allocate(data)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		entries[i] = Entry{Loc: start, Size: uint32(len(data)), Blocks: uint16(n)}
+		reqs[i] = pageio.WriteReq{
+			Ref:  pageio.Ref{Off: int64(start) * int64(d.cfg.BlockSize)},
+			Data: data,
+		}
+		submit = append(submit, i)
+	}
+	if len(submit) > 0 {
+		sub := make([]pageio.WriteReq, len(submit))
+		for j, i := range submit {
+			sub[j] = reqs[i]
+		}
+		itemErrs := pageio.ItemErrors(d.pipe.WriteBatch(ctx, sub), len(submit))
+		for j, i := range submit {
+			if itemErrs[j] != nil {
+				e := entries[i]
+				_ = d.free.Free(e.Loc, uint64(e.Blocks))
+				entries[i] = Entry{}
+				errs[i] = fmt.Errorf("dbspace %s: write blocks %d+%d: %w", d.cfg.Name, e.Loc, e.Blocks, itemErrs[j])
+			}
+		}
+	}
+	return entries, batchError(errs)
 }
 
 // Rewrite updates a page in place when the new image fits in the existing
@@ -360,7 +503,11 @@ func (d *BlockDbspace) Rewrite(ctx context.Context, e Entry, data []byte) (Entry
 		fresh, err := d.WritePage(ctx, data, WriteThrough)
 		return fresh, false, err
 	}
-	if err := d.cfg.Device.WriteAt(ctx, data, int64(e.Loc)*int64(d.cfg.BlockSize)); err != nil {
+	req := pageio.WriteReq{
+		Ref:  pageio.Ref{Off: int64(e.Loc) * int64(d.cfg.BlockSize)},
+		Data: data,
+	}
+	if err := d.pipe.WritePage(ctx, req); err != nil {
 		return Entry{}, false, fmt.Errorf("dbspace %s: rewrite blocks %d: %w", d.cfg.Name, e.Loc, err)
 	}
 	e.Size = uint32(len(data))
@@ -372,11 +519,39 @@ func (d *BlockDbspace) ReadPage(ctx context.Context, e Entry) ([]byte, error) {
 	if e.IsCloud() {
 		return nil, fmt.Errorf("dbspace %s: entry %v is a cloud entry", d.cfg.Name, e)
 	}
-	buf := make([]byte, e.Size)
-	if err := d.cfg.Device.ReadAt(ctx, buf, int64(e.Loc)*int64(d.cfg.BlockSize)); err != nil {
+	ref := pageio.Ref{Off: int64(e.Loc) * int64(d.cfg.BlockSize), Len: int(e.Size)}
+	data, err := d.pipe.ReadPage(ctx, ref)
+	if err != nil {
 		return nil, fmt.Errorf("dbspace %s: read blocks %d+%d: %w", d.cfg.Name, e.Loc, e.Blocks, err)
 	}
-	return buf, nil
+	return data, nil
+}
+
+// ReadBatch implements Dbspace: adjacent entries in the batch coalesce into
+// scatter-gather device reads.
+func (d *BlockDbspace) ReadBatch(ctx context.Context, entries []Entry) ([][]byte, error) {
+	out := make([][]byte, len(entries))
+	errs := make([]error, len(entries))
+	var refs []pageio.Ref
+	var submit []int
+	for i, e := range entries {
+		if e.IsCloud() {
+			errs[i] = fmt.Errorf("dbspace %s: entry %v is a cloud entry", d.cfg.Name, e)
+			continue
+		}
+		refs = append(refs, pageio.Ref{Off: int64(e.Loc) * int64(d.cfg.BlockSize), Len: int(e.Size)})
+		submit = append(submit, i)
+	}
+	res, err := d.pipe.ReadBatch(ctx, refs)
+	itemErrs := pageio.ItemErrors(err, len(refs))
+	for j, i := range submit {
+		if itemErrs[j] != nil {
+			errs[i] = fmt.Errorf("dbspace %s: read blocks %d+%d: %w", d.cfg.Name, entries[i].Loc, entries[i].Blocks, itemErrs[j])
+			continue
+		}
+		out[i] = res[j]
+	}
+	return out, batchError(errs)
 }
 
 // FlushForCommit implements Dbspace: conventional writes are already

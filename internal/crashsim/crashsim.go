@@ -27,6 +27,7 @@ import (
 	"cloudiq/internal/blockdev"
 	"cloudiq/internal/faultinject"
 	"cloudiq/internal/objstore"
+	"cloudiq/internal/pageio"
 	"cloudiq/internal/rfrb"
 )
 
@@ -80,6 +81,10 @@ type Options struct {
 	// to a single attempt (DESIGN.md: never-write-twice + retry vs
 	// in-place update). Under eventual consistency the suite must fail.
 	BrokenRetry bool
+
+	// IOStats, when non-nil, collects the nodes' per-layer pageio counters,
+	// letting tests assert the whole simulation ran through the pipeline.
+	IOStats *pageio.StatsRegistry
 }
 
 func (o Options) withDefaults() Options {
@@ -351,6 +356,7 @@ func (h *harness) openCoord(ctx context.Context) error {
 		Node:            "coord",
 		LogDevice:       h.coordDev,
 		PrefetchWorkers: 1,
+		IOStats:         h.opts.IOStats,
 	})
 	if err != nil {
 		return fmt.Errorf("open coordinator: %w", err)
@@ -371,6 +377,7 @@ func (h *harness) openWriter(ctx context.Context) error {
 		LogDevice:       h.writerDev,
 		PrefetchWorkers: 1, // deterministic flush order for the fault streams
 		Faults:          h.plan,
+		IOStats:         h.opts.IOStats,
 		AllocKeys: func(ctx context.Context, n uint64) (rfrb.Range, error) {
 			if err := h.plan.Check(faultinject.RPCAlloc, "W1"); err != nil {
 				return rfrb.Range{}, err

@@ -75,6 +75,13 @@ const (
 	RPCAlloc   Site = "rpc.alloc"
 	RPCNotify  Site = "rpc.notify"
 	RPCRestart Site = "rpc.restart"
+
+	// Unified page-I/O pipeline (internal/pageio): the Faults middleware
+	// checks these once per request, above whatever terminal serves it.
+	// Detail is the object key or the decimal device offset.
+	PipeRead   Site = "pipe.read"
+	PipeWrite  Site = "pipe.write"
+	PipeDelete Site = "pipe.delete"
 )
 
 // With returns the site scoped to one detail value. Rules installed on the

@@ -22,6 +22,7 @@ import (
 	"cloudiq/internal/faultinject"
 	"cloudiq/internal/freelist"
 	"cloudiq/internal/objstore"
+	"cloudiq/internal/pageio"
 )
 
 // ErrClosed is returned by operations on a closed cache.
@@ -50,6 +51,9 @@ type Config struct {
 	// to the failed state, so a later FlushForCommit surfaces the loss
 	// (and rolls the transaction back) instead of silently committing.
 	Faults *faultinject.Plan
+	// Stats, when non-nil, receives the cache's own device and store
+	// traffic under the "ocmdev" and "ocmstore" layers.
+	Stats *pageio.StatsRegistry
 }
 
 // Stats reports cache effectiveness (Table 5) and internal behaviour.
@@ -94,11 +98,16 @@ type uploadJob struct {
 	ent *entry
 }
 
-// Cache is the Object Cache Manager. It is safe for concurrent use.
+// Cache is the Object Cache Manager. It is safe for concurrent use. All of
+// its device and store I/O flows through pageio handlers: dev wraps the
+// local device, up the backing store, and upload adds the §4 retry budget
+// on top of up for write paths.
 type Cache struct {
-	cfg   Config
-	free  *freelist.List
-	store objstore.Store
+	cfg    Config
+	free   *freelist.List
+	dev    pageio.Handler
+	up     pageio.Handler
+	upload pageio.Handler
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signals upload completions and queue activity
@@ -130,10 +139,13 @@ func New(cfg Config) (*Cache, error) {
 	if blocks == 0 {
 		return nil, fmt.Errorf("ocm: device smaller than one block")
 	}
+	up := pageio.Chain(pageio.NewStore(cfg.Store, nil), pageio.Meter(cfg.Stats, "ocmstore"))
 	c := &Cache{
 		cfg:     cfg,
 		free:    freelist.New(blocks),
-		store:   cfg.Store,
+		dev:     pageio.Chain(pageio.NewDevice(cfg.Device, nil), pageio.Meter(cfg.Stats, "ocmdev")),
+		up:      up,
+		upload:  pageio.Chain(up, pageio.Retry(pageio.Policy{WriteAttempts: cfg.UploadRetries})),
 		index:   make(map[string]*entry),
 		lruList: list.New(),
 		queue:   list.New(),
@@ -244,8 +256,7 @@ func (c *Cache) Get(ctx context.Context, key string) ([]byte, error) {
 		off, size := ent.off, ent.size
 		c.mu.Unlock()
 
-		buf := make([]byte, size)
-		err := c.cfg.Device.ReadAt(ctx, buf, int64(off)*int64(c.cfg.BlockSize))
+		buf, err := c.dev.ReadPage(ctx, pageio.Ref{Off: int64(off) * int64(c.cfg.BlockSize), Len: size})
 
 		c.mu.Lock()
 		ent.pins--
@@ -260,7 +271,7 @@ func (c *Cache) Get(ctx context.Context, key string) ([]byte, error) {
 	c.stats.Misses++
 	c.mu.Unlock()
 
-	data, err := c.store.Get(ctx, key)
+	data, err := c.up.ReadPage(ctx, pageio.Ref{Key: key})
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +312,7 @@ func (c *Cache) fill(ctx context.Context, key string, data []byte) {
 	c.index[key] = ent
 	c.mu.Unlock()
 
-	err := c.cfg.Device.WriteAt(ctx, data, int64(off)*int64(c.cfg.BlockSize))
+	err := c.dev.WritePage(ctx, pageio.WriteReq{Ref: pageio.Ref{Off: int64(off) * int64(c.cfg.BlockSize)}, Data: data})
 
 	c.mu.Lock()
 	ent.pins--
@@ -339,7 +350,7 @@ func (c *Cache) PutBack(ctx context.Context, key string, data []byte) error {
 	c.index[key] = ent
 	c.mu.Unlock()
 
-	if err := c.cfg.Device.WriteAt(ctx, cp, int64(off)*int64(c.cfg.BlockSize)); err != nil {
+	if err := c.dev.WritePage(ctx, pageio.WriteReq{Ref: pageio.Ref{Off: int64(off) * int64(c.cfg.BlockSize)}, Data: cp}); err != nil {
 		// §4: a local write failure is ignored and the page is written
 		// directly to the object store.
 		c.mu.Lock()
@@ -358,24 +369,23 @@ func (c *Cache) PutBack(ctx context.Context, key string, data []byte) error {
 	return nil
 }
 
-// putDirect uploads synchronously with the retry budget.
+// putDirect uploads synchronously; the upload pipeline's retry stage spends
+// the §4 budget before giving up.
 func (c *Cache) putDirect(ctx context.Context, key string, data []byte) error {
-	var lastErr error
-	for i := 0; i < c.cfg.UploadRetries; i++ {
-		if lastErr = c.store.Put(ctx, key, data); lastErr == nil {
-			c.mu.Lock()
-			c.stats.Uploads++
-			c.mu.Unlock()
-			return nil
-		}
-		if ctx.Err() != nil {
-			return ctx.Err()
-		}
+	err := c.upload.WritePage(ctx, pageio.WriteReq{Ref: pageio.Ref{Key: key}, Data: data})
+	if err == nil {
+		c.mu.Lock()
+		c.stats.Uploads++
+		c.mu.Unlock()
+		return nil
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
 	}
 	c.mu.Lock()
 	c.stats.UploadFails++
 	c.mu.Unlock()
-	return fmt.Errorf("%w: key %s: %v", ErrUploadFailed, key, lastErr)
+	return fmt.Errorf("%w: key %s: %v", ErrUploadFailed, key, err)
 }
 
 // PutThrough is the write-through mode used during the commit phase: the
@@ -424,12 +434,8 @@ func (c *Cache) uploadWorker() {
 		var lastErr error
 		ok := false
 		if lastErr = c.cfg.Faults.Check(faultinject.OCMUploadDrop, ent.key); lastErr == nil {
-			for i := 0; i < c.cfg.UploadRetries; i++ {
-				if lastErr = c.store.Put(context.Background(), ent.key, data); lastErr == nil {
-					ok = true
-					break
-				}
-			}
+			lastErr = c.upload.WritePage(context.Background(), pageio.WriteReq{Ref: pageio.Ref{Key: ent.key}, Data: data})
+			ok = lastErr == nil
 		}
 
 		c.mu.Lock()
@@ -519,5 +525,5 @@ func (c *Cache) Delete(ctx context.Context, key string) error {
 		c.removeLocked(ent)
 	}
 	c.mu.Unlock()
-	return c.store.Delete(ctx, key)
+	return c.up.Delete(ctx, pageio.Ref{Key: key})
 }

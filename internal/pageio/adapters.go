@@ -1,0 +1,103 @@
+package pageio
+
+import (
+	"context"
+
+	"cloudiq/internal/blockdev"
+	"cloudiq/internal/objstore"
+)
+
+// NewStore adapts an object store to the Handler interface. Batch operations
+// fan out through pool (nil pool = sequential). The adapter adds no retry or
+// metering of its own; stack Retry and Meter around it.
+func NewStore(s objstore.Store, pool *WorkPool) Handler {
+	return &storeHandler{store: s, pool: pool}
+}
+
+type storeHandler struct {
+	store objstore.Store
+	pool  *WorkPool
+}
+
+func (h *storeHandler) ReadPage(ctx context.Context, ref Ref) ([]byte, error) {
+	return h.store.Get(ctx, ref.Key)
+}
+
+func (h *storeHandler) WritePage(ctx context.Context, req WriteReq) error {
+	return h.store.Put(ctx, req.Ref.Key, req.Data)
+}
+
+func (h *storeHandler) Delete(ctx context.Context, ref Ref) error {
+	return h.store.Delete(ctx, ref.Key)
+}
+
+func (h *storeHandler) ReadBatch(ctx context.Context, refs []Ref) ([][]byte, error) {
+	out := make([][]byte, len(refs))
+	errs := h.pool.Do(ctx, len(refs), func(i int) error {
+		data, err := h.store.Get(ctx, refs[i].Key)
+		if err != nil {
+			return err
+		}
+		out[i] = data
+		return nil
+	})
+	return out, batchErr(errs)
+}
+
+func (h *storeHandler) WriteBatch(ctx context.Context, reqs []WriteReq) error {
+	errs := h.pool.Do(ctx, len(reqs), func(i int) error {
+		return h.store.Put(ctx, reqs[i].Ref.Key, reqs[i].Data)
+	})
+	return batchErr(errs)
+}
+
+// NewDevice adapts a block device to the Handler interface. Refs carry byte
+// offsets; ReadPage allocates a fresh Ref.Len-sized buffer per page. Batch
+// operations fan out through pool (nil pool = sequential), overlapping
+// per-op device latency the way the engine's old parallel flush workers
+// did. Delete is a no-op: block reclamation is the free-list's job, not the
+// device's.
+func NewDevice(d blockdev.Device, pool *WorkPool) Handler {
+	return &deviceHandler{dev: d, pool: pool}
+}
+
+type deviceHandler struct {
+	dev  blockdev.Device
+	pool *WorkPool
+}
+
+func (h *deviceHandler) ReadPage(ctx context.Context, ref Ref) ([]byte, error) {
+	buf := make([]byte, ref.Len)
+	if err := h.dev.ReadAt(ctx, buf, ref.Off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (h *deviceHandler) WritePage(ctx context.Context, req WriteReq) error {
+	return h.dev.WriteAt(ctx, req.Data, req.Ref.Off)
+}
+
+func (h *deviceHandler) Delete(ctx context.Context, ref Ref) error {
+	return nil
+}
+
+func (h *deviceHandler) ReadBatch(ctx context.Context, refs []Ref) ([][]byte, error) {
+	out := make([][]byte, len(refs))
+	errs := h.pool.Do(ctx, len(refs), func(i int) error {
+		data, err := h.ReadPage(ctx, refs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = data
+		return nil
+	})
+	return out, batchErr(errs)
+}
+
+func (h *deviceHandler) WriteBatch(ctx context.Context, reqs []WriteReq) error {
+	errs := h.pool.Do(ctx, len(reqs), func(i int) error {
+		return h.WritePage(ctx, reqs[i])
+	})
+	return batchErr(errs)
+}

@@ -1,0 +1,99 @@
+package pageio
+
+import (
+	"context"
+
+	"cloudiq/internal/faultinject"
+)
+
+// Faults returns a middleware that consults a fault plan once per request —
+// the PipeRead/PipeWrite/PipeDelete sites — instead of threading injection
+// hooks through every call site. Detail is the ref's key (or decimal device
+// offset), so plans can target one page. Batch operations are checked per
+// item: governed items fail, the rest are forwarded as a sub-batch. A nil
+// plan is a no-op stage.
+func Faults(plan *faultinject.Plan) Middleware {
+	return func(next Handler) Handler {
+		if plan == nil {
+			return next
+		}
+		return &faultsMW{next: next, plan: plan}
+	}
+}
+
+type faultsMW struct {
+	next Handler
+	plan *faultinject.Plan
+}
+
+func (f *faultsMW) check(site faultinject.Site, ref Ref) error {
+	return f.plan.Check(site, ref.Detail())
+}
+
+func (f *faultsMW) ReadPage(ctx context.Context, ref Ref) ([]byte, error) {
+	if err := f.check(faultinject.PipeRead, ref); err != nil {
+		return nil, err
+	}
+	return f.next.ReadPage(ctx, ref)
+}
+
+func (f *faultsMW) WritePage(ctx context.Context, req WriteReq) error {
+	if err := f.check(faultinject.PipeWrite, req.Ref); err != nil {
+		return err
+	}
+	return f.next.WritePage(ctx, req)
+}
+
+func (f *faultsMW) Delete(ctx context.Context, ref Ref) error {
+	if err := f.check(faultinject.PipeDelete, ref); err != nil {
+		return err
+	}
+	return f.next.Delete(ctx, ref)
+}
+
+func (f *faultsMW) ReadBatch(ctx context.Context, refs []Ref) ([][]byte, error) {
+	out := make([][]byte, len(refs))
+	errs := make([]error, len(refs))
+	var fwd []Ref
+	var idx []int
+	for i, ref := range refs {
+		if err := f.check(faultinject.PipeRead, ref); err != nil {
+			errs[i] = err
+			continue
+		}
+		fwd = append(fwd, ref)
+		idx = append(idx, i)
+	}
+	if len(fwd) > 0 {
+		res, err := f.next.ReadBatch(ctx, fwd)
+		sub := ItemErrors(err, len(fwd))
+		for j, i := range idx {
+			if res != nil {
+				out[i] = res[j]
+			}
+			errs[i] = sub[j]
+		}
+	}
+	return out, batchErr(errs)
+}
+
+func (f *faultsMW) WriteBatch(ctx context.Context, reqs []WriteReq) error {
+	errs := make([]error, len(reqs))
+	var fwd []WriteReq
+	var idx []int
+	for i, req := range reqs {
+		if err := f.check(faultinject.PipeWrite, req.Ref); err != nil {
+			errs[i] = err
+			continue
+		}
+		fwd = append(fwd, req)
+		idx = append(idx, i)
+	}
+	if len(fwd) > 0 {
+		sub := ItemErrors(f.next.WriteBatch(ctx, fwd), len(fwd))
+		for j, i := range idx {
+			errs[i] = sub[j]
+		}
+	}
+	return batchErr(errs)
+}

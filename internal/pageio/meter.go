@@ -1,0 +1,220 @@
+package pageio
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StatsRegistry collects per-layer I/O statistics. Each Meter stage in a
+// pipeline owns one named LayerStats, so the same logical request is visible
+// once per layer it crosses ("dbspace:user" above the retry stage,
+// "store:user" below it — the difference between the two read counts IS the
+// retry amplification).
+//
+// Wall-clock latencies feed histograms only; no control flow depends on
+// them, so metered pipelines stay safe inside deterministic simulations.
+type StatsRegistry struct {
+	mu     sync.Mutex
+	layers map[string]*LayerStats
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *StatsRegistry {
+	return &StatsRegistry{layers: make(map[string]*LayerStats)}
+}
+
+// Layer returns the named layer's stats, creating them on first use.
+func (r *StatsRegistry) Layer(name string) *LayerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ls := r.layers[name]
+	if ls == nil {
+		ls = &LayerStats{}
+		r.layers[name] = ls
+	}
+	return ls
+}
+
+// Snapshot captures every layer's counters. The map is JSON-marshalable;
+// encoding/json sorts the keys.
+func (r *StatsRegistry) Snapshot() map[string]LayerSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]LayerSnapshot, len(r.layers))
+	for name, ls := range r.layers {
+		out[name] = ls.snapshot()
+	}
+	return out
+}
+
+// WriteJSON renders the registry as indented JSON:
+//
+//	{"<layer>": {"read"|"write"|"delete": {
+//	    "calls": N, "items": N, "errors": N, "bytes": N,
+//	    "lat_ns_pow2": [c0, c1, ...]}}}
+//
+// lat_ns_pow2[i] counts calls whose latency was in [2^(i-1), 2^i) ns.
+func (r *StatsRegistry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// histBuckets covers latencies up to 2^39 ns (~9 minutes) per call.
+const histBuckets = 40
+
+// LayerStats aggregates one pipeline stage's reads, writes and deletes.
+// Batch calls count once in calls and per-page in items.
+type LayerStats struct {
+	read   opStats
+	write  opStats
+	delete opStats
+}
+
+func (ls *LayerStats) snapshot() LayerSnapshot {
+	return LayerSnapshot{
+		Read:   ls.read.snapshot(),
+		Write:  ls.write.snapshot(),
+		Delete: ls.delete.snapshot(),
+	}
+}
+
+type opStats struct {
+	calls  atomic.Uint64
+	items  atomic.Uint64
+	errors atomic.Uint64
+	bytes  atomic.Uint64
+	hist   [histBuckets]atomic.Uint64
+}
+
+func (s *opStats) record(elapsed time.Duration, items, errs int, nbytes int) {
+	s.calls.Add(1)
+	s.items.Add(uint64(items))
+	s.errors.Add(uint64(errs))
+	s.bytes.Add(uint64(nbytes))
+	b := bits.Len64(uint64(elapsed.Nanoseconds()))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	s.hist[b].Add(1)
+}
+
+func (s *opStats) snapshot() OpSnapshot {
+	snap := OpSnapshot{
+		Calls:  s.calls.Load(),
+		Items:  s.items.Load(),
+		Errors: s.errors.Load(),
+		Bytes:  s.bytes.Load(),
+	}
+	last := -1
+	for i := range s.hist {
+		if s.hist[i].Load() > 0 {
+			last = i
+		}
+	}
+	snap.LatNSPow2 = make([]uint64, last+1)
+	for i := 0; i <= last; i++ {
+		snap.LatNSPow2[i] = s.hist[i].Load()
+	}
+	return snap
+}
+
+// LayerSnapshot is the JSON shape of one layer.
+type LayerSnapshot struct {
+	Read   OpSnapshot `json:"read"`
+	Write  OpSnapshot `json:"write"`
+	Delete OpSnapshot `json:"delete"`
+}
+
+// OpSnapshot is the JSON shape of one operation class. LatNSPow2 is trimmed
+// after its last non-zero bucket.
+type OpSnapshot struct {
+	Calls     uint64   `json:"calls"`
+	Items     uint64   `json:"items"`
+	Errors    uint64   `json:"errors"`
+	Bytes     uint64   `json:"bytes"`
+	LatNSPow2 []uint64 `json:"lat_ns_pow2"`
+}
+
+// Meter returns a middleware recording every operation that crosses it into
+// reg's layer named name. Each retry attempt below an outer stage is its own
+// inner-stage call, so stacking Meter above and below Retry exposes the
+// retry amplification. A nil registry yields an identity stage.
+func Meter(reg *StatsRegistry, name string) Middleware {
+	return func(next Handler) Handler {
+		if reg == nil {
+			return next
+		}
+		return &meter{next: next, stats: reg.Layer(name)}
+	}
+}
+
+type meter struct {
+	next  Handler
+	stats *LayerStats
+}
+
+func errCount(err error) int {
+	if err != nil {
+		return 1
+	}
+	return 0
+}
+
+func (m *meter) ReadPage(ctx context.Context, ref Ref) ([]byte, error) {
+	start := time.Now()
+	data, err := m.next.ReadPage(ctx, ref)
+	m.stats.read.record(time.Since(start), 1, errCount(err), len(data))
+	return data, err
+}
+
+func (m *meter) WritePage(ctx context.Context, req WriteReq) error {
+	start := time.Now()
+	err := m.next.WritePage(ctx, req)
+	m.stats.write.record(time.Since(start), 1, errCount(err), len(req.Data))
+	return err
+}
+
+func (m *meter) Delete(ctx context.Context, ref Ref) error {
+	start := time.Now()
+	err := m.next.Delete(ctx, ref)
+	m.stats.delete.record(time.Since(start), 1, errCount(err), 0)
+	return err
+}
+
+func (m *meter) ReadBatch(ctx context.Context, refs []Ref) ([][]byte, error) {
+	start := time.Now()
+	out, err := m.next.ReadBatch(ctx, refs)
+	nerr, nbytes := 0, 0
+	for _, e := range ItemErrors(err, len(refs)) {
+		if e != nil {
+			nerr++
+		}
+	}
+	for _, data := range out {
+		nbytes += len(data)
+	}
+	m.stats.read.record(time.Since(start), len(refs), nerr, nbytes)
+	return out, err
+}
+
+func (m *meter) WriteBatch(ctx context.Context, reqs []WriteReq) error {
+	start := time.Now()
+	err := m.next.WriteBatch(ctx, reqs)
+	nerr, nbytes := 0, 0
+	for _, e := range ItemErrors(err, len(reqs)) {
+		if e != nil {
+			nerr++
+		}
+	}
+	for _, req := range reqs {
+		nbytes += len(req.Data)
+	}
+	m.stats.write.record(time.Since(start), len(reqs), nerr, nbytes)
+	return err
+}

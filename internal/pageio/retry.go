@@ -1,0 +1,160 @@
+package pageio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"cloudiq/internal/iomodel"
+	"cloudiq/internal/objstore"
+)
+
+// ErrExhausted is wrapped into every failure that burned through all retry
+// attempts. Match it with errors.Is.
+var ErrExhausted = errors.New("pageio: retries exhausted")
+
+// Policy configures the Retry middleware, the paper's retry-until-found
+// discipline (§3): under eventual consistency a freshly written key may not
+// be visible yet, so reads that miss are retried with capped exponential
+// backoff; writes are retried on any error because the key is never reused
+// (never-write-twice makes write retries idempotent).
+type Policy struct {
+	// ReadAttempts and WriteAttempts bound the total tries per operation
+	// (minimum 1 each).
+	ReadAttempts  int
+	WriteAttempts int
+
+	// Delay is the first backoff; it doubles per retry up to Cap. A zero Cap
+	// leaves the backoff uncapped.
+	Delay time.Duration
+	Cap   time.Duration
+
+	// Scale charges simulated time for each backoff. Nil skips sleeping,
+	// which keeps unit tests instant.
+	Scale *iomodel.Scale
+
+	// RetryRead decides which read errors are retryable. Nil defaults to
+	// objstore.ErrNotFound only: any other read failure is surfaced
+	// immediately.
+	RetryRead func(error) bool
+
+	// Pool bounds the fan-out of batch operations, which retry each item
+	// independently. Nil runs batch items sequentially.
+	Pool *WorkPool
+}
+
+func (p Policy) retryRead(err error) bool {
+	if p.RetryRead != nil {
+		return p.RetryRead(err)
+	}
+	return errors.Is(err, objstore.ErrNotFound)
+}
+
+func (p Policy) sleep(d time.Duration) {
+	if p.Scale != nil {
+		p.Scale.Sleep(d)
+	}
+}
+
+// Retry returns the retry middleware for p.
+func Retry(p Policy) Middleware {
+	if p.ReadAttempts < 1 {
+		p.ReadAttempts = 1
+	}
+	if p.WriteAttempts < 1 {
+		p.WriteAttempts = 1
+	}
+	return func(next Handler) Handler {
+		return &retry{next: next, p: p}
+	}
+}
+
+type retry struct {
+	next Handler
+	p    Policy
+}
+
+// backoff sleeps the current delay and returns the next one, doubled and
+// capped.
+func (r *retry) backoff(d time.Duration) time.Duration {
+	r.p.sleep(d)
+	d *= 2
+	if r.p.Cap > 0 && d > r.p.Cap {
+		d = r.p.Cap
+	}
+	return d
+}
+
+func (r *retry) ReadPage(ctx context.Context, ref Ref) ([]byte, error) {
+	delay := r.p.Delay
+	var err error
+	for attempt := 0; attempt < r.p.ReadAttempts; attempt++ {
+		if attempt > 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			delay = r.backoff(delay)
+		}
+		var data []byte
+		data, err = r.next.ReadPage(ctx, ref)
+		if err == nil {
+			return data, nil
+		}
+		if !r.p.retryRead(err) {
+			return nil, err
+		}
+	}
+	if r.p.ReadAttempts == 1 {
+		return nil, err
+	}
+	return nil, fmt.Errorf("%w: read %s after %d attempts: %w",
+		ErrExhausted, ref.Detail(), r.p.ReadAttempts, err)
+}
+
+func (r *retry) WritePage(ctx context.Context, req WriteReq) error {
+	delay := r.p.Delay
+	var err error
+	for attempt := 0; attempt < r.p.WriteAttempts; attempt++ {
+		if attempt > 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			delay = r.backoff(delay)
+		}
+		if err = r.next.WritePage(ctx, req); err == nil {
+			return nil
+		}
+	}
+	if r.p.WriteAttempts == 1 {
+		return err
+	}
+	return fmt.Errorf("%w: write %s after %d attempts: %w",
+		ErrExhausted, req.Ref.Detail(), r.p.WriteAttempts, err)
+}
+
+func (r *retry) Delete(ctx context.Context, ref Ref) error {
+	return r.next.Delete(ctx, ref)
+}
+
+// ReadBatch retries each item independently through ReadPage so one slow key
+// (an eventual-consistency straggler) cannot fail its neighbours.
+func (r *retry) ReadBatch(ctx context.Context, refs []Ref) ([][]byte, error) {
+	out := make([][]byte, len(refs))
+	errs := r.p.Pool.Do(ctx, len(refs), func(i int) error {
+		data, err := r.ReadPage(ctx, refs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = data
+		return nil
+	})
+	return out, batchErr(errs)
+}
+
+func (r *retry) WriteBatch(ctx context.Context, reqs []WriteReq) error {
+	errs := r.p.Pool.Do(ctx, len(reqs), func(i int) error {
+		return r.WritePage(ctx, reqs[i])
+	})
+	return batchErr(errs)
+}

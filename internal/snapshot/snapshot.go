@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"cloudiq/internal/objstore"
+	"cloudiq/internal/pageio"
 	"cloudiq/internal/rfrb"
 )
 
@@ -66,9 +67,17 @@ type state struct {
 	MetaSeq uint64
 }
 
-// Manager is the snapshot manager. It is safe for concurrent use.
+// metaReadAttempts bounds the retry-until-found window eventual consistency
+// may impose on freshly written metadata keys (never written twice, like data
+// pages).
+const metaReadAttempts = 10
+
+// Manager is the snapshot manager. It is safe for concurrent use. All store
+// I/O except listing flows through pipe, whose retry stage owns the §3
+// retry-until-found discipline.
 type Manager struct {
-	cfg Config
+	cfg  Config
+	pipe pageio.Handler
 
 	mu sync.Mutex
 	st state
@@ -82,7 +91,11 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.MetaPrefix == "" {
 		cfg.MetaPrefix = "snapmgr/"
 	}
-	return &Manager{cfg: cfg}, nil
+	pipe := pageio.Chain(
+		pageio.NewStore(cfg.Store, nil),
+		pageio.Retry(pageio.Policy{ReadAttempts: metaReadAttempts}),
+	)
+	return &Manager{cfg: cfg, pipe: pipe}, nil
 }
 
 // Retire takes ownership of an expired page-version extent: instead of
@@ -145,7 +158,7 @@ func (m *Manager) Expire(ctx context.Context) (int, error) {
 		}
 	}
 	for _, s := range expiredSnaps {
-		if err := m.cfg.Store.Delete(ctx, m.snapKey(s.ID)); err != nil {
+		if err := m.pipe.Delete(ctx, pageio.Ref{Key: m.snapKey(s.ID)}); err != nil {
 			return 0, fmt.Errorf("snapshot: delete snapshot %d: %w", s.ID, err)
 		}
 	}
@@ -166,24 +179,6 @@ func (m *Manager) snapKey(id uint64) string {
 	return fmt.Sprintf("%ssnap-%016d", m.cfg.MetaPrefix, id)
 }
 
-// getRetry reads a metadata object, retrying the bounded not-found window
-// eventual consistency may impose on freshly written keys (metadata keys,
-// like data pages, are never written twice).
-func (m *Manager) getRetry(ctx context.Context, key string) ([]byte, error) {
-	var lastErr error
-	for attempt := 0; attempt < 10; attempt++ {
-		data, err := m.cfg.Store.Get(ctx, key)
-		if err == nil {
-			return data, nil
-		}
-		lastErr = err
-		if !errors.Is(err, objstore.ErrNotFound) || ctx.Err() != nil {
-			return nil, err
-		}
-	}
-	return nil, lastErr
-}
-
 // Snapshot stores a near-instantaneous snapshot: the catalog image, the
 // system backup and the current maximum allocated key. No cloud dbspace
 // data is copied (§5).
@@ -199,7 +194,7 @@ func (m *Manager) Snapshot(ctx context.Context, catalogImage, systemBackup []byt
 	if err := gob.NewEncoder(&buf).Encode(image{Info: info, Catalog: catalogImage, System: systemBackup}); err != nil {
 		return SnapInfo{}, fmt.Errorf("snapshot: encode: %w", err)
 	}
-	if err := m.cfg.Store.Put(ctx, m.snapKey(info.ID), buf.Bytes()); err != nil {
+	if err := m.pipe.WritePage(ctx, pageio.WriteReq{Ref: pageio.Ref{Key: m.snapKey(info.ID)}, Data: buf.Bytes()}); err != nil {
 		return SnapInfo{}, fmt.Errorf("snapshot: store snapshot %d: %w", info.ID, err)
 	}
 	if err := m.persist(ctx); err != nil {
@@ -221,7 +216,7 @@ func (m *Manager) Snapshots() []SnapInfo {
 // restores them and then garbage collects keys in (info.MaxKey, currentMax]
 // — see PostRestoreRange.
 func (m *Manager) Restore(ctx context.Context, id uint64) (SnapInfo, []byte, []byte, error) {
-	data, err := m.getRetry(ctx, m.snapKey(id))
+	data, err := m.pipe.ReadPage(ctx, pageio.Ref{Key: m.snapKey(id)})
 	if err != nil {
 		if errors.Is(err, objstore.ErrNotFound) {
 			return SnapInfo{}, nil, nil, fmt.Errorf("snapshot %d: %w", id, ErrNotFound)
@@ -260,11 +255,11 @@ func (m *Manager) persist(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("snapshot: encode meta: %w", err)
 	}
-	if err := m.cfg.Store.Put(ctx, m.metaKey(seq), buf.Bytes()); err != nil {
+	if err := m.pipe.WritePage(ctx, pageio.WriteReq{Ref: pageio.Ref{Key: m.metaKey(seq)}, Data: buf.Bytes()}); err != nil {
 		return fmt.Errorf("snapshot: persist meta: %w", err)
 	}
 	if seq > 1 {
-		if err := m.cfg.Store.Delete(ctx, m.metaKey(seq-1)); err != nil {
+		if err := m.pipe.Delete(ctx, pageio.Ref{Key: m.metaKey(seq - 1)}); err != nil {
 			return fmt.Errorf("snapshot: prune old meta: %w", err)
 		}
 	}
@@ -282,7 +277,7 @@ func (m *Manager) Load(ctx context.Context) error {
 		return nil
 	}
 	latest := keys[len(keys)-1] // keys sort ascending; fixed-width seq
-	data, err := m.getRetry(ctx, latest)
+	data, err := m.pipe.ReadPage(ctx, pageio.Ref{Key: latest})
 	if err != nil {
 		return fmt.Errorf("snapshot: load meta %s: %w", latest, err)
 	}

@@ -2,7 +2,6 @@ package table
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -11,7 +10,13 @@ import (
 
 	"cloudiq/internal/column"
 	"cloudiq/internal/objstore"
+	"cloudiq/internal/pageio"
 )
+
+// loadReadAttempts bounds the retry-until-found window for freshly uploaded
+// input files (§3: a new key may be briefly invisible under eventual
+// consistency).
+const loadReadAttempts = 10
 
 // LoadStats reports what a Load ingested.
 type LoadStats struct {
@@ -20,18 +25,19 @@ type LoadStats struct {
 	Bytes int64
 }
 
-// Load ingests every input file under prefix in store into t, in parallel:
-// files are fetched and parsed by up to parallel workers (overlapping
-// object-store latency, which is where the load path's bandwidth saturation
-// comes from — Figure 8), and appended to the table in batches. Input files
-// are '|'-separated, one row per line, TPC-H dbgen style; a trailing '|' is
-// tolerated. Dates (yyyy-mm-dd) are parsed for columns marked Date.
+// Load ingests every input file under prefix in store into t. Files are
+// fetched in windows of up to parallel keys through a pageio ReadBatch
+// (overlapping object-store latency, which is where the load path's bandwidth
+// saturation comes from — Figure 8), parsed concurrently, and appended in
+// file order so ingestion is deterministic. Input files are '|'-separated,
+// one row per line, TPC-H dbgen style; a trailing '|' is tolerated. Dates
+// (yyyy-mm-dd) are parsed for columns marked Date.
 func Load(ctx context.Context, t *Table, store objstore.Store, prefix string, parallel int) (LoadStats, error) {
 	var stats LoadStats
 	// An empty listing right after the input files were uploaded is almost
 	// certainly eventual consistency; observe a few more times.
 	var files []string
-	for attempt := 0; attempt < 10; attempt++ {
+	for attempt := 0; attempt < loadReadAttempts; attempt++ {
 		var err error
 		files, err = store.List(ctx, prefix)
 		if err != nil {
@@ -44,81 +50,56 @@ func Load(ctx context.Context, t *Table, store objstore.Store, prefix string, pa
 	if parallel <= 0 {
 		parallel = 4
 	}
-	type result struct {
-		batch *Batch
-		bytes int64
-		err   error
-	}
-	work := make(chan string)
-	results := make(chan result)
-	var wg sync.WaitGroup
-	for w := 0; w < parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for name := range work {
-				data, err := getRetry(ctx, store, name)
-				if err != nil {
-					results <- result{err: fmt.Errorf("load %s: fetch %s: %w", t.Name(), name, err)}
-					continue
-				}
-				batch, err := ParseRows(t.Schema(), string(data))
-				results <- result{batch: batch, bytes: int64(len(data)), err: err}
-			}
-		}()
-	}
-	go func() {
-		defer close(work)
-		for _, f := range files {
-			select {
-			case work <- f:
-			case <-ctx.Done():
-				return
-			}
+	pipe := pageio.Chain(
+		pageio.NewStore(store, nil),
+		pageio.Retry(pageio.Policy{
+			ReadAttempts: loadReadAttempts,
+			Pool:         pageio.NewPool(parallel),
+		}),
+	)
+	for start := 0; start < len(files); start += parallel {
+		window := files[start:min(start+parallel, len(files))]
+		if err := ctx.Err(); err != nil {
+			return stats, err
 		}
-	}()
-	go func() {
+		refs := make([]pageio.Ref, len(window))
+		for i, f := range window {
+			refs[i] = pageio.Ref{Key: f}
+		}
+		blobs, batchErr := pipe.ReadBatch(ctx, refs)
+		fetchErrs := pageio.ItemErrors(batchErr, len(window))
+
+		batches := make([]*Batch, len(window))
+		parseErrs := make([]error, len(window))
+		var wg sync.WaitGroup
+		for i := range window {
+			if fetchErrs[i] != nil {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				batches[i], parseErrs[i] = ParseRows(t.Schema(), string(blobs[i]))
+			}(i)
+		}
 		wg.Wait()
-		close(results)
-	}()
 
-	var firstErr error
-	for r := range results {
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = r.err
+		for i, f := range window {
+			if fetchErrs[i] != nil {
+				return stats, fmt.Errorf("load %s: fetch %s: %w", t.Name(), f, fetchErrs[i])
 			}
-			continue
-		}
-		if firstErr != nil {
-			continue // drain
-		}
-		if err := t.Append(ctx, r.batch); err != nil {
-			firstErr = err
-			continue
-		}
-		stats.Files++
-		stats.Rows += int64(r.batch.Rows())
-		stats.Bytes += r.bytes
-	}
-	return stats, firstErr
-}
-
-// getRetry fetches an input file, retrying the bounded not-found window a
-// freshly uploaded object may exhibit under eventual consistency.
-func getRetry(ctx context.Context, store objstore.Store, name string) ([]byte, error) {
-	var lastErr error
-	for attempt := 0; attempt < 10; attempt++ {
-		data, err := store.Get(ctx, name)
-		if err == nil {
-			return data, nil
-		}
-		lastErr = err
-		if !errors.Is(err, objstore.ErrNotFound) || ctx.Err() != nil {
-			return nil, err
+			if parseErrs[i] != nil {
+				return stats, parseErrs[i]
+			}
+			if err := t.Append(ctx, batches[i]); err != nil {
+				return stats, err
+			}
+			stats.Files++
+			stats.Rows += int64(batches[i].Rows())
+			stats.Bytes += int64(len(blobs[i]))
 		}
 	}
-	return nil, lastErr
+	return stats, nil
 }
 
 // ParseRows parses '|'-separated lines into a batch of the given schema.

@@ -329,14 +329,17 @@ func (t *Table) ReadSegment(ctx context.Context, seg int, cols []int) (*Batch, e
 	}
 	nCols := uint64(len(t.meta.Schema.Cols))
 	out := &Batch{Vecs: make([]*column.Vector, len(cols))}
+	pages := make([]uint64, len(cols))
 	for i, c := range cols {
 		out.Schema.Cols = append(out.Schema.Cols, t.meta.Schema.Cols[c])
-		page := dataBase + uint64(seg)*nCols + uint64(c)
-		raw, err := t.obj.Read(ctx, page)
-		if err != nil {
-			return nil, fmt.Errorf("table %s: segment %d column %d: %w", t.name, seg, c, err)
-		}
-		v, err := column.DecodeSegment(raw)
+		pages[i] = dataBase + uint64(seg)*nCols + uint64(c)
+	}
+	raws, err := t.obj.ReadBatch(ctx, pages)
+	if err != nil {
+		return nil, fmt.Errorf("table %s: segment %d: %w", t.name, seg, err)
+	}
+	for i, c := range cols {
+		v, err := column.DecodeSegment(raws[i])
 		if err != nil {
 			return nil, fmt.Errorf("table %s: segment %d column %d: %w", t.name, seg, c, err)
 		}
@@ -379,12 +382,16 @@ func (t *Table) Index(ctx context.Context, col int) (*index.HG, error) {
 	if im == nil {
 		return nil, nil
 	}
+	pages := make([]uint64, im.Chunks)
+	for c := range pages {
+		pages[c] = idxBase + uint64(pos)*idxStride + uint64(c)
+	}
+	chunks, err := t.obj.ReadBatch(ctx, pages)
+	if err != nil {
+		return nil, fmt.Errorf("table %s: load index %d: %w", t.name, pos, err)
+	}
 	var img []byte
-	for c := 0; c < im.Chunks; c++ {
-		chunk, err := t.obj.Read(ctx, idxBase+uint64(pos)*idxStride+uint64(c))
-		if err != nil {
-			return nil, fmt.Errorf("table %s: load index %d chunk %d: %w", t.name, pos, c, err)
-		}
+	for _, chunk := range chunks {
 		img = append(img, chunk...)
 	}
 	hg, err := index.Unmarshal(img)

@@ -21,6 +21,7 @@ import (
 
 	"cloudiq/internal/blockdev"
 	"cloudiq/internal/faultinject"
+	"cloudiq/internal/pageio"
 )
 
 // RecordType identifies the kind of a log record.
@@ -75,7 +76,8 @@ const magic = 0x69715741 // "iqWA"
 // concurrent use.
 type Log struct {
 	mu     sync.Mutex
-	dev    blockdev.Device
+	dev    blockdev.Device // kept for Size(); all I/O goes through pipe
+	pipe   pageio.Handler
 	end    int64 // next append offset
 	ckp    int64 // offset of the last checkpoint record (0 = none)
 	faults *faultinject.Plan
@@ -96,17 +98,17 @@ func (l *Log) InjectFaults(p *faultinject.Plan) {
 // is empty, or scanning to the end of the existing log otherwise. The device
 // must be growable.
 func Open(ctx context.Context, dev blockdev.Device) (*Log, error) {
-	l := &Log{dev: dev, end: headerSize}
+	l := &Log{dev: dev, pipe: pageio.NewDevice(dev, nil), end: headerSize}
 	if dev.Size() < headerSize {
 		hdr := make([]byte, headerSize)
 		binary.LittleEndian.PutUint32(hdr, magic)
-		if err := dev.WriteAt(ctx, hdr, 0); err != nil {
+		if err := l.pipe.WritePage(ctx, pageio.WriteReq{Data: hdr}); err != nil {
 			return nil, fmt.Errorf("wal: init header: %w", err)
 		}
 		return l, nil
 	}
-	hdr := make([]byte, headerSize)
-	if err := dev.ReadAt(ctx, hdr, 0); err != nil {
+	hdr, err := l.pipe.ReadPage(ctx, pageio.Ref{Len: headerSize})
+	if err != nil {
 		return nil, fmt.Errorf("wal: read header: %w", err)
 	}
 	if binary.LittleEndian.Uint32(hdr) != magic {
@@ -149,11 +151,11 @@ func (l *Log) Append(ctx context.Context, typ RecordType, payload []byte) (uint6
 		if n >= len(frame) {
 			n = len(frame) - 1
 		}
-		_ = l.dev.WriteAt(ctx, frame[:n], lsn)
+		_ = l.pipe.WritePage(ctx, pageio.WriteReq{Ref: pageio.Ref{Off: lsn}, Data: frame[:n]})
 		return 0, fmt.Errorf("wal: append %s: torn after %d of %d bytes: %w",
 			typ, n, len(frame), faultinject.ErrInjected)
 	}
-	if err := l.dev.WriteAt(ctx, frame, lsn); err != nil {
+	if err := l.pipe.WritePage(ctx, pageio.WriteReq{Ref: pageio.Ref{Off: lsn}, Data: frame}); err != nil {
 		return 0, fmt.Errorf("wal: append %s: %w", typ, err)
 	}
 	l.end += int64(len(frame))
@@ -172,7 +174,7 @@ func (l *Log) Checkpoint(ctx context.Context, payload []byte) (uint64, error) {
 	binary.LittleEndian.PutUint64(hdr[8:], lsn)
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.dev.WriteAt(ctx, hdr, 0); err != nil {
+	if err := l.pipe.WritePage(ctx, pageio.WriteReq{Data: hdr}); err != nil {
 		return 0, fmt.Errorf("wal: update checkpoint pointer: %w", err)
 	}
 	l.ckp = int64(lsn)
@@ -185,8 +187,8 @@ func (l *Log) readRecord(ctx context.Context, off int64) (Record, int64, error) 
 	if off+frameOverhead > l.dev.Size() {
 		return Record{}, 0, fmt.Errorf("wal: offset %d past end: %w", off, ErrCorrupt)
 	}
-	head := make([]byte, frameOverhead)
-	if err := l.dev.ReadAt(ctx, head, off); err != nil {
+	head, err := l.pipe.ReadPage(ctx, pageio.Ref{Off: off, Len: frameOverhead})
+	if err != nil {
 		return Record{}, 0, err
 	}
 	n := binary.LittleEndian.Uint32(head)
@@ -197,8 +199,8 @@ func (l *Log) readRecord(ctx context.Context, off int64) (Record, int64, error) 
 	if off+frameOverhead+int64(n) > l.dev.Size() {
 		return Record{}, 0, fmt.Errorf("wal: truncated frame at %d: %w", off, ErrCorrupt)
 	}
-	payload := make([]byte, n)
-	if err := l.dev.ReadAt(ctx, payload, off+frameOverhead); err != nil {
+	payload, err := l.pipe.ReadPage(ctx, pageio.Ref{Off: off + frameOverhead, Len: int(n)})
+	if err != nil {
 		return Record{}, 0, err
 	}
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(head[5:]) {
