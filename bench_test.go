@@ -250,7 +250,7 @@ func BenchmarkAblationRetryPolicy(b *testing.B) {
 func BenchmarkAblationOCMWriteMode(b *testing.B) {
 	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.AblationOCMWriteMode(ctx, 200, 0.002)
+		rows, err := bench.AblationOCMWriteMode(ctx, 200, 0.002, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -37,6 +37,7 @@ import (
 	"cloudiq/internal/pageio"
 	"cloudiq/internal/rfrb"
 	"cloudiq/internal/snapshot"
+	"cloudiq/internal/trace"
 	"cloudiq/internal/txn"
 	"cloudiq/internal/wal"
 )
@@ -78,6 +79,11 @@ type Config struct {
 	// histograms from every dbspace and OCM cache attached to this node.
 	// Dump it with its WriteJSON method (iqbench -iostats does).
 	IOStats *pageio.StatsRegistry
+	// Trace, when non-nil, collects structured spans from commits, recovery,
+	// buffer flushes, scans and every pageio layer of every dbspace attached
+	// to this node. Construct with NewTracer; dump with its WriteJSON method
+	// (iqbench -trace does).
+	Trace *trace.Tracer
 }
 
 // Database is one node's database instance.
@@ -226,6 +232,7 @@ func (db *Database) AttachCloudDbspace(name string, store objstore.Store, opts C
 			BlockSize: opts.CacheBlockSize,
 			Workers:   db.cfg.PrefetchWorkers,
 			Stats:     db.cfg.IOStats,
+			Trace:     db.cfg.Trace,
 		})
 		if err != nil {
 			return fmt.Errorf("cloudiq: dbspace %q: %w", name, err)
@@ -284,6 +291,8 @@ type catalogPublication struct {
 // garbage collection are all restored. Dbspaces must be re-attached (with
 // the surviving stores/devices) before calling Recover.
 func (db *Database) Recover(ctx context.Context) error {
+	ctx, sp := trace.Root(ctx, db.cfg.Trace, "db.recover", trace.String("node", db.cfg.Node))
+	defer sp.End()
 	return db.mgr.Recover(ctx, func(rec wal.Record) error {
 		if rec.Type != wal.RecCommit {
 			return nil
@@ -314,6 +323,8 @@ func (db *Database) Recover(ctx context.Context) error {
 // garbage collection or metadata mutation — the reader-node path of the
 // multiplex (§2).
 func (db *Database) RecoverAsReader(ctx context.Context) error {
+	ctx, sp := trace.Root(ctx, db.cfg.Trace, "db.recover-reader", trace.String("node", db.cfg.Node))
+	defer sp.End()
 	return db.mgr.RecoverForRead(ctx, func(rec wal.Record) error {
 		if rec.Type != wal.RecCommit {
 			return nil

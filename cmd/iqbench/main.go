@@ -23,6 +23,7 @@ import (
 
 	"cloudiq/internal/bench"
 	"cloudiq/internal/pageio"
+	"cloudiq/internal/trace"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "jitter seed")
 	short := flag.Bool("short", false, "shrink scale factor and timescale for a fast smoke run (overrides -sf/-timescale)")
 	iostats := flag.String("iostats", "", "write per-layer pageio statistics JSON to this file after the run")
+	traceOut := flag.String("trace", "", "write structured span JSON to this file after the run and print the slowest operation tree")
 	flag.Parse()
 
 	base := bench.Options{SF: *sf, TimeScale: *timeScale, Seed: *seed}
@@ -41,6 +43,16 @@ func main() {
 	}
 	if *iostats != "" {
 		base.IOStats = pageio.NewRegistry()
+	}
+	if *traceOut != "" {
+		// Timestamps are simulated nanoseconds (the bench env re-bases the
+		// clock onto its iomodel scale), so the slow threshold is simulated
+		// time too.
+		base.Trace = trace.New(trace.Config{
+			Capacity:      1 << 16,
+			SlowThreshold: 50 * time.Millisecond,
+			SlowN:         64,
+		})
 	}
 	ctx := context.Background()
 	if err := run(ctx, strings.ToLower(*exp), base); err != nil {
@@ -53,6 +65,35 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, base.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, "iqbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace dumps the collected spans and renders the slowest root
+// operation as an indented tree (simulated durations).
+func writeTrace(path string, t *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	spans, dropped := t.Snapshot()
+	section(fmt.Sprintf("Trace: %d spans retained (%d dropped), JSON in %s", len(spans), dropped, path))
+	if root, ok := trace.SlowestRoot(spans); ok {
+		fmt.Printf("slowest retained operation (simulated time):\n")
+		trace.Render(os.Stdout, spans, root.ID, 8)
+	}
+	return nil
 }
 
 // writeStats dumps the per-layer I/O counters collected during the run.
@@ -178,6 +219,11 @@ func run(ctx context.Context, exp string, base bench.Options) error {
 			return err
 		}
 		fmt.Print(bench.FormatAblation("bounded read retries under eventual consistency", retry))
+		wmode, err := bench.AblationOCMWriteMode(ctx, 200, base.TimeScale, base.Trace)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatAblation("OCM write-back vs write-through (churn burst)", wmode))
 	}
 
 	known := map[string]bool{"all": true, "table1": true, "table2": true, "table3": true,

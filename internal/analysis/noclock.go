@@ -7,9 +7,11 @@ import (
 
 // deterministicPkgs are the packages whose behaviour must be a pure function
 // of their seeds: the simulation substrate (iomodel, objstore, blockdev),
-// the fault planner and crash harness, and the PRNG itself. Wall-clock reads
-// or draws from the process-global math/rand source in any of them would
-// make crash-recovery runs irreproducible.
+// the fault planner and crash harness, the PRNG itself, and the tracer
+// (span timestamps come from an injected clock — usually iomodel's charged
+// simulated time — never from the wall). Wall-clock reads or draws from the
+// process-global math/rand source in any of them would make crash-recovery
+// runs irreproducible.
 var deterministicPkgs = map[string]bool{
 	"iomodel":     true,
 	"objstore":    true,
@@ -17,6 +19,7 @@ var deterministicPkgs = map[string]bool{
 	"faultinject": true,
 	"crashsim":    true,
 	"mt":          true,
+	"trace":       true,
 }
 
 // forbiddenTimeFuncs are the wall-clock reads. time.Sleep is deliberately

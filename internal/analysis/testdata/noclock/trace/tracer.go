@@ -1,0 +1,41 @@
+// Package trace is a noclock golden corpus: its directory base matches the
+// tracer package, whose span timestamps must come from an injected clock
+// (iomodel's charged simulated time in the benchmarks), never from the wall.
+// A wall-clock read here would silently mix real and simulated time in one
+// trace and break crash-recovery reproducibility.
+package trace
+
+import (
+	"math/rand"
+	"time"
+)
+
+// span is a corpus stand-in for the real tracer's span record.
+type span struct {
+	start time.Duration
+	id    uint64
+}
+
+// badStamp reads the wall clock for a span timestamp; both reads are
+// findings.
+func badStamp(s *span) time.Duration {
+	wall := time.Now()      // want "noclock: time.Now in deterministic package trace"
+	return time.Since(wall) // want "noclock: time.Since in deterministic package trace"
+}
+
+// badID draws a span ID from the process-global source; a finding.
+func badID(s *span) {
+	s.id = rand.Uint64() // want "noclock: global rand.Uint64 in deterministic package trace"
+}
+
+// goodStamp is the sanctioned pattern: the clock is injected and returns a
+// simulated duration, so spans are a pure function of the workload.
+func goodStamp(s *span, now func() time.Duration) {
+	s.start = now()
+}
+
+// goodID allocates IDs from a counter, not a PRNG.
+func goodID(s *span, next *uint64) {
+	*next++
+	s.id = *next
+}

@@ -8,6 +8,7 @@ import (
 	"cloudiq"
 	"cloudiq/internal/iomodel"
 	"cloudiq/internal/pageio"
+	"cloudiq/internal/trace"
 	"cloudiq/tpch"
 )
 
@@ -40,6 +41,10 @@ type Options struct {
 	// IOStats, when non-nil, collects the engine's per-layer pageio
 	// counters (iqbench -iostats plumbs it here).
 	IOStats *pageio.StatsRegistry
+	// Trace, when non-nil, collects structured spans from the whole engine
+	// stack, timestamped on the environment's simulated clock (iqbench
+	// -trace plumbs it here).
+	Trace *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -105,6 +110,9 @@ func (e *Env) SimSeconds(d time.Duration) float64 {
 func Setup(ctx context.Context, opts Options) (*Env, error) {
 	opts = opts.withDefaults()
 	e := &Env{Opts: opts, Scale: iomodel.NewScale(opts.TimeScale)}
+	// Span timestamps read the simulated clock, so trace durations line up
+	// with the experiment's simulated seconds, not wall time.
+	opts.Trace.SetClock(e.Scale.Charged)
 	e.Net = netResource(e.Scale, opts.Instance, opts.BandwidthScale)
 
 	// Input files live on S3 and are read over the instance NIC, so loads
@@ -132,6 +140,7 @@ func Setup(ctx context.Context, opts Options) (*Env, error) {
 		Compress:        true,
 		Scale:           e.Scale,
 		IOStats:         opts.IOStats,
+		Trace:           opts.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -177,6 +186,8 @@ func Setup(ctx context.Context, opts Options) (*Env, error) {
 // Load runs the TPC-H load (timed in simulated seconds) and opens the query
 // connection.
 func (e *Env) Load(ctx context.Context) error {
+	ctx, sp := trace.Root(ctx, e.Opts.Trace, "bench.load")
+	defer sp.End()
 	start := time.Now()
 	tx := e.DB.Begin()
 	input := &nodeStore{inner: e.Input, nic: e.Net}
@@ -204,6 +215,8 @@ func (e *Env) Conn() *tpch.Conn { return e.conn }
 // Power runs Q1–Q22 sequentially and returns per-query simulated seconds.
 func (e *Env) Power(ctx context.Context) ([22]float64, error) {
 	var out [22]float64
+	ctx, sp := trace.Root(ctx, e.Opts.Trace, "bench.power")
+	defer sp.End()
 	results, err := tpch.PowerRun(ctx, e.conn)
 	if err != nil {
 		return out, err

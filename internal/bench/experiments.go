@@ -13,6 +13,7 @@ import (
 	"cloudiq/internal/objstore"
 	"cloudiq/internal/ocm"
 	"cloudiq/internal/rfrb"
+	"cloudiq/internal/trace"
 	"cloudiq/tpch"
 )
 
@@ -513,17 +514,23 @@ func ablationPageKey(i int) string {
 
 // AblationOCMWriteMode measures the churn-phase latency benefit of
 // write-back over write-through for a burst of page writes (§4: the churn
-// phase is the longest part of a transaction and must be optimized).
-func AblationOCMWriteMode(ctx context.Context, pages int, timeScale float64) ([]AblationResult, error) {
+// phase is the longest part of a transaction and must be optimized). When tr
+// is non-nil, every background upload becomes a root span whose queue_ns
+// attribute exposes the brown-out: as the burst outruns the upload workers,
+// queue-wait grows while per-upload device and store time stay flat.
+func AblationOCMWriteMode(ctx context.Context, pages int, timeScale float64, tr *trace.Tracer) ([]AblationResult, error) {
 	var out []AblationResult
 	for _, mode := range []string{"write-back", "write-through"} {
 		scale := iomodel.NewScale(timeScale)
+		tr.SetClock(scale.Charged)
 		store := objstore.NewMem(objstore.Config{
 			WriteLatency: iomodel.Latency{Base: s3WriteLatency},
 			Scale:        scale,
 		})
 		ssd := newSSD(scale, 1, 64<<20, 7)
-		cache, err := ocm.New(ocm.Config{Device: ssd, Store: store})
+		// One upload lane: the churn burst outruns it, so the queue (and the
+		// queue_ns attribute on each ocm.upload span) grows — the brown-out.
+		cache, err := ocm.New(ocm.Config{Device: ssd, Store: store, Workers: 1, Trace: tr})
 		if err != nil {
 			return nil, err
 		}

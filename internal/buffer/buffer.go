@@ -17,6 +17,7 @@ import (
 
 	"cloudiq/internal/core"
 	"cloudiq/internal/pageio"
+	"cloudiq/internal/trace"
 )
 
 // ErrReadOnly is returned when writing through a read-only object handle.
@@ -498,12 +499,15 @@ func (o *Object) FlushForCommit(ctx context.Context) (core.Identity, error) {
 	if o.sink == nil {
 		return core.Identity{}, ErrReadOnly
 	}
+	ctx, fsp := trace.Start(ctx, "buffer.flush")
+	defer fsp.End()
 	o.mu.Lock()
 	dirty := make([]*page, 0, len(o.dirty))
 	for _, pg := range o.dirty {
 		dirty = append(dirty, pg)
 	}
 	o.mu.Unlock()
+	fsp.AddInt("dirty", int64(len(dirty)))
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i].key.logical < dirty[j].key.logical })
 
 	_, isBlock := o.ds.(*core.BlockDbspace)
@@ -530,6 +534,10 @@ func (o *Object) FlushForCommit(ctx context.Context) (core.Identity, error) {
 			}
 		}
 		batch = append(batch, pg)
+	}
+	if fsp != nil {
+		fsp.AddInt("rewrites", int64(len(rewrites)))
+		fsp.AddInt("batched", int64(len(batch)))
 	}
 	if len(rewrites) > 0 && ctx.Err() == nil {
 		// In-place rewrites target fixed block runs, so they cannot ride
@@ -610,12 +618,16 @@ func (o *Object) flushBatch(ctx context.Context, batch []*page) []error {
 
 	comp := pageio.NewPool(o.pool.cfg.PrefetchWorkers)
 	for start := 0; start < len(batch); start += flushChunk {
+		chunkIdx := int64(start / flushChunk)
 		chunk := batch[start:min(start+flushChunk, len(batch))]
 		pages := make([][]byte, len(chunk))
+		_, csp := trace.Start(ctx, "flush.compress",
+			trace.Int("chunk", chunkIdx), trace.Int("pages", int64(len(chunk))))
 		compErrs := comp.Do(ctx, len(chunk), func(i int) error {
 			pages[i] = o.codec.Compress(chunk[i].data)
 			return nil
 		})
+		csp.End()
 		var sub [][]byte
 		var subPages []*page
 		for i, err := range compErrs {
@@ -630,9 +642,22 @@ func (o *Object) flushBatch(ctx context.Context, batch []*page) []error {
 		if len(sub) == 0 {
 			continue
 		}
+		wctx, wsp := trace.Start(ctx, "flush.write",
+			trace.Int("chunk", chunkIdx), trace.Int("pages", int64(len(sub))))
+		if wsp != nil {
+			var n int64
+			for _, b := range sub {
+				n += int64(len(b))
+			}
+			wsp.AddInt("bytes", n)
+		}
 		done := make(chan writeResult, 1)
 		go func() {
-			entries, err := o.ds.WriteBatch(ctx, sub, core.WriteThrough)
+			entries, err := o.ds.WriteBatch(wctx, sub, core.WriteThrough)
+			if err != nil {
+				wsp.SetAttr("err", err.Error())
+			}
+			wsp.End()
 			done <- writeResult{entries: entries, err: err}
 		}()
 		prevPages, prevDone = subPages, done
@@ -685,9 +710,11 @@ func (o *Object) Prefetch(ctx context.Context, logicals []uint64) {
 	case <-ctx.Done():
 		return
 	}
+	pctx, psp := trace.Start(ctx, "buffer.prefetch", trace.Int("pages", int64(len(logicals))))
 	go func() {
 		defer func() { <-o.pool.prefetchSem }()
-		_, _ = o.ReadBatch(ctx, logicals)
+		_, _ = o.ReadBatch(pctx, logicals)
+		psp.End()
 	}()
 }
 

@@ -154,18 +154,23 @@ func NewCloud(cfg CloudConfig) *CloudDbspace {
 		cfg.WriteRetries = defaultWriteRetries
 	}
 	var terminal pageio.Handler
-	var innerMeter pageio.Middleware
+	var innerTrace, innerMeter pageio.Middleware
 	writeAttempts := cfg.WriteRetries
 	if cfg.Cache != nil {
 		terminal = pageio.NewCache(cfg.Cache)
+		innerTrace = pageio.Trace("ocm:" + cfg.Name)
 		innerMeter = pageio.Meter(cfg.Stats, "ocm:"+cfg.Name)
 		// The OCM's write paths carry their own upload retry budget.
 		writeAttempts = 1
 	} else {
 		terminal = pageio.NewStore(cfg.Store, nil)
+		innerTrace = pageio.Trace("store:" + cfg.Name)
 		innerMeter = pageio.Meter(cfg.Stats, "store:"+cfg.Name)
 	}
+	// Trace sits outermost so its span times the caller-visible operation
+	// (including backoff); Retry annotates that span with attempt counts.
 	pipe := pageio.Chain(terminal,
+		pageio.Trace("dbspace:"+cfg.Name),
 		pageio.Meter(cfg.Stats, "dbspace:"+cfg.Name),
 		pageio.Retry(pageio.Policy{
 			ReadAttempts:  cfg.ReadRetries,
@@ -175,6 +180,7 @@ func NewCloud(cfg CloudConfig) *CloudDbspace {
 			Scale:         cfg.Scale,
 			Pool:          cfg.Pool,
 		}),
+		innerTrace,
 		innerMeter,
 	)
 	return &CloudDbspace{cfg: cfg, pipe: pipe}
@@ -399,9 +405,14 @@ func NewBlock(cfg BlockConfig) (*BlockDbspace, error) {
 	if rfrb.IsCloudKey(cfg.Blocks) {
 		return nil, fmt.Errorf("dbspace %s: %d blocks collides with the reserved cloud-key range", cfg.Name, cfg.Blocks)
 	}
+	// Trace outermost times the batch as the caller sees it; Coalesce
+	// annotates the same span with its merge decision, and the inner Trace
+	// stage records each post-merge device request individually.
 	pipe := pageio.Chain(pageio.NewDevice(cfg.Device, cfg.Pool),
+		pageio.Trace("dbspace:"+cfg.Name),
 		pageio.Meter(cfg.Stats, "dbspace:"+cfg.Name),
 		pageio.Coalesce(0),
+		pageio.Trace("dev:"+cfg.Name),
 		pageio.Meter(cfg.Stats, "dev:"+cfg.Name),
 	)
 	return &BlockDbspace{cfg: cfg, free: freelist.New(cfg.Blocks), pipe: pipe}, nil

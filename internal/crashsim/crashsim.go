@@ -158,10 +158,16 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		Faults:      h.plan,
 	})
 	// Ambient faults every cycle sees: transient PUT failures (retried
-	// under the same key — never-write-twice), visibility spikes on top
-	// of the baseline window, occasional allocation-RPC failures, and
-	// lost commit notifications.
+	// under the same key — never-write-twice), transient DELETE failures
+	// (GC must retry, not leak keys), visibility spikes on top of the
+	// baseline window, occasional allocation-RPC failures, and lost
+	// commit notifications. The DELETE rate is deliberately lower than
+	// the PUT rate: a PUT that exhausts its retries only rolls one
+	// transaction back, but restart GC treats delete exhaustion as fatal,
+	// and a run performs ~20k delete calls — at 2% per attempt a triple
+	// failure becomes near-certain somewhere in the run.
 	h.plan.Prob(faultinject.ObjPut, 0.02)
+	h.plan.Prob(faultinject.ObjDelete, 0.005)
 	h.plan.Lag(faultinject.ObjVisibility, 0, 2)
 	h.plan.Prob(faultinject.RPCAlloc, 0.02)
 	h.plan.Prob(faultinject.RPCNotify, 0.15)
@@ -295,7 +301,8 @@ func (h *harness) runTxn(ctx context.Context, doomed bool) (bool, error) {
 		h.plan.Clear(faultinject.ObjDelete)
 		h.plan.Clear(faultinject.WALTornTail.With("commit"))
 		h.plan.Clear(faultinject.WALAppend.With("rollback"))
-		h.plan.Prob(faultinject.ObjPut, 0.02) // re-arm the ambient rule
+		h.plan.Prob(faultinject.ObjPut, 0.02) // re-arm the ambient rules
+		h.plan.Prob(faultinject.ObjDelete, 0.005)
 		if err == nil {
 			return false, errors.New("harness: mid-flush crash did not take effect")
 		}

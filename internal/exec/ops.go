@@ -9,6 +9,7 @@ import (
 
 	"cloudiq/internal/column"
 	"cloudiq/internal/table"
+	"cloudiq/internal/trace"
 )
 
 // Source streams batches; Next returns (nil, nil) at end of stream.
@@ -98,14 +99,28 @@ func (s *scanSource) Next(ctx context.Context) (*table.Batch, error) {
 			return nil, nil
 		}
 		// Keep the read-ahead window full.
-		for s.fetched < s.pos+s.opts.Prefetch && s.fetched < len(s.segs) {
-			s.tbl.PrefetchSegments(ctx, []int{s.segs[s.fetched]}, s.cols)
-			s.fetched++
+		if s.fetched < s.pos+s.opts.Prefetch && s.fetched < len(s.segs) {
+			pctx, psp := trace.Start(ctx, "scan.prefetch",
+				trace.String("table", s.tbl.Name()), trace.Int("from", int64(s.fetched)))
+			n := 0
+			for s.fetched < s.pos+s.opts.Prefetch && s.fetched < len(s.segs) {
+				s.tbl.PrefetchSegments(pctx, []int{s.segs[s.fetched]}, s.cols)
+				s.fetched++
+				n++
+			}
+			psp.AddInt("segments", int64(n))
+			psp.End()
 		}
-		b, err := s.tbl.ReadSegment(ctx, s.segs[s.pos], s.cols)
+		rctx, rsp := trace.Start(ctx, "scan.segment",
+			trace.String("table", s.tbl.Name()), trace.Int("seg", int64(s.segs[s.pos])))
+		b, err := s.tbl.ReadSegment(rctx, s.segs[s.pos], s.cols)
 		if err != nil {
+			rsp.SetAttr("err", err.Error())
+			rsp.End()
 			return nil, err
 		}
+		rsp.AddInt("rows", int64(b.Rows()))
+		rsp.End()
 		s.pos++
 		if s.opts.Filter != nil {
 			// Empty filtered batches are still returned: their schema lets

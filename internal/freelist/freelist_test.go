@@ -220,6 +220,131 @@ func TestConcurrentAllocateFree(t *testing.T) {
 	}
 }
 
+// TestAllocateHintWraparound pins the rotating-hint scan: an Allocate whose
+// hint points into a fully used tail must wrap and find free runs below it,
+// and ErrNoSpace is only reported once the wrapped scan has covered the
+// whole bitmap.
+func TestAllocateHintWraparound(t *testing.T) {
+	l := New(128)
+	if err := l.MarkUsed(32, 96); err != nil {
+		t.Fatal(err)
+	}
+	l.mu.Lock()
+	l.hint = 120 // deep inside the used tail, as left by a tail allocation
+	l.mu.Unlock()
+
+	start, err := l.Allocate(16)
+	if err != nil {
+		t.Fatalf("wrapping allocate: %v", err)
+	}
+	if start != 0 {
+		t.Fatalf("start = %d, want 0 (free run below the hint)", start)
+	}
+
+	// Full-circuit guarantee: exactly 16 free blocks remain at [16,32), so
+	// a 17-run is ErrNoSpace while a 16-run still lands.
+	if _, err := l.Allocate(17); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("Allocate(17) err = %v, want ErrNoSpace", err)
+	}
+	if s, err := l.Allocate(16); err != nil || s != 16 {
+		t.Fatalf("Allocate(16) = %d, %v; want 16, nil", s, err)
+	}
+}
+
+// TestAllocateHintAtEnd: after a tail allocation the hint equals the block
+// count; the forward scan starts past the end and the wrap must still find
+// space freed below.
+func TestAllocateHintAtEnd(t *testing.T) {
+	l := New(64)
+	if _, err := l.Allocate(64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Allocate(1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("full list err = %v, want ErrNoSpace", err)
+	}
+	// Free one block without touching the hint (Free would rewind it and
+	// mask the wraparound path under test).
+	l.mu.Lock()
+	l.clear(10)
+	l.inUse--
+	l.mu.Unlock()
+	if s, err := l.Allocate(1); err != nil || s != 10 {
+		t.Fatalf("Allocate(1) = %d, %v; want 10, nil (found via wrap)", s, err)
+	}
+}
+
+// TestAllocateRunStraddlingHint: a free run that straddles the hint is
+// invisible to the forward scan — it only sees the truncated upper half —
+// and must be found whole by the wrapped scan from zero.
+func TestAllocateRunStraddlingHint(t *testing.T) {
+	l := New(64)
+	if err := l.MarkUsed(0, 24); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.MarkUsed(40, 24); err != nil {
+		t.Fatal(err)
+	}
+	l.mu.Lock()
+	l.hint = 32 // middle of the only free run, [24,40)
+	l.mu.Unlock()
+	start, err := l.Allocate(16)
+	if err != nil {
+		t.Fatalf("straddling allocate: %v", err)
+	}
+	if start != 24 {
+		t.Fatalf("start = %d, want 24 (the full straddling run)", start)
+	}
+}
+
+// TestFragmentationRoundTrip: a checkerboard of freed runs survives
+// Marshal/Unmarshal, and the restored list allocates exactly the surviving
+// gaps before reporting ErrNoSpace.
+func TestFragmentationRoundTrip(t *testing.T) {
+	l := New(256)
+	var runs []uint64
+	for i := 0; i < 16; i++ {
+		s, err := l.Allocate(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, s)
+	}
+	for i, s := range runs {
+		if i%2 == 1 {
+			if err := l.Free(s, 16); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	restored, err := Unmarshal(l.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.InUse() != l.InUse() {
+		t.Fatalf("restored InUse = %d, want %d", restored.InUse(), l.InUse())
+	}
+	got := map[uint64]bool{}
+	for {
+		s, err := restored.Allocate(16)
+		if err != nil {
+			if !errors.Is(err, ErrNoSpace) {
+				t.Fatalf("unexpected allocate error: %v", err)
+			}
+			break
+		}
+		got[s] = true
+	}
+	for i, s := range runs {
+		if want := i%2 == 1; got[s] != want {
+			t.Fatalf("gap at %d: allocated=%v, want %v", s, got[s], want)
+		}
+	}
+	if restored.InUse() != restored.Blocks() {
+		t.Fatalf("restored not full after filling gaps: %d/%d", restored.InUse(), restored.Blocks())
+	}
+}
+
 func TestPropertyAllocateFreeInvariant(t *testing.T) {
 	// Allocating k runs and freeing them all returns the list to empty,
 	// and InUse always equals the sum of live runs.

@@ -17,12 +17,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"cloudiq/internal/blockdev"
 	"cloudiq/internal/faultinject"
 	"cloudiq/internal/freelist"
 	"cloudiq/internal/objstore"
 	"cloudiq/internal/pageio"
+	"cloudiq/internal/trace"
 )
 
 // ErrClosed is returned by operations on a closed cache.
@@ -54,6 +56,13 @@ type Config struct {
 	// Stats, when non-nil, receives the cache's own device and store
 	// traffic under the "ocmdev" and "ocmstore" layers.
 	Stats *pageio.StatsRegistry
+	// Trace, when non-nil, records spans for the cache's asynchronous work:
+	// each background upload becomes a root span carrying its queue-wait
+	// time (write-back jobs cannot inherit a caller's context), and the
+	// device/store pipelines open per-operation child spans. This is what
+	// separates queue-wait from device and store time when the upload queue
+	// browns out under Experiment 2.
+	Trace *trace.Tracer
 }
 
 // Stats reports cache effectiveness (Table 5) and internal behaviour.
@@ -96,6 +105,12 @@ type entry struct {
 
 type uploadJob struct {
 	ent *entry
+	// enqueuedAt is the tracer clock at enqueue time; the worker's dequeue
+	// stamp minus this is the job's queue-wait. Zero when tracing is off.
+	enqueuedAt time.Duration
+	// depth is the queue length ahead of this job at enqueue time — a
+	// clock-free brown-out signal that survives coarse time scales.
+	depth int
 }
 
 // Cache is the Object Cache Manager. It is safe for concurrent use. All of
@@ -139,11 +154,11 @@ func New(cfg Config) (*Cache, error) {
 	if blocks == 0 {
 		return nil, fmt.Errorf("ocm: device smaller than one block")
 	}
-	up := pageio.Chain(pageio.NewStore(cfg.Store, nil), pageio.Meter(cfg.Stats, "ocmstore"))
+	up := pageio.Chain(pageio.NewStore(cfg.Store, nil), pageio.Trace("ocmstore"), pageio.Meter(cfg.Stats, "ocmstore"))
 	c := &Cache{
 		cfg:     cfg,
 		free:    freelist.New(blocks),
-		dev:     pageio.Chain(pageio.NewDevice(cfg.Device, nil), pageio.Meter(cfg.Stats, "ocmdev")),
+		dev:     pageio.Chain(pageio.NewDevice(cfg.Device, nil), pageio.Trace("ocmdev"), pageio.Meter(cfg.Stats, "ocmdev")),
 		up:      up,
 		upload:  pageio.Chain(up, pageio.Retry(pageio.Policy{WriteAttempts: cfg.UploadRetries})),
 		index:   make(map[string]*entry),
@@ -244,6 +259,8 @@ func (c *Cache) touch(ent *entry) {
 // Get implements read-through semantics: device hit, else object store with
 // an asynchronous cache fill.
 func (c *Cache) Get(ctx context.Context, key string) ([]byte, error) {
+	ctx, sp := trace.Start(ctx, "ocm.get", trace.String("key", key))
+	defer sp.End()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -263,6 +280,7 @@ func (c *Cache) Get(ctx context.Context, key string) ([]byte, error) {
 		c.cond.Broadcast()
 		if err == nil {
 			c.mu.Unlock()
+			sp.SetAttr("hit", "true")
 			return buf, nil
 		}
 		// A failing local device is a performance problem, not a
@@ -270,6 +288,7 @@ func (c *Cache) Get(ctx context.Context, key string) ([]byte, error) {
 	}
 	c.stats.Misses++
 	c.mu.Unlock()
+	sp.SetAttr("hit", "false")
 
 	data, err := c.up.ReadPage(ctx, pageio.Ref{Key: key})
 	if err != nil {
@@ -363,7 +382,7 @@ func (c *Cache) PutBack(ctx context.Context, key string, data []byte) error {
 
 	c.mu.Lock()
 	ent.pins--
-	c.queue.PushBack(uploadJob{ent: ent})
+	c.queue.PushBack(uploadJob{ent: ent, enqueuedAt: c.cfg.Trace.Now(), depth: c.queue.Len()})
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	return nil
@@ -431,11 +450,31 @@ func (c *Cache) uploadWorker() {
 		data := ent.data
 		c.mu.Unlock()
 
+		// A write-back upload runs long after PutBack returned, so it
+		// cannot inherit the writer's context: each job becomes its own
+		// root span, and its queue_ns (dequeue minus enqueue stamp) is the
+		// brown-out signal — store time stays flat while queue-wait grows.
+		ctx := context.Background()
+		var sp *trace.Span
+		if c.cfg.Trace != nil {
+			sp = c.cfg.Trace.Root("ocm.upload",
+				trace.String("key", ent.key), trace.Int("bytes", int64(len(data))))
+			sp.AddInt("queue_ns", int64(c.cfg.Trace.Now()-job.enqueuedAt))
+			sp.AddInt("queue_depth", int64(job.depth))
+			ctx = trace.With(ctx, sp)
+		}
+
 		var lastErr error
 		ok := false
 		if lastErr = c.cfg.Faults.Check(faultinject.OCMUploadDrop, ent.key); lastErr == nil {
-			lastErr = c.upload.WritePage(context.Background(), pageio.WriteReq{Ref: pageio.Ref{Key: ent.key}, Data: data})
+			lastErr = c.upload.WritePage(ctx, pageio.WriteReq{Ref: pageio.Ref{Key: ent.key}, Data: data})
 			ok = lastErr == nil
+		}
+		if sp != nil {
+			if lastErr != nil {
+				sp.SetAttr("err", lastErr.Error())
+			}
+			sp.End()
 		}
 
 		c.mu.Lock()
@@ -461,6 +500,8 @@ func (c *Cache) uploadWorker() {
 // yields ErrUploadFailed (the caller rolls back). Keys with no pending
 // upload are already durable and are skipped.
 func (c *Cache) FlushForCommit(ctx context.Context, keys []string) error {
+	ctx, sp := trace.Start(ctx, "ocm.flushwait", trace.Int("keys", int64(len(keys))))
+	defer sp.End()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -474,6 +515,7 @@ func (c *Cache) FlushForCommit(ctx context.Context, keys []string) error {
 			return fmt.Errorf("flush for commit: key %s: %w: %v", k, ErrUploadFailed, ent.err)
 		}
 	}
+	sp.AddInt("pending", int64(len(want)))
 	// Promote the wanted jobs to the front of the queue, preserving their
 	// relative order.
 	var promoted []*list.Element
@@ -514,7 +556,9 @@ func (c *Cache) Quiesce() {
 }
 
 // Delete invalidates the cached copy and deletes the object from the store.
-// Used by garbage collection.
+// Used by garbage collection. The store delete rides the retrying upload
+// pipeline: GC against a throttled store must recover within the same §4
+// budget as writes, not fail permanently on the first hiccup.
 func (c *Cache) Delete(ctx context.Context, key string) error {
 	c.mu.Lock()
 	if ent, ok := c.index[key]; ok {
@@ -525,5 +569,5 @@ func (c *Cache) Delete(ctx context.Context, key string) error {
 		c.removeLocked(ent)
 	}
 	c.mu.Unlock()
-	return c.up.Delete(ctx, pageio.Ref{Key: key})
+	return c.upload.Delete(ctx, pageio.Ref{Key: key})
 }

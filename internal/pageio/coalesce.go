@@ -3,6 +3,8 @@ package pageio
 import (
 	"context"
 	"sort"
+
+	"cloudiq/internal/trace"
 )
 
 // DefaultCoalesceBytes bounds a merged request when Coalesce is built with
@@ -106,7 +108,16 @@ func (c *coalesce) ReadBatch(ctx context.Context, refs []Ref) ([][]byte, error) 
 	}
 	res, err := c.next.ReadBatch(ctx, mrefs)
 	spanErrs := ItemErrors(err, len(spans))
+	// A failed merged span must not smear one extent's error across every
+	// member ref: degrade to individual reads so each page reports its own
+	// outcome, exactly as the uncoalesced path would. Singleton spans were
+	// already individual reads, so their error stands.
+	var fallback []int
 	for j, s := range spans {
+		if spanErrs[j] != nil && len(s.idx) > 1 {
+			fallback = append(fallback, s.idx...)
+			continue
+		}
 		pos := 0
 		for _, i := range s.idx {
 			if spanErrs[j] != nil {
@@ -119,6 +130,21 @@ func (c *coalesce) ReadBatch(ctx context.Context, refs []Ref) ([][]byte, error) 
 			pos += refs[i].Len
 		}
 	}
+	if len(fallback) > 0 {
+		sub := make([]Ref, len(fallback))
+		for j, i := range fallback {
+			sub[j] = refs[i]
+		}
+		fres, ferr := c.next.ReadBatch(ctx, sub)
+		fErrs := ItemErrors(ferr, len(fallback))
+		for j, i := range fallback {
+			if fres != nil {
+				out[i] = fres[j]
+			}
+			errs[i] = fErrs[j]
+		}
+	}
+	noteMerge(ctx, len(refs), len(spans), len(fallback))
 	if rest := otherIndices(len(refs), block); len(rest) > 0 {
 		sub := make([]Ref, len(rest))
 		for j, i := range rest {
@@ -170,6 +196,7 @@ func (c *coalesce) WriteBatch(ctx context.Context, reqs []WriteReq) error {
 			errs[i] = spanErrs[j]
 		}
 	}
+	noteMerge(ctx, len(reqs), len(spans), 0)
 	if rest := otherIndices(len(reqs), block); len(rest) > 0 {
 		sub := make([]WriteReq, len(rest))
 		for j, i := range rest {
@@ -181,6 +208,21 @@ func (c *coalesce) WriteBatch(ctx context.Context, reqs []WriteReq) error {
 		}
 	}
 	return batchErr(errs)
+}
+
+// noteMerge records a merge decision on the context's span: how many refs
+// collapsed into how many device requests, and how many fell back to
+// individual reads after a merged span failed.
+func noteMerge(ctx context.Context, refs, spans, fallback int) {
+	sp := trace.From(ctx)
+	if sp == nil {
+		return
+	}
+	sp.AddInt("coalesce.refs", int64(refs))
+	sp.AddInt("coalesce.spans", int64(spans))
+	if fallback > 0 {
+		sp.AddInt("coalesce.fallback", int64(fallback))
+	}
 }
 
 // otherIndices returns [0,n) minus the sorted-set semantics of block (which

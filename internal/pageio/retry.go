@@ -8,6 +8,7 @@ import (
 
 	"cloudiq/internal/iomodel"
 	"cloudiq/internal/objstore"
+	"cloudiq/internal/trace"
 )
 
 // ErrExhausted is wrapped into every failure that burned through all retry
@@ -86,25 +87,52 @@ func (r *retry) backoff(d time.Duration) time.Duration {
 	return d
 }
 
+// ctxAborted reports whether err is the operation's own cancellation or
+// deadline. Retrying such an error burns the remaining attempt budget
+// sleeping and then masks the ctx error behind ErrExhausted, so the retry
+// loops surface it immediately. The returned error is checked — not just
+// ctx.Err() between attempts — because a handler may observe the deadline
+// while this middleware's own ctx check races ahead of it.
+func ctxAborted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// noteRetries annotates the context's span once an operation needed more
+// than one attempt.
+func noteRetries(ctx context.Context, attempts int, backoff time.Duration) {
+	if attempts <= 1 {
+		return
+	}
+	sp := trace.From(ctx)
+	sp.AddInt("retry.attempts", int64(attempts))
+	sp.AddInt("retry.backoff_ns", int64(backoff))
+}
+
 func (r *retry) ReadPage(ctx context.Context, ref Ref) ([]byte, error) {
 	delay := r.p.Delay
 	var err error
+	var slept time.Duration
+	attempts := 0
 	for attempt := 0; attempt < r.p.ReadAttempts; attempt++ {
 		if attempt > 0 {
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, cerr
 			}
+			slept += delay
 			delay = r.backoff(delay)
 		}
+		attempts++
 		var data []byte
 		data, err = r.next.ReadPage(ctx, ref)
 		if err == nil {
+			noteRetries(ctx, attempts, slept)
 			return data, nil
 		}
-		if !r.p.retryRead(err) {
+		if ctxAborted(err) || !r.p.retryRead(err) {
 			return nil, err
 		}
 	}
+	noteRetries(ctx, attempts, slept)
 	if r.p.ReadAttempts == 1 {
 		return nil, err
 	}
@@ -112,29 +140,52 @@ func (r *retry) ReadPage(ctx context.Context, ref Ref) ([]byte, error) {
 		ErrExhausted, ref.Detail(), r.p.ReadAttempts, err)
 }
 
-func (r *retry) WritePage(ctx context.Context, req WriteReq) error {
+// retryWrite runs op under the write-retry policy shared by WritePage and
+// Delete: both are idempotent under the never-write-twice discipline, so
+// re-issuing either against a throttled or flaky store is safe.
+func (r *retry) retryWrite(ctx context.Context, verb string, detail func() string, op func() error) error {
 	delay := r.p.Delay
 	var err error
+	var slept time.Duration
+	attempts := 0
 	for attempt := 0; attempt < r.p.WriteAttempts; attempt++ {
 		if attempt > 0 {
 			if cerr := ctx.Err(); cerr != nil {
 				return cerr
 			}
+			slept += delay
 			delay = r.backoff(delay)
 		}
-		if err = r.next.WritePage(ctx, req); err == nil {
+		attempts++
+		if err = op(); err == nil {
+			noteRetries(ctx, attempts, slept)
 			return nil
 		}
+		if ctxAborted(err) {
+			return err
+		}
 	}
+	noteRetries(ctx, attempts, slept)
 	if r.p.WriteAttempts == 1 {
 		return err
 	}
-	return fmt.Errorf("%w: write %s after %d attempts: %w",
-		ErrExhausted, req.Ref.Detail(), r.p.WriteAttempts, err)
+	return fmt.Errorf("%w: %s %s after %d attempts: %w",
+		ErrExhausted, verb, detail(), r.p.WriteAttempts, err)
 }
 
+func (r *retry) WritePage(ctx context.Context, req WriteReq) error {
+	return r.retryWrite(ctx, "write", req.Ref.Detail, func() error {
+		return r.next.WritePage(ctx, req)
+	})
+}
+
+// Delete shares the write budget: a GC or drop delete against a store in a
+// throttling brown-out must recover the same way writes do, and deleting an
+// already-deleted key is a no-op at every terminal.
 func (r *retry) Delete(ctx context.Context, ref Ref) error {
-	return r.next.Delete(ctx, ref)
+	return r.retryWrite(ctx, "delete", ref.Detail, func() error {
+		return r.next.Delete(ctx, ref)
+	})
 }
 
 // ReadBatch retries each item independently through ReadPage so one slow key

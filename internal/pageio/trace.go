@@ -1,0 +1,109 @@
+package pageio
+
+import (
+	"context"
+
+	"cloudiq/internal/trace"
+)
+
+// Trace returns a middleware that opens one child span per operation under
+// the context's current span, labelled with the pipeline stage name (the
+// same names Meter uses: "dbspace:user", "ocm:user", "dev:user", ...).
+// Stacked outermost it times the caller-visible operation; inner middlewares
+// (Retry, Coalesce) annotate the same span with their decisions. When the
+// context carries no span — tracing off — the cost is one context lookup.
+func Trace(layer string) Middleware {
+	return func(next Handler) Handler {
+		return &spanner{next: next, layer: layer}
+	}
+}
+
+type spanner struct {
+	next  Handler
+	layer string
+}
+
+func (h *spanner) start(ctx context.Context, op string) (context.Context, *trace.Span) {
+	parent := trace.From(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.Child(op, trace.String("layer", h.layer))
+	return trace.With(ctx, sp), sp
+}
+
+// finish closes sp, recording the error if any. Nil-safe.
+func finish(sp *trace.Span, err error) {
+	if sp == nil {
+		return
+	}
+	if err != nil {
+		sp.SetAttr("err", err.Error())
+	}
+	sp.End()
+}
+
+func (h *spanner) ReadPage(ctx context.Context, ref Ref) ([]byte, error) {
+	ctx, sp := h.start(ctx, "pageio.read")
+	if sp != nil {
+		sp.SetAttr("ref", ref.Detail())
+	}
+	data, err := h.next.ReadPage(ctx, ref)
+	sp.AddInt("bytes", int64(len(data)))
+	finish(sp, err)
+	return data, err
+}
+
+func (h *spanner) WritePage(ctx context.Context, req WriteReq) error {
+	ctx, sp := h.start(ctx, "pageio.write")
+	if sp != nil {
+		sp.SetAttr("ref", req.Ref.Detail())
+		sp.AddInt("bytes", int64(len(req.Data)))
+		if req.Async {
+			sp.SetAttr("async", "true")
+		}
+	}
+	err := h.next.WritePage(ctx, req)
+	finish(sp, err)
+	return err
+}
+
+func (h *spanner) ReadBatch(ctx context.Context, refs []Ref) ([][]byte, error) {
+	ctx, sp := h.start(ctx, "pageio.readbatch")
+	sp.AddInt("items", int64(len(refs)))
+	out, err := h.next.ReadBatch(ctx, refs)
+	if sp != nil {
+		var n int64
+		for _, b := range out {
+			n += int64(len(b))
+		}
+		sp.AddInt("bytes", n)
+	}
+	finish(sp, err)
+	return out, err
+}
+
+func (h *spanner) WriteBatch(ctx context.Context, reqs []WriteReq) error {
+	ctx, sp := h.start(ctx, "pageio.writebatch")
+	if sp != nil {
+		var n int64
+		for _, r := range reqs {
+			n += int64(len(r.Data))
+		}
+		sp.AddInt("items", int64(len(reqs)))
+		sp.AddInt("bytes", n)
+	}
+	err := h.next.WriteBatch(ctx, reqs)
+	finish(sp, err)
+	return err
+}
+
+func (h *spanner) Delete(ctx context.Context, ref Ref) error {
+	ctx, sp := h.start(ctx, "pageio.delete")
+	if sp != nil {
+		sp.SetAttr("ref", ref.Detail())
+	}
+	err := h.next.Delete(ctx, ref)
+	finish(sp, err)
+	return err
+}

@@ -1,0 +1,49 @@
+package trace
+
+import "context"
+
+type spanKey struct{}
+
+// With returns a context carrying sp. A nil span yields ctx unchanged.
+func With(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// From extracts the current span, or nil when the context carries none.
+// The nil result is usable directly: every *Span method no-ops on nil.
+func From(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Start opens a child of the context's current span and returns a context
+// carrying it. When the context has no span (tracing off), it returns the
+// context unchanged and a nil span — this is the only overhead instrumented
+// hot paths pay with tracing disabled.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := From(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.Child(name, attrs...)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// Root opens a span at an entry point holding a *Tracer: a child if the
+// context already carries a span (nested entry points compose), otherwise a
+// new root on t. With a nil tracer and no inherited span it returns the
+// context unchanged and a nil span.
+func Root(ctx context.Context, t *Tracer, name string, attrs ...Attr) (context.Context, *Span) {
+	if parent := From(ctx); parent != nil {
+		sp := parent.Child(name, attrs...)
+		return context.WithValue(ctx, spanKey{}, sp), sp
+	}
+	sp := t.Root(name, attrs...)
+	if sp == nil {
+		return ctx, nil
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Render prints one span tree as indented text, for eyeballing a single
+// transaction without leaving the terminal:
+//
+//	txn.commit                               12.4ms
+//	  commit.flush space=user                10.1ms
+//	    pageio.write key=user/000012 ...      1.3ms
+//
+// Children are ordered by start time and capped at maxChildren per parent
+// (0 means unlimited); elided siblings are summarised on one line.
+func Render(w io.Writer, spans []SpanData, rootID uint64, maxChildren int) {
+	byID := make(map[uint64]SpanData, len(spans))
+	kids := make(map[uint64][]SpanData, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+		if s.Parent != 0 {
+			kids[s.Parent] = append(kids[s.Parent], s)
+		}
+	}
+	for _, c := range kids {
+		sort.Slice(c, func(i, j int) bool { return c[i].Start < c[j].Start })
+	}
+	root, ok := byID[rootID]
+	if !ok {
+		fmt.Fprintf(w, "trace: span %d not retained\n", rootID)
+		return
+	}
+	renderNode(w, root, kids, 0, maxChildren)
+}
+
+func renderNode(w io.Writer, s SpanData, kids map[uint64][]SpanData, depth, maxChildren int) {
+	indent := strings.Repeat("  ", depth)
+	label := s.Name
+	for _, a := range s.Attrs {
+		label += " " + a.Key + "=" + a.Value
+	}
+	fmt.Fprintf(w, "%-*s %10s\n", 68, indent+label, fmtDur(s.Dur))
+	children := kids[s.ID]
+	shown := len(children)
+	if maxChildren > 0 && shown > maxChildren {
+		shown = maxChildren
+	}
+	for _, c := range children[:shown] {
+		renderNode(w, c, kids, depth+1, maxChildren)
+	}
+	if elided := len(children) - shown; elided > 0 {
+		var tail time.Duration
+		for _, c := range children[shown:] {
+			tail += c.Dur
+		}
+		fmt.Fprintf(w, "%-*s %10s\n", 68,
+			indent+"  "+fmt.Sprintf("... (+%d more children)", elided), fmtDur(tail))
+	}
+}
+
+// SlowestRoot picks the longest-running parentless span from a snapshot,
+// returning false when the snapshot holds no roots (e.g. the ring wrapped
+// past them).
+func SlowestRoot(spans []SpanData) (SpanData, bool) {
+	var best SpanData
+	found := false
+	for _, s := range spans {
+		if s.Parent != 0 {
+			continue
+		}
+		if !found || s.Dur > best.Dur {
+			best, found = s, true
+		}
+	}
+	return best, found
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", d)
+	}
+}

@@ -1,0 +1,289 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic test clock advanced by hand.
+type fakeClock struct{ t time.Duration }
+
+func (c *fakeClock) now() time.Duration { return c.t }
+
+func newTest(clk *fakeClock, cfg Config) *Tracer {
+	cfg.Now = clk.now
+	return New(cfg)
+}
+
+func TestSpanTreeAndAttrs(t *testing.T) {
+	clk := &fakeClock{}
+	tr := newTest(clk, Config{})
+
+	root := tr.Root("txn.commit", String("node", "w1"))
+	clk.t = 10
+	child := root.Child("commit.flush")
+	child.AddInt("bytes", 4096)
+	clk.t = 25
+	child.End()
+	clk.t = 40
+	root.End()
+
+	spans, dropped := tr.Snapshot()
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Completion order: child first.
+	c, r := spans[0], spans[1]
+	if c.Name != "commit.flush" || r.Name != "txn.commit" {
+		t.Fatalf("span order = %q, %q", c.Name, r.Name)
+	}
+	if c.Parent != r.ID {
+		t.Errorf("child parent = %d, want root id %d", c.Parent, r.ID)
+	}
+	if r.Parent != 0 {
+		t.Errorf("root parent = %d, want 0", r.Parent)
+	}
+	if c.Start != 10 || c.Dur != 15 {
+		t.Errorf("child start/dur = %d/%d, want 10/15", c.Start, c.Dur)
+	}
+	if r.Start != 0 || r.Dur != 40 {
+		t.Errorf("root start/dur = %d/%d, want 0/40", r.Start, r.Dur)
+	}
+	if len(c.Attrs) != 1 || c.Attrs[0].Key != "bytes" || c.Attrs[0].Value != "4096" {
+		t.Errorf("child attrs = %v", c.Attrs)
+	}
+	if len(r.Attrs) != 1 || r.Attrs[0] != (Attr{Key: "node", Value: "w1"}) {
+		t.Errorf("root attrs = %v", r.Attrs)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if sp := tr.Root("x"); sp != nil {
+		t.Fatal("nil tracer must yield nil root")
+	}
+	tr.SetClock(func() time.Duration { return 1 })
+	if tr.Now() != 0 {
+		t.Fatal("nil tracer Now must be 0")
+	}
+	if spans, _ := tr.Snapshot(); spans != nil {
+		t.Fatal("nil tracer snapshot must be nil")
+	}
+
+	var sp *Span
+	sp.SetAttr("k", "v")
+	sp.AddInt("n", 1)
+	sp.End()
+	if sp.Child("c") != nil {
+		t.Fatal("nil span child must be nil")
+	}
+	if sp.Clock() != 0 {
+		t.Fatal("nil span clock must be 0")
+	}
+
+	ctx := context.Background()
+	if From(ctx) != nil {
+		t.Fatal("empty ctx must carry no span")
+	}
+	ctx2, sp2 := Start(ctx, "op")
+	if sp2 != nil || ctx2 != ctx {
+		t.Fatal("Start with no parent must be a no-op")
+	}
+	ctx3, sp3 := Root(ctx, nil, "op")
+	if sp3 != nil || ctx3 != ctx {
+		t.Fatal("Root with nil tracer must be a no-op")
+	}
+	if With(ctx, nil) != ctx {
+		t.Fatal("With(nil) must return ctx unchanged")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := New(Config{})
+	ctx, root := Root(context.Background(), tr, "root")
+	if root == nil {
+		t.Fatal("root span missing")
+	}
+	ctx2, child := Start(ctx, "child")
+	if child == nil {
+		t.Fatal("child span missing")
+	}
+	if From(ctx2) != child || From(ctx) != root {
+		t.Fatal("context span linkage wrong")
+	}
+	// Root nested under an existing span becomes a child, not a new root.
+	_, nested := Root(ctx2, tr, "nested-entry")
+	nested.End()
+	child.End()
+	root.End()
+	spans, _ := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "nested-entry" || spans[0].Parent == 0 {
+		t.Fatalf("nested entry should be a child span: %+v", spans[0])
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(Config{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		tr.Root("op").End()
+	}
+	spans, dropped := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("retained = %d, want 4", len(spans))
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	// Oldest retained span is the 7th started (IDs are monotonic).
+	if spans[0].ID != 7 || spans[3].ID != 10 {
+		t.Fatalf("retained IDs = %d..%d, want 7..10", spans[0].ID, spans[3].ID)
+	}
+}
+
+func TestSlowLogTopN(t *testing.T) {
+	clk := &fakeClock{}
+	tr := newTest(clk, Config{Capacity: 4, SlowThreshold: 10, SlowN: 2})
+	durs := []time.Duration{5, 30, 12, 50, 11, 9}
+	for i, d := range durs {
+		sp := tr.Root("op")
+		sp.AddInt("i", int64(i))
+		clk.t += d
+		sp.End()
+	}
+	slow := tr.Slow()
+	if len(slow) != 2 {
+		t.Fatalf("slow log len = %d, want 2", len(slow))
+	}
+	if slow[0].Dur != 50 || slow[1].Dur != 30 {
+		t.Fatalf("slow durations = %d, %d; want 50, 30", slow[0].Dur, slow[1].Dur)
+	}
+	// Slow entries survive ring wraparound: the 30ns span (2nd of 6) has
+	// been evicted from the 4-slot ring but stays in the log.
+	spans, _ := tr.Snapshot()
+	for _, s := range spans {
+		if s.Dur == 30 {
+			t.Fatal("30ns span should have been evicted from the ring")
+		}
+	}
+}
+
+func TestSetClockRebasesMonotonically(t *testing.T) {
+	clk1 := &fakeClock{t: 100}
+	tr := New(Config{Now: clk1.now})
+	sp := tr.Root("first")
+	clk1.t = 150
+	sp.End()
+
+	// A fresh environment installs a new clock that starts over at zero.
+	clk2 := &fakeClock{}
+	tr.SetClock(clk2.now)
+	sp2 := tr.Root("second")
+	clk2.t = 20
+	sp2.End()
+
+	spans, _ := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	first, second := spans[0], spans[1]
+	if first.Start != 0 || first.Dur != 50 {
+		t.Errorf("first start/dur = %d/%d, want 0/50 (clock zeroed at install)", first.Start, first.Dur)
+	}
+	if second.Start < first.Start+first.Dur {
+		t.Errorf("second start %d rewound before first end %d", second.Start, first.Start+first.Dur)
+	}
+	if second.Dur != 20 {
+		t.Errorf("second dur = %d, want 20", second.Dur)
+	}
+}
+
+func TestDoubleEndIsNoop(t *testing.T) {
+	tr := New(Config{})
+	sp := tr.Root("op")
+	sp.End()
+	sp.End()
+	spans, _ := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", len(spans))
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	clk := &fakeClock{}
+	tr := newTest(clk, Config{SlowThreshold: 5, SlowN: 4})
+	sp := tr.Root("op", String("layer", "ocm"))
+	clk.t = 7
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(d.Spans) != 1 || d.Spans[0].Name != "op" || d.Spans[0].Dur != 7 {
+		t.Fatalf("dump spans = %+v", d.Spans)
+	}
+	if len(d.Slow) != 1 {
+		t.Fatalf("dump slow = %+v", d.Slow)
+	}
+	if len(d.Spans[0].Attrs) != 1 || d.Spans[0].Attrs[0].Value != "ocm" {
+		t.Fatalf("attrs lost in JSON: %+v", d.Spans[0].Attrs)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	clk := &fakeClock{}
+	tr := newTest(clk, Config{})
+	root := tr.Root("txn.commit")
+	for i := 0; i < 4; i++ {
+		c := root.Child("flush.chunk", Int("idx", int64(i)))
+		clk.t += 10
+		c.End()
+	}
+	clk.t += 5
+	root.End()
+
+	spans, _ := tr.Snapshot()
+	top, ok := SlowestRoot(spans)
+	if !ok || top.Name != "txn.commit" {
+		t.Fatalf("slowest root = %+v, ok=%v", top, ok)
+	}
+
+	var buf bytes.Buffer
+	Render(&buf, spans, top.ID, 2)
+	out := buf.String()
+	if !strings.Contains(out, "txn.commit") {
+		t.Fatalf("render missing root:\n%s", out)
+	}
+	if !strings.Contains(out, "idx=0") || !strings.Contains(out, "idx=1") {
+		t.Fatalf("render missing first children:\n%s", out)
+	}
+	if strings.Contains(out, "idx=2") {
+		t.Fatalf("child cap not applied:\n%s", out)
+	}
+	if !strings.Contains(out, "+2 more children") {
+		t.Fatalf("render missing elision line:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 4 {
+		t.Fatalf("render too short:\n%s", out)
+	}
+}
+
+func TestSlowestRootNoRoots(t *testing.T) {
+	if _, ok := SlowestRoot([]SpanData{{ID: 2, Parent: 1}}); ok {
+		t.Fatal("child-only snapshot must report no root")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"cloudiq/internal/core"
 	"cloudiq/internal/keygen"
 	"cloudiq/internal/rfrb"
+	"cloudiq/internal/trace"
 	"cloudiq/internal/wal"
 )
 
@@ -206,7 +207,13 @@ func (m *Manager) Commit(ctx context.Context, t *Txn, meta []byte, apply func(se
 		if !ok {
 			return fmt.Errorf("txn %d: commit touches unregistered dbspace %q", t.id, sp.Space)
 		}
-		if err := ds.FlushForCommit(ctx, sp.RB.CloudRanges()); err != nil {
+		fctx, fsp := trace.Start(ctx, "commit.flush", trace.String("space", sp.Space))
+		err := ds.FlushForCommit(fctx, sp.RB.CloudRanges())
+		if err != nil {
+			fsp.SetAttr("err", err.Error())
+		}
+		fsp.End()
+		if err != nil {
 			// Durability cannot be established: roll back (§4).
 			if rbErr := m.Rollback(ctx, t); rbErr != nil {
 				return fmt.Errorf("txn %d: flush-for-commit failed (%v); rollback also failed: %w", t.id, err, rbErr)
@@ -217,7 +224,10 @@ func (m *Manager) Commit(ctx context.Context, t *Txn, meta []byte, apply func(se
 
 	// Phase 2: log the commit with the RF/RB images.
 	payload := MarshalCommit(CommitRecord{TxnID: t.id, Node: t.node, Spaces: spaces, Meta: meta})
-	if _, err := m.cfg.Log.Append(ctx, wal.RecCommit, payload); err != nil {
+	wctx, wsp := trace.Start(ctx, "commit.wal", trace.Int("bytes", int64(len(payload))))
+	_, err := m.cfg.Log.Append(wctx, wal.RecCommit, payload)
+	wsp.End()
+	if err != nil {
 		return fmt.Errorf("txn %d: log commit: %w", t.id, err)
 	}
 
@@ -348,6 +358,13 @@ func (m *Manager) OldestSnapshot() uint64 {
 // is consumed from its oldest end while the head's commit sequence is not
 // newer than the oldest referenced snapshot.
 func (m *Manager) CollectGarbage(ctx context.Context) error {
+	retired := 0
+	gctx, gsp := trace.Start(ctx, "txn.gc")
+	defer func() {
+		gsp.AddInt("retired", int64(retired))
+		gsp.End()
+	}()
+	ctx = gctx
 	for {
 		m.mu.Lock()
 		if len(m.chain) == 0 || m.chain[0].seq > m.oldestSnapshotLocked() {
@@ -368,6 +385,7 @@ func (m *Manager) CollectGarbage(ctx context.Context) error {
 					m.mu.Unlock()
 					return fmt.Errorf("txn: retire seq %d: %w", head.seq, err)
 				}
+				retired++
 			}
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"cloudiq/internal/freelist"
 	"cloudiq/internal/keygen"
 	"cloudiq/internal/rfrb"
+	"cloudiq/internal/trace"
 	"cloudiq/internal/wal"
 )
 
@@ -152,7 +153,11 @@ func (m *Manager) restoreCheckpoint(payload []byte) error {
 // their pages were reclaimed before the record was written. extra, if
 // non-nil, observes every replayed record (the snapshot manager uses it).
 func (m *Manager) Recover(ctx context.Context, extra func(wal.Record) error) error {
+	ctx, sp := trace.Start(ctx, "txn.recover", trace.String("node", m.cfg.Node))
+	defer sp.End()
+	replayed := 0
 	err := m.cfg.Log.Replay(ctx, func(rec wal.Record) error {
+		replayed++
 		switch rec.Type {
 		case wal.RecCheckpoint:
 			if err := m.restoreCheckpoint(rec.Payload); err != nil {
@@ -182,6 +187,7 @@ func (m *Manager) Recover(ctx context.Context, extra func(wal.Record) error) err
 		}
 		return nil
 	})
+	sp.AddInt("records", int64(replayed))
 	if err != nil {
 		return fmt.Errorf("txn: recover: %w", err)
 	}
@@ -274,7 +280,10 @@ func (m *Manager) WriterRestartGC(ctx context.Context, node string) error {
 	if m.cfg.Keys == nil {
 		return fmt.Errorf("txn: writer-restart GC requires the coordinator's key generator")
 	}
+	ctx, sp := trace.Start(ctx, "txn.writer-restart-gc", trace.String("node", node))
+	defer sp.End()
 	ranges := m.cfg.Keys.ReleaseNode(node)
+	sp.AddInt("ranges", int64(len(ranges)))
 	m.mu.Lock()
 	var clouds []core.Dbspace
 	for _, ds := range m.spaces {

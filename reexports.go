@@ -15,6 +15,7 @@ import (
 	"cloudiq/internal/ocm"
 	"cloudiq/internal/snapshot"
 	"cloudiq/internal/table"
+	"cloudiq/internal/trace"
 )
 
 // Schema, table and data types.
@@ -102,6 +103,23 @@ type (
 
 // NewFaultPlan returns a fault plan fully determined by seed.
 var NewFaultPlan = faultinject.New
+
+// Structured tracing (internal/trace; see DESIGN.md, "Tracing").
+type (
+	// Tracer collects structured spans when passed as Config.Trace.
+	// Timestamps come from its injected clock (SetClock); dump with
+	// WriteJSON, inspect with Snapshot/Slow.
+	Tracer = trace.Tracer
+	// TracerConfig parameterizes a Tracer (clock, ring capacity,
+	// slow-op threshold).
+	TracerConfig = trace.Config
+	// TraceSpan is one recorded span, as returned by Tracer.Snapshot
+	// and Tracer.Slow.
+	TraceSpan = trace.SpanData
+)
+
+// NewTracer returns a span collector for Config.Trace.
+var NewTracer = trace.New
 
 // Injection sites most useful from the public API.
 const (

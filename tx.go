@@ -12,6 +12,7 @@ import (
 	"cloudiq/internal/buffer"
 	"cloudiq/internal/core"
 	"cloudiq/internal/table"
+	"cloudiq/internal/trace"
 	"cloudiq/internal/txn"
 )
 
@@ -175,6 +176,8 @@ func (tx *Tx) Tables() []string { return tx.db.cat.Names(tx.inner.Snapshot()) }
 // the commit record (with the catalog publications) is logged, and the new
 // identities are published atomically.
 func (tx *Tx) Commit(ctx context.Context) error {
+	ctx, sp := trace.Root(ctx, tx.db.cfg.Trace, "txn.commit", trace.Int("txn", int64(tx.inner.ID())))
+	defer sp.End()
 	tx.mu.Lock()
 	names := make([]string, 0, len(tx.writable))
 	for n := range tx.writable {
