@@ -417,6 +417,72 @@ func (db *Database) ReachableKeys(ctx context.Context, space string) ([]string, 
 	return keys, nil
 }
 
+// liveCloudKeys walks every table of cat on ds and collects the cloud keys
+// its blockmaps reference.
+func liveCloudKeys(ctx context.Context, cat *catalog.Catalog, ds core.Dbspace) (*rfrb.Bitmap, error) {
+	live := &rfrb.Bitmap{}
+	for _, name := range cat.Names(math.MaxUint64) {
+		id, ok := cat.Lookup(name, math.MaxUint64)
+		if !ok {
+			continue
+		}
+		bm, err := core.OpenBlockmap(ds, id)
+		if err != nil {
+			return nil, fmt.Errorf("open blockmap of %q: %w", name, err)
+		}
+		if err := bm.ForEachPhysical(ctx, func(e core.Entry) error {
+			if e.IsCloud() {
+				live.AddKey(e.Loc)
+			}
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("walk blockmap of %q: %w", name, err)
+		}
+	}
+	return live, nil
+}
+
+// CommitSeq reports the node's current commit sequence number — the value
+// new transactions snapshot. Simulation oracles use it to check that
+// transaction visibility is monotonic across crashes and recoveries.
+func (db *Database) CommitSeq() uint64 { return db.mgr.CommitSeq() }
+
+// SnapshotRetainedKeys returns, sorted, every object key in the named cloud
+// dbspace that the snapshot manager is legitimately retaining: retired page
+// versions whose retention period has not ended. When snapshots are not
+// enabled the set is empty. GC-reachability audits subtract this set (and
+// the snapshot manager's own metadata prefix) before declaring a stored key
+// leaked.
+func (db *Database) SnapshotRetainedKeys(space string) ([]string, error) {
+	ds, err := db.space(space)
+	if err != nil {
+		return nil, err
+	}
+	cds, ok := ds.(*core.CloudDbspace)
+	if !ok {
+		return nil, fmt.Errorf("cloudiq: dbspace %q is not a cloud dbspace", space)
+	}
+	db.mu.Lock()
+	sm := db.snap
+	db.mu.Unlock()
+	if sm == nil {
+		return nil, nil
+	}
+	var keys []string
+	for _, ext := range sm.PendingExtents() {
+		if ext.Space != space {
+			continue
+		}
+		for k := ext.Range.Start; k < ext.Range.End; k++ {
+			if rfrb.IsCloudKey(k) {
+				keys = append(keys, cds.ObjectKey(k))
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
 // NotifyCommit is the coordinator-side entry point for commit notifications
 // from secondary nodes.
 func (db *Database) NotifyCommit(ctx context.Context, node string, consumed *rfrb.Bitmap) error {
@@ -547,9 +613,6 @@ func (db *Database) RestoreSnapshot(ctx context.Context, id uint64) error {
 	if err != nil {
 		return err
 	}
-	// Garbage collect keys allocated after the snapshot across every cloud
-	// dbspace.
-	gcRange := snapshot.PostRestoreRange(info.MaxKey, db.gen.MaxAllocated())
 	db.mu.Lock()
 	var clouds []core.Dbspace
 	for _, ds := range db.spaces {
@@ -558,15 +621,81 @@ func (db *Database) RestoreSnapshot(ctx context.Context, id uint64) error {
 		}
 	}
 	db.mu.Unlock()
+	// What the pre-restore catalog reaches, per cloud dbspace — computed
+	// before any deletion, while its blockmaps are still readable. Pages
+	// reachable now but not from the restored catalog (and not retained for
+	// another snapshot) become garbage the moment the catalog is swapped:
+	// mostly pages a transaction flushed before the snapshot was taken but
+	// committed after it.
+	preLive := make([]*rfrb.Bitmap, len(clouds))
+	for i, ds := range clouds {
+		live, err := liveCloudKeys(ctx, db.cat, ds)
+		if err != nil {
+			return fmt.Errorf("cloudiq: pre-restore walk of %s: %w", ds.Name(), err)
+		}
+		preLive[i] = live
+	}
+	// Retire keys allocated after the snapshot across every cloud dbspace.
+	// They leave the restored catalog's reach, but other snapshots taken
+	// later may still reference them, so they go through the §5 retention
+	// discipline rather than being deleted outright.
+	gcRange := snapshot.PostRestoreRange(info.MaxKey, db.gen.MaxAllocated())
 	if gcRange.Len() > 0 {
 		for _, ds := range clouds {
-			if err := ds.Reclaim(ctx, gcRange); err != nil {
+			if err := sm.Retire(ctx, ds.Name(), gcRange); err != nil {
 				return fmt.Errorf("cloudiq: post-restore GC on %s: %w", ds.Name(), err)
 			}
 		}
 	}
+	// Everything the retention record above covers is now scheduled for
+	// deletion, including allocated-but-unconsumed keys sitting in cached
+	// allocation ranges. Burn them: a key vended from a pre-restore chunk
+	// would be deleted under a future commit when the retention ends.
+	for _, ds := range clouds {
+		if cds, ok := ds.(*core.CloudDbspace); ok {
+			cds.DiscardKeyCache()
+		}
+	}
+	for _, node := range db.gen.Nodes() {
+		db.gen.ReleaseNode(node)
+	}
 	db.mu.Lock()
 	db.cat = cat
 	db.mu.Unlock()
+	for i, ds := range clouds {
+		postLive, err := liveCloudKeys(ctx, cat, ds)
+		if err != nil {
+			return fmt.Errorf("cloudiq: post-restore walk of %s: %w", ds.Name(), err)
+		}
+		// The restore may have made retired page versions reachable again:
+		// pull them off the retention records and the committed chain's
+		// pending retirements, or background deletion would reclaim pages
+		// the restored catalog references once their retention ends.
+		if err := sm.Unretire(ctx, ds.Name(), postLive); err != nil {
+			return fmt.Errorf("cloudiq: un-retire on %s: %w", ds.Name(), err)
+		}
+		db.mgr.PruneRetirements(ds.Name(), postLive)
+		// Conversely, pages only the pre-restore catalog reached are expired
+		// versions now; retire them too.
+		dead := preLive[i]
+		for _, r := range postLive.Ranges() {
+			dead.Remove(r.Start, r.End)
+		}
+		for _, r := range sm.Retained(ds.Name()).Ranges() {
+			dead.Remove(r.Start, r.End)
+		}
+		for _, r := range dead.Ranges() {
+			if err := sm.Retire(ctx, ds.Name(), r); err != nil {
+				return fmt.Errorf("cloudiq: post-restore sweep on %s: %w", ds.Name(), err)
+			}
+		}
+	}
+	// Seal the restore with a checkpoint. Replay resumes from the last
+	// checkpoint record, so without one a crash would replay commits made
+	// after the snapshot was taken, resurrecting tables and rows the restore
+	// removed — and whose pages the post-restore GC above already deleted.
+	if err := db.mgr.Checkpoint(ctx); err != nil {
+		return fmt.Errorf("cloudiq: post-restore checkpoint: %w", err)
+	}
 	return nil
 }

@@ -1,0 +1,118 @@
+// Command iqsim runs the deterministic whole-system simulation harness
+// (internal/simtest): seeded randomized multiplex workloads checked against
+// an in-memory model, with automatic shrinking of failing seeds to minimal
+// reproducer scripts.
+//
+// Usage:
+//
+//	iqsim -seed 42 -v            # one seed, print the step log
+//	iqsim -seeds 200 -shrink     # seeds 1..200; shrink and print any failure
+//	iqsim -script repro.iqsim    # replay a (shrunken) reproducer
+//	iqsim -seeds 20 -out fails/  # write failing scripts to fails/
+//
+// Exit status is non-zero if any run fails an oracle or the harness errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cloudiq/internal/simtest"
+)
+
+func main() {
+	var (
+		seed        = flag.Uint64("seed", 0, "run this single seed")
+		seeds       = flag.Int("seeds", 0, "run seeds start..start+N-1")
+		start       = flag.Uint64("start", 1, "first seed for -seeds")
+		script      = flag.String("script", "", "replay a reproducer script file")
+		shrink      = flag.Bool("shrink", false, "shrink failing runs to a minimal reproducer")
+		shrinkRuns  = flag.Int("shrink-runs", 300, "max simulation runs the shrinker may spend per failure")
+		brokenRetry = flag.Bool("broken-retry", false, "ablation: single-attempt reads (the suite must fail)")
+		verbose     = flag.Bool("v", false, "print step logs")
+		outDir      = flag.String("out", "", "directory for failing seeds + shrunken scripts")
+	)
+	flag.Parse()
+
+	ctx := context.Background()
+	failures := 0
+	switch {
+	case *script != "":
+		text, err := os.ReadFile(*script)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sc, err := simtest.Parse(string(text))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !runOne(ctx, simtest.Options{Script: sc, BrokenRetry: *brokenRetry}, *shrink, *shrinkRuns, *verbose, *outDir) {
+			failures++
+		}
+	case *seeds > 0:
+		for s := *start; s < *start+uint64(*seeds); s++ {
+			if !runOne(ctx, simtest.Options{Seed: s, BrokenRetry: *brokenRetry}, *shrink, *shrinkRuns, *verbose, *outDir) {
+				failures++
+			}
+		}
+	default:
+		if !runOne(ctx, simtest.Options{Seed: *seed, BrokenRetry: *brokenRetry}, *shrink, *shrinkRuns, *verbose, *outDir) {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "iqsim: %d run(s) failed\n", failures)
+		os.Exit(1)
+	}
+}
+
+func runOne(ctx context.Context, opts simtest.Options, shrink bool, shrinkRuns int, verbose bool, outDir string) bool {
+	rep, err := simtest.Run(ctx, opts)
+	if verbose && rep != nil {
+		fmt.Print(rep.StepLog)
+	}
+	if err == nil {
+		fmt.Printf("seed %d ok: steps=%d commits=%d keys=%d charged=%s faults=%d\n",
+			rep.Seed, rep.Steps, rep.Commits, rep.StoreKeys, rep.Charged, rep.FaultEvents)
+		return true
+	}
+	fmt.Printf("seed %d FAIL [%s]: %v\n", rep.Seed, simtest.Classify(err), err)
+	if shrink {
+		sr, serr := simtest.Shrink(ctx, rep.Script, opts, shrinkRuns)
+		if serr != nil {
+			fmt.Printf("seed %d: shrink failed: %v\n", rep.Seed, serr)
+		} else {
+			fmt.Printf("seed %d: shrunk to %d steps in %d runs [%s]: %v\n",
+				rep.Seed, len(sr.Script.Steps), sr.Runs, sr.Category, sr.Err)
+			if outDir != "" {
+				writeScript(outDir, rep.Seed, sr.Script)
+			} else {
+				fmt.Printf("--- reproducer (save and replay with: iqsim -script FILE) ---\n%s---\n", sr.Script.String())
+			}
+		}
+	} else if outDir != "" {
+		writeScript(outDir, rep.Seed, rep.Script)
+	}
+	return false
+}
+
+func writeScript(dir string, seed uint64, sc *simtest.Script) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "iqsim: %v\n", err)
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("seed-%d.iqsim", seed))
+	if err := os.WriteFile(path, []byte(sc.String()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "iqsim: %v\n", err)
+		return
+	}
+	fmt.Printf("seed %d: reproducer written to %s (replay: iqsim -script %s)\n", seed, path, path)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "iqsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -337,6 +337,10 @@ func batchError(errs []error) error {
 	return nil
 }
 
+// DiscardKeyCache drops the dbspace's cached allocation range; see
+// (*keygen.Client).Discard.
+func (d *CloudDbspace) DiscardKeyCache() { d.cfg.Keys.Discard() }
+
 // Reclaim implements Dbspace: every key in the range is deleted. Deletion is
 // idempotent, so polling keys that were never flushed (or already collected
 // by a rollback) is safe — Table 1's clock-150 walk does exactly this.

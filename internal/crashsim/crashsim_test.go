@@ -135,3 +135,40 @@ func keysOf(m map[string]pageio.LayerSnapshot) []string {
 	sort.Strings(out)
 	return out
 }
+
+func TestMultiWriterCycles(t *testing.T) {
+	opts := MultiWriterOptions{Seed: 7}
+	if testing.Short() {
+		opts.Cycles = 6
+	}
+	rep, err := RunMultiWriter(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("multi-writer simulation failed: %v\n%s", err, rep.Summary)
+	}
+	if rep.Commits == 0 {
+		t.Fatal("no transaction ever committed")
+	}
+	if rep.Doomed == 0 {
+		t.Fatal("no mid-flush crash was exercised")
+	}
+}
+
+func TestMultiWriterDeterministic(t *testing.T) {
+	opts := MultiWriterOptions{Seed: 11, Cycles: 9}
+	a, errA := RunMultiWriter(context.Background(), opts)
+	b, errB := RunMultiWriter(context.Background(), opts)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("inconsistent outcome: %v vs %v", errA, errB)
+	}
+	if a.Summary != b.Summary || a.Charged != b.Charged || a.StoreKeys != b.StoreKeys {
+		t.Fatalf("runs diverged:\n%s charged=%v keys=%d\n%s charged=%v keys=%d",
+			a.Summary, a.Charged, a.StoreKeys, b.Summary, b.Charged, b.StoreKeys)
+	}
+}
+
+func TestMultiWriterBrokenRetryFails(t *testing.T) {
+	_, err := RunMultiWriter(context.Background(), MultiWriterOptions{Seed: 7, BrokenRetry: true})
+	if err == nil {
+		t.Fatal("BrokenRetry multi-writer run passed; the audits have no teeth")
+	}
+}

@@ -1,0 +1,401 @@
+package crashsim
+
+// Multi-writer crash cycles. The single-writer harness in this package owns
+// its two processes by hand; the multi-writer variant drives a coordinator
+// plus N secondary writers through the shared simtest cluster substrate, so
+// the interesting interleavings — writer A dying mid-flush while writer B's
+// transaction is open and goes on to commit — run against exactly the wiring
+// the whole-system simulator uses. The hazard under test is Table 1's
+// restart GC: when A's restart announcement lands, the coordinator reclaims
+// A's orphaned key allocations, and it must not touch keys B consumed for
+// its own committed pages.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudiq"
+	"cloudiq/internal/faultinject"
+	"cloudiq/internal/iomodel"
+	"cloudiq/internal/objstore"
+	"cloudiq/internal/simtest"
+)
+
+// Multi-writer crash modes, rotated per cycle.
+const (
+	MWVictimMidFlush = "victim-mid-flush" // victim dies during its commit's page flush; survivors then commit
+	MWVictimCrash    = "victim-crash"     // victim dies with its transaction open in RAM; survivors then commit
+	MWCoordCrash     = "coord-crash"      // coordinator dies (and replays) between the appends and the commits
+)
+
+var mwModes = []string{MWVictimMidFlush, MWVictimCrash, MWCoordCrash}
+
+// Harness-internal draw sites.
+const (
+	siteMWFlush = faultinject.Site("crashsim.mw.flush")
+)
+
+// MultiWriterOptions configures a multi-writer simulation run.
+type MultiWriterOptions struct {
+	Seed       uint64
+	Cycles     int // crash/recover cycles; default 21
+	Writers    int // secondary writers; default 2
+	RowsPerTxn int // rows appended per transaction; default 16
+	SegRows    int // table segment size; default 8
+	MissReads  int // store eventual-consistency window; default 2
+
+	// BrokenRetry ablates retry-until-found reads to a single attempt on
+	// every node; under eventual consistency the suite must fail.
+	BrokenRetry bool
+}
+
+func (o MultiWriterOptions) withDefaults() MultiWriterOptions {
+	if o.Cycles <= 0 {
+		o.Cycles = 21
+	}
+	if o.Writers <= 0 {
+		o.Writers = 2
+	}
+	if o.RowsPerTxn <= 0 {
+		o.RowsPerTxn = 16
+	}
+	if o.SegRows <= 0 {
+		o.SegRows = 8
+	}
+	if o.MissReads == 0 {
+		o.MissReads = 2
+	}
+	return o
+}
+
+// MultiWriterReport summarizes a run. Same options ⇒ identical report,
+// including the charged simulated time.
+type MultiWriterReport struct {
+	Cycles    int
+	Commits   int
+	Doomed    int
+	StoreKeys int
+	Charged   time.Duration
+	Summary   string
+}
+
+type mwHarness struct {
+	opts  MultiWriterOptions
+	plan  *faultinject.Plan
+	store *objstore.MemStore
+	cl    *simtest.Cluster
+
+	names        []string // writer names, fixed order
+	expected     map[string][]int64
+	created      map[string]bool
+	mustAnnounce map[string]bool
+	nextRow      int64
+	commits      int
+	doomed       int
+	summary      []string
+}
+
+// RunMultiWriter executes a multi-writer crash/recover simulation and audits
+// the per-writer committed data, reachability, leaks and never-write-twice
+// after every cycle's recovery.
+func RunMultiWriter(ctx context.Context, opts MultiWriterOptions) (*MultiWriterReport, error) {
+	o := opts.withDefaults()
+	plan := faultinject.New(o.Seed)
+	scale := iomodel.NewScale(0)
+	store := objstore.NewMem(objstore.Config{
+		Consistency:  objstore.Consistency{NewKeyMissReads: o.MissReads},
+		ReadLatency:  iomodel.Latency{Base: 10 * time.Millisecond},
+		WriteLatency: iomodel.Latency{Base: 25 * time.Millisecond},
+		Scale:        scale,
+		Faults:       plan,
+	})
+	ambient := func(p *faultinject.Plan) {
+		p.Prob(faultinject.ObjPut, 0.02)
+		p.Prob(faultinject.ObjDelete, 0.005)
+		p.Prob(faultinject.RPCAlloc, 0.02)
+		p.Prob(faultinject.RPCNotify, 0.15)
+		p.Prob(faultinject.RPCRestart, 0.2)
+	}
+	ambient(plan)
+	cl, err := simtest.NewCluster(simtest.ClusterConfig{
+		Plan:        plan,
+		Store:       store,
+		Scale:       scale,
+		BrokenRetry: o.BrokenRetry,
+		Ambient:     ambient,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := &mwHarness{
+		opts:         o,
+		plan:         plan,
+		store:        store,
+		cl:           cl,
+		expected:     make(map[string][]int64),
+		created:      make(map[string]bool),
+		mustAnnounce: make(map[string]bool),
+	}
+	if err := cl.OpenCoord(ctx); err != nil {
+		return nil, err
+	}
+	for i := 1; i <= o.Writers; i++ {
+		name := fmt.Sprintf("w%d", i)
+		h.names = append(h.names, name)
+		cl.AddWriter(name)
+		if err := cl.OpenWriter(ctx, name); err != nil {
+			return nil, err
+		}
+	}
+	rep := &MultiWriterReport{}
+	for cycle := 0; cycle < o.Cycles; cycle++ {
+		mode := mwModes[cycle%len(mwModes)]
+		if err := h.cycle(ctx, cycle, mode); err != nil {
+			return rep, fmt.Errorf("cycle %d (%s): %w", cycle, mode, err)
+		}
+		h.summary = append(h.summary, fmt.Sprintf("cycle %d %s commits=%d keys=%d",
+			cycle, mode, h.commits, len(store.AllKeys())))
+	}
+	// Final recovery pass: everything must still audit clean.
+	if err := h.recoverAndAudit(ctx); err != nil {
+		return rep, fmt.Errorf("final audit: %w", err)
+	}
+	rep.Cycles = o.Cycles
+	rep.Commits = h.commits
+	rep.Doomed = h.doomed
+	rep.StoreKeys = store.Len()
+	rep.Charged = scale.Charged()
+	for _, l := range h.summary {
+		rep.Summary += l + "\n"
+	}
+	return rep, nil
+}
+
+// cycle heals whatever crashed last time, audits, then runs one workload
+// round: every writer appends to its own table, the victim dies according to
+// mode, and the survivors commit with the victim already gone.
+func (h *mwHarness) cycle(ctx context.Context, cycle int, mode string) error {
+	if err := h.recoverAndAudit(ctx); err != nil {
+		return err
+	}
+	if cycle%4 == 3 {
+		// Periodic checkpoints bound replay and force later recoveries
+		// through checkpoint restore (keygen image, consumed bitmap,
+		// retirement chain) instead of full replay.
+		for _, w := range h.names {
+			if err := h.cl.Writer(w).Checkpoint(ctx); err != nil {
+				return fmt.Errorf("checkpoint %s: %w", w, err)
+			}
+		}
+		if err := h.cl.Coord().Checkpoint(ctx); err != nil {
+			return fmt.Errorf("checkpoint coordinator: %w", err)
+		}
+	}
+	victim := h.names[cycle%len(h.names)]
+
+	// Phase 1: every writer opens a transaction and appends.
+	txs := make(map[string]*cloudiq.Tx, len(h.names))
+	bases := make(map[string]int64, len(h.names))
+	for _, w := range h.names {
+		tx := h.cl.Writer(w).Begin()
+		name := "t_" + w
+		var (
+			tbl *cloudiq.Table
+			err error
+		)
+		if h.created[w] {
+			tbl, err = tx.OpenTableForAppend(ctx, h.cl.Space(), name)
+			if err != nil {
+				_ = tx.Rollback(ctx)
+				// The table committed earlier; failing to read it
+				// back is data loss, not a transient fault.
+				return fmt.Errorf("%w: open %s for append: %v", ErrLostCommit, name, err)
+			}
+		} else {
+			tbl, err = tx.CreateTable(ctx, h.cl.Space(), name, schema(), cloudiq.TableOptions{SegRows: h.opts.SegRows})
+			if err != nil {
+				_ = tx.Rollback(ctx)
+				continue // e.g. an allocation RPC fault
+			}
+		}
+		base := h.nextRow
+		h.nextRow += int64(h.opts.RowsPerTxn)
+		if err := tbl.Append(ctx, batch(h.opts.RowsPerTxn, base)); err != nil {
+			_ = tx.Rollback(ctx)
+			continue
+		}
+		txs[w] = tx
+		bases[w] = base
+	}
+
+	// Phase 2: the crash. The victim goes first, while every survivor's
+	// transaction is still open — the coordinator's restart GC for the
+	// victim must not disturb them.
+	switch mode {
+	case MWVictimMidFlush:
+		if tx := txs[victim]; tx != nil {
+			flushes := h.plan.Int(siteMWFlush, 1, 8)
+			if err := h.cl.DoomedCommit(ctx, tx, flushes); err != nil {
+				return err
+			}
+			h.doomed++
+			delete(txs, victim)
+		}
+		h.cl.CrashWriter(victim)
+		h.mustAnnounce[victim] = true
+	case MWVictimCrash:
+		// The open transaction dies with the process: its staged rows
+		// existed only in RAM, its flushed pages (if any) become
+		// orphans for restart GC.
+		delete(txs, victim)
+		h.cl.CrashWriter(victim)
+		h.mustAnnounce[victim] = true
+	case MWCoordCrash:
+		h.cl.CrashCoord()
+		if err := h.cl.OpenCoord(ctx); err != nil {
+			return err
+		}
+	}
+
+	// Phase 3: the survivors commit (in fixed order), with the victim
+	// already gone.
+	for _, w := range h.names {
+		tx := txs[w]
+		if tx == nil {
+			continue
+		}
+		if err := tx.Commit(ctx); err != nil {
+			continue // transient fault exhausted retries; rolled back
+		}
+		h.created[w] = true
+		h.commits++
+		for i := 0; i < h.opts.RowsPerTxn; i++ {
+			h.expected[w] = append(h.expected[w], bases[w]+int64(i))
+		}
+	}
+	return nil
+}
+
+// recoverAndAudit reopens whatever crashed, delivers pending restart
+// announcements (Table 1's restart GC), garbage collects everywhere, then
+// audits every invariant.
+func (h *mwHarness) recoverAndAudit(ctx context.Context) error {
+	if h.cl.Coord() == nil {
+		if err := h.cl.OpenCoord(ctx); err != nil {
+			return err
+		}
+	}
+	for _, w := range h.names {
+		if h.cl.Writer(w) == nil {
+			if err := h.cl.OpenWriter(ctx, w); err != nil {
+				return err
+			}
+		}
+	}
+	for _, w := range h.names {
+		if !h.mustAnnounce[w] {
+			continue
+		}
+		landed, err := h.cl.AnnounceRestart(ctx, w)
+		if err != nil {
+			return err
+		}
+		if landed {
+			delete(h.mustAnnounce, w)
+		}
+	}
+	for _, w := range h.names {
+		if err := h.cl.Writer(w).CollectGarbage(ctx); err != nil {
+			return fmt.Errorf("collect garbage on %s: %w", w, err)
+		}
+	}
+	if err := h.cl.Coord().CollectGarbage(ctx); err != nil {
+		return fmt.Errorf("collect garbage on coordinator: %w", err)
+	}
+	return h.audit(ctx)
+}
+
+// audit checks, from each writer's own node, that exactly its committed
+// rows are readable; then the cluster-wide reachability, leak and
+// never-write-twice invariants.
+func (h *mwHarness) audit(ctx context.Context) error {
+	for _, w := range h.names {
+		if err := h.auditWriter(ctx, w); err != nil {
+			return err
+		}
+	}
+
+	reachSet := make(map[string]struct{})
+	nodes := append([]string{"coord"}, h.names...)
+	for _, n := range nodes {
+		keys, err := h.cl.Node(n).ReachableKeys(ctx, h.cl.Space())
+		if err != nil {
+			return fmt.Errorf("%w: reachable keys on %s: %v", ErrBlockmap, n, err)
+		}
+		for _, k := range keys {
+			reachSet[k] = struct{}{}
+		}
+	}
+	reach := make([]string, 0, len(reachSet))
+	for k := range reachSet {
+		reach = append(reach, k)
+	}
+	sort.Strings(reach)
+	stored := h.store.AllKeys()
+	if dangling := subtract(reach, stored); len(dangling) > 0 {
+		return fmt.Errorf("%w: %d reachable pages missing from the store (first: %s)",
+			ErrLostCommit, len(dangling), dangling[0])
+	}
+	// Leaks can be audited only once every restart announcement landed:
+	// until then, a crashed writer's orphans legitimately survive.
+	if len(h.mustAnnounce) == 0 && !h.cl.GCPending() {
+		if leaked := subtract(stored, reach); len(leaked) > 0 {
+			return fmt.Errorf("%w: %d orphaned objects (first: %s)", ErrLeakedKeys, len(leaked), leaked[0])
+		}
+	}
+	if ow := h.store.OverwrittenKeys(); len(ow) > 0 {
+		return fmt.Errorf("%w: %d keys (first: %s)", ErrDoubleWrite, len(ow), ow[0])
+	}
+	return nil
+}
+
+func (h *mwHarness) auditWriter(ctx context.Context, w string) error {
+	db := h.cl.Writer(w)
+	name := "t_" + w
+	tx := db.Begin()
+	defer tx.Rollback(ctx)
+	var rows []int64
+	tbl, err := tx.Table(ctx, h.cl.Space(), name)
+	switch {
+	case err == nil:
+		for seg := 0; seg < tbl.Segments(); seg++ {
+			b, rerr := tbl.ReadSegment(ctx, seg, []int{0})
+			if rerr != nil {
+				return fmt.Errorf("%w: %s: read segment %d: %v", ErrLostCommit, name, seg, rerr)
+			}
+			rows = append(rows, b.Vecs[0].I64...)
+		}
+	case errors.Is(err, cloudiq.ErrNoSuchTable) && len(h.expected[w]) == 0:
+		// The creating transaction never committed.
+	default:
+		return fmt.Errorf("%w: open %s: %v", ErrLostCommit, name, err)
+	}
+	want := append([]int64(nil), h.expected[w]...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(rows) != len(want) {
+		if len(rows) < len(want) {
+			return fmt.Errorf("%w: %s: %d rows recovered, %d committed", ErrLostCommit, name, len(rows), len(want))
+		}
+		return fmt.Errorf("%w: %s: %d rows recovered, %d committed", ErrPhantomRows, name, len(rows), len(want))
+	}
+	for i := range rows {
+		if rows[i] != want[i] {
+			return fmt.Errorf("%w: %s: row %d = %d, want %d", ErrLostCommit, name, i, rows[i], want[i])
+		}
+	}
+	return nil
+}

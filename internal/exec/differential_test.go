@@ -1,0 +1,621 @@
+package exec
+
+// Differential tests: random expression trees and aggregations evaluated by
+// the vectorized operators are checked against an independent, naive
+// row-at-a-time reference evaluator. The reference shares no code with the
+// engine (its own LIKE matcher, its own type-promotion logic, its own
+// accumulators); any divergence is a bug in one of the two, and the failing
+// trial prints the seed plus the offending tree.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"cloudiq/internal/column"
+	"cloudiq/internal/mt"
+	"cloudiq/internal/table"
+)
+
+// --- random data -----------------------------------------------------------
+
+var diffVocab = []string{"alpha", "beta", "gamma", "delta", "epsilon", "", "alp", "betamax"}
+
+type diffRow struct {
+	a, b int64
+	f, g float64
+	s, t string
+}
+
+func diffBatch(rng *mt.Source, rows int) (*table.Batch, []diffRow) {
+	b := table.NewBatch(table.Schema{Cols: []table.ColumnDef{
+		intCol("a"), intCol("b"), fltCol("f"), fltCol("g"), strCol("s"), strCol("t"),
+	}})
+	data := make([]diffRow, rows)
+	for i := range data {
+		r := diffRow{
+			a: int64(rng.Uint64()%21) - 10,
+			b: int64(rng.Uint64()%201) - 100,
+			f: float64(int64(rng.Uint64()%2001)-1000) / 8,
+			g: float64(int64(rng.Uint64()%41)-20) * 2.5,
+			s: diffVocab[rng.Uint64()%uint64(len(diffVocab))],
+			t: diffVocab[rng.Uint64()%uint64(len(diffVocab))],
+		}
+		data[i] = r
+		b.Vecs[0].AppendInt(r.a)
+		b.Vecs[1].AppendInt(r.b)
+		b.Vecs[2].AppendFloat(r.f)
+		b.Vecs[3].AppendFloat(r.g)
+		b.Vecs[4].AppendStr(r.s)
+		b.Vecs[5].AppendStr(r.t)
+	}
+	return b, data
+}
+
+// --- reference values ------------------------------------------------------
+
+// dval is the reference evaluator's numeric value: an int64 until any float
+// enters the computation, mirroring the engine's promotion rule.
+type dval struct {
+	isF bool
+	i   int64
+	f   float64
+}
+
+func di(v int64) dval   { return dval{i: v, f: float64(v)} }
+func df(v float64) dval { return dval{isF: true, f: v} }
+
+func (v dval) asF() float64 { return v.f }
+
+func sameVal(x, y dval) bool {
+	if x.isF != y.isF {
+		return false
+	}
+	if !x.isF {
+		return x.i == y.i
+	}
+	if math.IsNaN(x.f) && math.IsNaN(y.f) {
+		return true
+	}
+	return x.f == y.f
+}
+
+// refLike is an independent LIKE matcher ('%' wildcards only): recursive
+// backtracking instead of the engine's split/scan.
+func refLike(s, pattern string) bool {
+	if pattern == "" {
+		return s == ""
+	}
+	if pattern[0] == '%' {
+		for i := 0; i <= len(s); i++ {
+			if refLike(s[i:], pattern[1:]) {
+				return true
+			}
+		}
+		return false
+	}
+	if s == "" || s[0] != pattern[0] {
+		return false
+	}
+	return refLike(s[1:], pattern[1:])
+}
+
+func refSubstr(s string, start, n int) string {
+	lo := start - 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi := lo + n
+	if lo > len(s) {
+		lo = len(s)
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return s[lo:hi]
+}
+
+// --- random expression trees ----------------------------------------------
+
+// dnode is a random expression: it compiles to an engine Expr and evaluates
+// itself row-wise through the reference rules.
+type dnode struct {
+	kind string
+	kids []*dnode
+	col  string
+	ci   int64
+	cf   float64
+	cs   string
+	strs []string
+	op   int // comparison operator index
+	sub  [2]int
+}
+
+var cmpNames = []string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+func (n *dnode) expr() Expr {
+	k := func(i int) Expr { return n.kids[i].expr() }
+	switch n.kind {
+	case "colI", "colF", "colS":
+		return Col(n.col)
+	case "ci":
+		return ConstI(n.ci)
+	case "cf":
+		return ConstF(n.cf)
+	case "cs":
+		return ConstS(n.cs)
+	case "add":
+		return Add(k(0), k(1))
+	case "sub":
+		return Sub(k(0), k(1))
+	case "mul":
+		return Mul(k(0), k(1))
+	case "div":
+		return Div(k(0), k(1))
+	case "case":
+		return Case(k(0), k(1), k(2))
+	case "and":
+		return And(k(0), k(1))
+	case "or":
+		return Or(k(0), k(1))
+	case "not":
+		return Not(k(0))
+	case "like":
+		return Like(k(0), n.cs)
+	case "notlike":
+		return NotLike(k(0), n.cs)
+	case "in":
+		return InS(k(0), n.strs...)
+	case "substr":
+		return Substr(k(0), n.sub[0], n.sub[1])
+	case "cmp":
+		ops := []func(a, b Expr) Expr{Eq, Ne, Lt, Le, Gt, Ge}
+		return ops[n.op](k(0), k(1))
+	}
+	panic("unknown kind " + n.kind)
+}
+
+func (n *dnode) String() string {
+	var parts []string
+	for _, k := range n.kids {
+		parts = append(parts, k.String())
+	}
+	tag := n.kind
+	switch n.kind {
+	case "colI", "colF", "colS":
+		tag = n.col
+	case "ci":
+		tag = fmt.Sprint(n.ci)
+	case "cf":
+		tag = fmt.Sprint(n.cf)
+	case "cs", "like", "notlike":
+		tag = fmt.Sprintf("%s(%q)", n.kind, n.cs)
+	case "in":
+		tag = fmt.Sprintf("in%v", n.strs)
+	case "cmp":
+		tag = cmpNames[n.op]
+	}
+	if len(parts) == 0 {
+		return tag
+	}
+	return tag + "(" + strings.Join(parts, ",") + ")"
+}
+
+func (n *dnode) evalNum(r diffRow) dval {
+	switch n.kind {
+	case "colI":
+		if n.col == "a" {
+			return di(r.a)
+		}
+		return di(r.b)
+	case "colF":
+		if n.col == "f" {
+			return df(r.f)
+		}
+		return df(r.g)
+	case "ci":
+		return di(n.ci)
+	case "cf":
+		return df(n.cf)
+	case "add", "sub", "mul":
+		x, y := n.kids[0].evalNum(r), n.kids[1].evalNum(r)
+		if !x.isF && !y.isF {
+			switch n.kind {
+			case "add":
+				return di(x.i + y.i)
+			case "sub":
+				return di(x.i - y.i)
+			default:
+				return di(x.i * y.i)
+			}
+		}
+		switch n.kind {
+		case "add":
+			return df(x.asF() + y.asF())
+		case "sub":
+			return df(x.asF() - y.asF())
+		default:
+			return df(x.asF() * y.asF())
+		}
+	case "div":
+		// Division always produces a float, whatever the operand types.
+		return df(n.kids[0].evalNum(r).asF() / n.kids[1].evalNum(r).asF())
+	case "case":
+		t, e := n.kids[1].evalNum(r), n.kids[2].evalNum(r)
+		picked := e
+		if n.kids[0].evalBool(r) {
+			picked = t
+		}
+		if t.isF || e.isF {
+			return df(picked.asF()) // the engine promotes both branches
+		}
+		return picked
+	}
+	panic("not numeric: " + n.kind)
+}
+
+func (n *dnode) evalStr(r diffRow) string {
+	switch n.kind {
+	case "colS":
+		if n.col == "s" {
+			return r.s
+		}
+		return r.t
+	case "cs":
+		return n.cs
+	case "substr":
+		return refSubstr(n.kids[0].evalStr(r), n.sub[0], n.sub[1])
+	}
+	panic("not string: " + n.kind)
+}
+
+func (n *dnode) evalBool(r diffRow) bool {
+	switch n.kind {
+	case "and":
+		return n.kids[0].evalBool(r) && n.kids[1].evalBool(r)
+	case "or":
+		return n.kids[0].evalBool(r) || n.kids[1].evalBool(r)
+	case "not":
+		return !n.kids[0].evalBool(r)
+	case "like":
+		return refLike(n.kids[0].evalStr(r), n.cs)
+	case "notlike":
+		return !refLike(n.kids[0].evalStr(r), n.cs)
+	case "in":
+		s := n.kids[0].evalStr(r)
+		for _, v := range n.strs {
+			if v == s {
+				return true
+			}
+		}
+		return false
+	case "cmp":
+		var c int
+		if n.kids[0].kind == "colS" || n.kids[0].kind == "cs" || n.kids[0].kind == "substr" {
+			c = strings.Compare(n.kids[0].evalStr(r), n.kids[1].evalStr(r))
+		} else {
+			x, y := n.kids[0].evalNum(r), n.kids[1].evalNum(r)
+			if !x.isF && !y.isF {
+				if x.i < y.i {
+					c = -1
+				} else if x.i > y.i {
+					c = 1
+				}
+			} else {
+				if x.asF() < y.asF() {
+					c = -1
+				} else if x.asF() > y.asF() {
+					c = 1
+				}
+			}
+		}
+		switch cmpNames[n.op] {
+		case "eq":
+			return c == 0
+		case "ne":
+			return c != 0
+		case "lt":
+			return c < 0
+		case "le":
+			return c <= 0
+		case "gt":
+			return c > 0
+		default:
+			return c >= 0
+		}
+	}
+	panic("not boolean: " + n.kind)
+}
+
+// --- generators ------------------------------------------------------------
+
+type diffGen struct{ rng *mt.Source }
+
+func (g *diffGen) pick(n int) int { return int(g.rng.Uint64() % uint64(n)) }
+
+func (g *diffGen) numExpr(depth int) *dnode {
+	if depth <= 0 || g.pick(3) == 0 {
+		switch g.pick(6) {
+		case 0:
+			return &dnode{kind: "colI", col: "a"}
+		case 1:
+			return &dnode{kind: "colI", col: "b"}
+		case 2:
+			return &dnode{kind: "colF", col: "f"}
+		case 3:
+			return &dnode{kind: "colF", col: "g"}
+		case 4:
+			return &dnode{kind: "ci", ci: int64(g.pick(11)) - 5}
+		default:
+			return &dnode{kind: "cf", cf: float64(g.pick(17)-8) / 4}
+		}
+	}
+	switch g.pick(5) {
+	case 0:
+		return &dnode{kind: "add", kids: []*dnode{g.numExpr(depth - 1), g.numExpr(depth - 1)}}
+	case 1:
+		return &dnode{kind: "sub", kids: []*dnode{g.numExpr(depth - 1), g.numExpr(depth - 1)}}
+	case 2:
+		return &dnode{kind: "mul", kids: []*dnode{g.numExpr(depth - 1), g.numExpr(depth - 1)}}
+	case 3:
+		// Non-zero constant denominators keep the reference honest:
+		// integer division by zero has no single obvious semantics.
+		den := &dnode{kind: "ci", ci: int64(g.pick(7)) + 1}
+		if g.pick(2) == 0 {
+			den = &dnode{kind: "cf", cf: float64(g.pick(9)+1) / 2}
+		}
+		return &dnode{kind: "div", kids: []*dnode{g.numExpr(depth - 1), den}}
+	default:
+		return &dnode{kind: "case", kids: []*dnode{g.boolExpr(depth - 1), g.numExpr(depth - 1), g.numExpr(depth - 1)}}
+	}
+}
+
+func (g *diffGen) strExpr(depth int) *dnode {
+	switch g.pick(4) {
+	case 0:
+		return &dnode{kind: "colS", col: "s"}
+	case 1:
+		return &dnode{kind: "colS", col: "t"}
+	case 2:
+		return &dnode{kind: "cs", cs: diffVocab[g.pick(len(diffVocab))]}
+	default:
+		if depth <= 0 {
+			return &dnode{kind: "colS", col: "s"}
+		}
+		return &dnode{kind: "substr", kids: []*dnode{g.strExpr(depth - 1)}, sub: [2]int{g.pick(6), g.pick(5)}}
+	}
+}
+
+var diffPatterns = []string{"%", "alp%", "%ta", "%et%", "%a%a%", "alpha", "%lp%a", ""}
+
+func (g *diffGen) boolExpr(depth int) *dnode {
+	if depth <= 0 || g.pick(4) == 0 {
+		switch g.pick(4) {
+		case 0:
+			return &dnode{kind: "cmp", op: g.pick(6), kids: []*dnode{g.numExpr(0), g.numExpr(0)}}
+		case 1:
+			return &dnode{kind: "like", cs: diffPatterns[g.pick(len(diffPatterns))], kids: []*dnode{g.strExpr(1)}}
+		case 2:
+			n := g.pick(3) + 1
+			var vals []string
+			for i := 0; i < n; i++ {
+				vals = append(vals, diffVocab[g.pick(len(diffVocab))])
+			}
+			return &dnode{kind: "in", strs: vals, kids: []*dnode{g.strExpr(0)}}
+		default:
+			return &dnode{kind: "cmp", op: g.pick(6), kids: []*dnode{g.strExpr(1), g.strExpr(1)}}
+		}
+	}
+	switch g.pick(5) {
+	case 0:
+		return &dnode{kind: "and", kids: []*dnode{g.boolExpr(depth - 1), g.boolExpr(depth - 1)}}
+	case 1:
+		return &dnode{kind: "or", kids: []*dnode{g.boolExpr(depth - 1), g.boolExpr(depth - 1)}}
+	case 2:
+		return &dnode{kind: "not", kids: []*dnode{g.boolExpr(depth - 1)}}
+	case 3:
+		return &dnode{kind: "notlike", cs: diffPatterns[g.pick(len(diffPatterns))], kids: []*dnode{g.strExpr(1)}}
+	default:
+		return &dnode{kind: "cmp", op: g.pick(6), kids: []*dnode{g.numExpr(depth - 1), g.numExpr(depth - 1)}}
+	}
+}
+
+// --- the differential tests ------------------------------------------------
+
+func diffTrials(t *testing.T) int {
+	if testing.Short() {
+		return 25
+	}
+	return 150
+}
+
+func TestDifferentialFilter(t *testing.T) {
+	rng := mt.New(0xD1FF)
+	g := &diffGen{rng: rng}
+	for trial := 0; trial < diffTrials(t); trial++ {
+		pred := g.boolExpr(4)
+		batch, rows := diffBatch(rng, int(rng.Uint64()%120))
+		got, err := FilterBatch(batch, pred.expr())
+		if err != nil {
+			t.Fatalf("trial %d: %s: %v", trial, pred, err)
+		}
+		var want []int64
+		for _, r := range rows {
+			if pred.evalBool(r) {
+				want = append(want, r.a)
+			}
+		}
+		if got.Rows() != len(want) {
+			t.Fatalf("trial %d: %s: filter kept %d rows, reference kept %d",
+				trial, pred, got.Rows(), len(want))
+		}
+		for i, v := range want {
+			if got.Vecs[0].I64[i] != v {
+				t.Fatalf("trial %d: %s: row %d col a = %d, want %d",
+					trial, pred, i, got.Vecs[0].I64[i], v)
+			}
+		}
+	}
+}
+
+func TestDifferentialProject(t *testing.T) {
+	rng := mt.New(0xD1FF + 1)
+	g := &diffGen{rng: rng}
+	for trial := 0; trial < diffTrials(t); trial++ {
+		e := g.numExpr(4)
+		batch, rows := diffBatch(rng, int(rng.Uint64()%80)+1)
+		out, err := Project(batch, []NamedExpr{{Name: "x", Expr: e.expr()}})
+		if err != nil {
+			t.Fatalf("trial %d: %s: %v", trial, e, err)
+		}
+		v := out.Vecs[0]
+		for i, r := range rows {
+			want := e.evalNum(r)
+			var got dval
+			if v.Typ == column.Int64 {
+				got = di(v.I64[i])
+			} else {
+				got = df(v.F64[i])
+			}
+			if !sameVal(got, want) {
+				t.Fatalf("trial %d: %s: row %d = %+v, want %+v", trial, e, i, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialHashAgg compares grouped and global aggregation against
+// naive per-group accumulators. Group output order is unspecified, so the
+// comparison is keyed by group value, not position.
+func TestDifferentialHashAgg(t *testing.T) {
+	rng := mt.New(0xD1FF + 2)
+	g := &diffGen{rng: rng}
+	trials := diffTrials(t) / 5
+	for trial := 0; trial < trials; trial++ {
+		e := g.numExpr(3)
+		batch, rows := diffBatch(rng, int(rng.Uint64()%150))
+		aggs := []Agg{
+			{Func: Count, As: "cnt"},
+			{Func: Sum, Expr: e.expr(), As: "sum"},
+			{Func: Avg, Expr: e.expr(), As: "avg"},
+			{Func: Min, Expr: e.expr(), As: "min"},
+			{Func: Max, Expr: e.expr(), As: "max"},
+			{Func: CountDistinct, Expr: Col("s"), As: "dist"},
+		}
+		groupBy := []string{"s"}
+		if trial%3 == 0 {
+			groupBy = nil // global aggregate
+		}
+		out, err := HashAgg(ctxb(), SliceSource(batch), groupBy, aggs)
+		if err != nil {
+			t.Fatalf("trial %d: %s: %v", trial, e, err)
+		}
+
+		// Reference accumulation, row-at-a-time in input order (matching
+		// the engine's floating-point accumulation order).
+		type acc struct {
+			cnt      int64
+			sumI     int64
+			sumF     float64
+			min, max dval
+			seen     bool
+			dist     map[string]struct{}
+			isF      bool
+		}
+		ref := map[string]*acc{}
+		for _, r := range rows {
+			key := ""
+			if groupBy != nil {
+				key = r.s
+			}
+			a := ref[key]
+			if a == nil {
+				a = &acc{dist: map[string]struct{}{}}
+				ref[key] = a
+			}
+			v := e.evalNum(r)
+			a.cnt++
+			a.sumI += v.i
+			a.sumF += v.asF()
+			if v.isF {
+				a.isF = true
+			}
+			if !a.seen || lessVal(v, a.min) {
+				a.min = v
+			}
+			if !a.seen || lessVal(a.max, v) {
+				a.max = v
+			}
+			a.seen = true
+			a.dist[r.s] = struct{}{}
+		}
+		if groupBy == nil && len(ref) == 0 {
+			ref[""] = &acc{dist: map[string]struct{}{}}
+		}
+
+		if out.Rows() != len(ref) {
+			t.Fatalf("trial %d: %s: %d groups, want %d", trial, e, out.Rows(), len(ref))
+		}
+		col := func(name string) *column.Vector {
+			for i, c := range out.Schema.Cols {
+				if c.Name == name {
+					return out.Vecs[i]
+				}
+			}
+			t.Fatalf("no column %s", name)
+			return nil
+		}
+		for i := 0; i < out.Rows(); i++ {
+			key := ""
+			if groupBy != nil {
+				key = col("s").Str[i]
+			}
+			a := ref[key]
+			if a == nil {
+				t.Fatalf("trial %d: %s: unexpected group %q", trial, e, key)
+			}
+			if got := col("cnt").I64[i]; got != a.cnt {
+				t.Fatalf("trial %d: %s: group %q count = %d, want %d", trial, e, key, got, a.cnt)
+			}
+			if got := col("dist").I64[i]; got != int64(len(a.dist)) {
+				t.Fatalf("trial %d: %s: group %q distinct = %d, want %d", trial, e, key, got, len(a.dist))
+			}
+			wantSum, wantMin, wantMax := df(a.sumF), a.min, a.max
+			if !a.isF {
+				wantSum = di(a.sumI)
+			}
+			check := func(name string, want dval) {
+				v := col(name)
+				var got dval
+				if v.Typ == column.Int64 {
+					got = di(v.I64[i])
+				} else {
+					got = df(v.F64[i])
+				}
+				if a.cnt == 0 {
+					return // empty global group: engine emits zero values
+				}
+				if !sameVal(got, want) {
+					t.Fatalf("trial %d: %s: group %q %s = %+v, want %+v", trial, e, key, name, got, want)
+				}
+			}
+			check("sum", wantSum)
+			check("min", wantMin)
+			check("max", wantMax)
+			if a.cnt > 0 {
+				wantAvg := a.sumF / float64(a.cnt)
+				if got := col("avg").F64[i]; got != wantAvg && !(math.IsNaN(got) && math.IsNaN(wantAvg)) {
+					t.Fatalf("trial %d: %s: group %q avg = %v, want %v", trial, e, key, got, wantAvg)
+				}
+			}
+		}
+	}
+}
+
+func lessVal(x, y dval) bool {
+	if !x.isF && !y.isF {
+		return x.i < y.i
+	}
+	return x.asF() < y.asF()
+}

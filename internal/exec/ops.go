@@ -44,7 +44,9 @@ type ScanOptions struct {
 	Filter Expr
 	// Zones prune whole segments before any I/O.
 	Zones []ZonePred
-	// Prefetch is the segment read-ahead window. Zero selects 4.
+	// Prefetch is the segment read-ahead window. Zero selects 4; a
+	// negative value disables read-ahead entirely, making the scan fully
+	// synchronous (deterministic simulation harnesses rely on this).
 	Prefetch int
 }
 
@@ -63,8 +65,11 @@ type scanSource struct {
 // masking object-store latency.
 func Scan(t *table.Table, cols []string, opts ScanOptions) (Source, error) {
 	s := &scanSource{tbl: t, colNames: cols, opts: opts}
-	if s.opts.Prefetch <= 0 {
+	if s.opts.Prefetch == 0 {
 		s.opts.Prefetch = 4
+	}
+	if s.opts.Prefetch < 0 {
+		s.opts.Prefetch = 0 // synchronous: no read-ahead window
 	}
 	for _, name := range cols {
 		i := t.Schema().ColIndex(name)

@@ -33,6 +33,16 @@ func NewClient(alloc AllocFunc) *Client {
 	return &Client{alloc: alloc, rangeSize: DefaultRangeSize}
 }
 
+// Discard drops the cached key range. The keys are burned — never handed
+// out again — which a point-in-time restore relies on: everything allocated
+// before the restore is scheduled for deletion when its retention ends, so
+// vending those keys to new writes would eventually delete live pages.
+func (c *Client) Discard() {
+	c.mu.Lock()
+	c.cur = rfrb.Range{}
+	c.mu.Unlock()
+}
+
 // NextKey returns the next unique object key, refilling the cache as needed.
 func (c *Client) NextKey(ctx context.Context) (uint64, error) {
 	c.mu.Lock()

@@ -1,0 +1,184 @@
+package simtest
+
+import "sort"
+
+// model is the in-memory ground truth the engine is checked against. It
+// mirrors exactly the semantics the oracles rely on: per-node committed
+// tables (the multiplex partitions write responsibility, so a table lives in
+// its owner's catalog only), per-node staged transaction state, and the
+// coordinator's snapshot list. Row values are globally unique int64s, so data
+// equivalence is a multiset comparison of one column.
+type model struct {
+	nodes   map[string]*nodeModel
+	snaps   []modelSnap
+	nextRow int64
+}
+
+type nodeModel struct {
+	tables map[string][]int64 // committed: table -> sorted-insertion row values
+
+	open       bool
+	staged     map[string][]int64 // rows appended by the open transaction
+	stagedDrop map[string]bool    // dropped by the open transaction
+
+	lastSeq uint64 // highest engine commit sequence observed (visibility oracle)
+}
+
+// modelSnap is the expected content of one snapshot: a deep copy of the
+// coordinator's committed tables at the time it was taken.
+type modelSnap struct {
+	id     uint64
+	expiry int64
+	tables map[string][]int64
+}
+
+func newModel(nodes []string) *model {
+	m := &model{nodes: make(map[string]*nodeModel)}
+	for _, n := range nodes {
+		m.nodes[n] = &nodeModel{tables: make(map[string][]int64)}
+	}
+	return m
+}
+
+func (m *model) node(name string) *nodeModel { return m.nodes[name] }
+
+// begin opens a transaction; a no-op if one is already open.
+func (n *nodeModel) begin() {
+	if n.open {
+		return
+	}
+	n.open = true
+	n.staged = make(map[string][]int64)
+	n.stagedDrop = make(map[string]bool)
+}
+
+// takeRows hands out the next count globally unique row values. The counter
+// advances whether or not the append lands, matching the harness convention
+// that keeps values unique across rolled-back transactions.
+func (m *model) takeRows(count int) []int64 {
+	vals := make([]int64, count)
+	for i := range vals {
+		vals[i] = m.nextRow
+		m.nextRow++
+	}
+	return vals
+}
+
+// stageAppend records rows appended by the open transaction.
+func (n *nodeModel) stageAppend(tbl string, vals []int64) {
+	n.staged[tbl] = append(n.staged[tbl], vals...)
+}
+
+func (n *nodeModel) committed(tbl string) bool {
+	_, ok := n.tables[tbl]
+	return ok
+}
+
+// canAppend reports whether an append to tbl is valid inside the current
+// transaction state (appending to a table dropped by the same transaction is
+// skipped — the engine's publication ordering would drop the table anyway).
+func (n *nodeModel) canAppend(tbl string) bool {
+	return !n.open || !n.stagedDrop[tbl]
+}
+
+// canDrop reports whether a drop of tbl is valid: the table must be
+// committed, not staged (created or appended) and not already dropped by the
+// open transaction.
+func (n *nodeModel) canDrop(tbl string) bool {
+	if !n.committed(tbl) {
+		return false
+	}
+	if n.open && (len(n.staged[tbl]) > 0 || n.stagedDrop[tbl]) {
+		return false
+	}
+	return true
+}
+
+func (n *nodeModel) stageDrop(tbl string) { n.stagedDrop[tbl] = true }
+
+// commit publishes the open transaction: staged appends land, staged drops
+// remove tables (the engine applies writable publications before drops, and
+// the harness never stages both for one table).
+func (n *nodeModel) commit() {
+	if !n.open {
+		return
+	}
+	for tbl, vals := range n.staged {
+		n.tables[tbl] = append(n.tables[tbl], vals...)
+	}
+	for tbl := range n.stagedDrop {
+		delete(n.tables, tbl)
+	}
+	n.clearTx()
+}
+
+// abort discards the open transaction.
+func (n *nodeModel) abort() { n.clearTx() }
+
+func (n *nodeModel) clearTx() {
+	n.open = false
+	n.staged = nil
+	n.stagedDrop = nil
+}
+
+// tableNames returns the committed table names, sorted.
+func (n *nodeModel) tableNames() []string {
+	names := make([]string, 0, len(n.tables))
+	for t := range n.tables {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// rows returns a sorted copy of tbl's committed rows.
+func (n *nodeModel) rows(tbl string) []int64 {
+	out := append([]int64(nil), n.tables[tbl]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// snapshotView deep-copies the node's committed tables (pin views, snapshot
+// contents).
+func (n *nodeModel) snapshotView() map[string][]int64 {
+	out := make(map[string][]int64, len(n.tables))
+	for t, vals := range n.tables {
+		out[t] = append([]int64(nil), vals...)
+	}
+	return out
+}
+
+// addSnap records a snapshot of the coordinator's committed state.
+func (m *model) addSnap(id uint64, expiry int64) {
+	m.snaps = append(m.snaps, modelSnap{id: id, expiry: expiry, tables: m.nodes["coord"].snapshotView()})
+}
+
+// expireSnaps drops snapshots whose retention ended at the given clock.
+func (m *model) expireSnaps(now int64) {
+	keep := m.snaps[:0]
+	for _, s := range m.snaps {
+		if s.expiry > now {
+			keep = append(keep, s)
+		}
+	}
+	m.snaps = keep
+}
+
+// restore reverts the coordinator's committed state to the snapshot's.
+func (m *model) restore(s modelSnap) {
+	co := m.nodes["coord"]
+	co.tables = make(map[string][]int64, len(s.tables))
+	for t, vals := range s.tables {
+		co.tables[t] = append([]int64(nil), vals...)
+	}
+}
+
+// snapIDs returns the expected snapshot ids, ascending.
+func (m *model) snapIDs() []uint64 {
+	ids := make([]uint64, len(m.snaps))
+	for i, s := range m.snaps {
+		ids[i] = s.id
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,105 @@
+package simtest
+
+import (
+	"context"
+	"fmt"
+)
+
+// ShrinkResult is the outcome of shrinking a failing script.
+type ShrinkResult struct {
+	// Script is the minimal script found; it still fails in the original
+	// oracle category.
+	Script *Script
+	// Err is the failure the minimal script produces.
+	Err error
+	// Category is the preserved oracle category.
+	Category string
+	// Runs is how many simulation runs shrinking spent.
+	Runs int
+}
+
+// Shrink minimizes a failing script while preserving its failure category:
+// first it turns ambient fault families off one at a time, then it removes
+// workload steps ddmin-style (halving chunk sizes down to single steps),
+// re-running the simulation after each candidate edit. Because every step is
+// a no-op when its preconditions do not hold, arbitrary subsets stay
+// runnable. maxRuns bounds the work (0 selects 300). The input script must
+// fail; otherwise an error is returned.
+func Shrink(ctx context.Context, sc *Script, opts Options, maxRuns int) (*ShrinkResult, error) {
+	if maxRuns <= 0 {
+		maxRuns = 300
+	}
+	opts.Script = sc
+	_, baseErr := Run(ctx, opts)
+	cat := Classify(baseErr)
+	if cat == "" {
+		return nil, fmt.Errorf("simtest: shrink: script does not fail")
+	}
+	res := &ShrinkResult{Script: sc.Clone(), Err: baseErr, Category: cat, Runs: 1}
+
+	fails := func(cand *Script) bool {
+		if res.Runs >= maxRuns {
+			return false
+		}
+		res.Runs++
+		o := opts
+		o.Script = cand
+		_, err := Run(ctx, o)
+		if Classify(err) != cat {
+			return false
+		}
+		res.Err = err
+		return true
+	}
+
+	// Pass 1: drop whole fault families. Order matters only for taste:
+	// try the families least likely to be load-bearing first.
+	toggles := []struct {
+		name string
+		off  func(*Script)
+		on   func(*Script) bool
+	}{
+		{"rpc", func(s *Script) { s.FaultRPC = false }, func(s *Script) bool { return s.FaultRPC }},
+		{"visibility", func(s *Script) { s.FaultVisibility = false }, func(s *Script) bool { return s.FaultVisibility }},
+		{"delete", func(s *Script) { s.FaultDelete = false }, func(s *Script) bool { return s.FaultDelete }},
+		{"put", func(s *Script) { s.FaultPut = false }, func(s *Script) bool { return s.FaultPut }},
+		{"missreads", func(s *Script) { s.MissReads = 0 }, func(s *Script) bool { return s.MissReads > 0 }},
+	}
+	for _, t := range toggles {
+		if !t.on(res.Script) {
+			continue
+		}
+		cand := res.Script.Clone()
+		t.off(cand)
+		if fails(cand) {
+			res.Script = cand
+		}
+	}
+
+	// Pass 2: ddmin over the steps. A trailing quiesce is re-appended to
+	// every candidate so the full oracle set still runs.
+	for chunk := len(res.Script.Steps) / 2; chunk >= 1; chunk /= 2 {
+		start := 0
+		for start < len(res.Script.Steps) {
+			end := start + chunk
+			if end > len(res.Script.Steps) {
+				end = len(res.Script.Steps)
+			}
+			cand := res.Script.Clone()
+			cand.Steps = append(cand.Steps[:start:start], cand.Steps[end:]...)
+			if len(cand.Steps) == 0 || cand.Steps[len(cand.Steps)-1].Op != OpQuiesce {
+				cand.Steps = append(cand.Steps, Step{Op: OpQuiesce, Table: -1})
+			}
+			if len(cand.Steps) < len(res.Script.Steps) && fails(cand) {
+				res.Script = cand
+				// Steps shifted left; retry the same offset.
+				continue
+			}
+			start += chunk
+		}
+		if res.Runs >= maxRuns {
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,156 @@
+package simtest
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func bg() context.Context { return context.Background() }
+
+// TestBitReproducible runs the same seed twice and demands identical
+// fingerprints: step log, fault trace, charged simulated time and final store
+// shape. This is the acceptance bar for the whole harness — if anything
+// nondeterministic leaks into the engine (map iteration, wall clocks, real
+// goroutine interleaving), this test is the tripwire.
+func TestBitReproducible(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 17, 91}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		a, errA := Run(bg(), Options{Seed: seed})
+		b, errB := Run(bg(), Options{Seed: seed})
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("seed %d: inconsistent outcome: %v vs %v", seed, errA, errB)
+		}
+		if errA != nil && errA.Error() != errB.Error() {
+			t.Fatalf("seed %d: error text diverged:\n%v\n%v", seed, errA, errB)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("seed %d: fingerprints diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+				seed, a.Fingerprint(), b.Fingerprint())
+		}
+		if a.Charged == 0 {
+			t.Fatalf("seed %d: no simulated time charged", seed)
+		}
+	}
+}
+
+// TestSmokeSeeds is the PR-gate sweep: the first 20 seeds must pass every
+// oracle (5 under -short).
+func TestSmokeSeeds(t *testing.T) {
+	n := uint64(20)
+	if testing.Short() {
+		n = 5
+	}
+	for seed := uint64(1); seed <= n; seed++ {
+		if _, err := Run(bg(), Options{Seed: seed}); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestBrokenRetryFails is the teeth test: ablating retry-until-found reads to
+// a single attempt must make the oracles fail whenever the store's
+// eventual-consistency window is armed. Every one of the first 20 seeds is
+// known to die with an equivalence violation under the ablation; a passing
+// run here would mean the oracles have gone blind.
+func TestBrokenRetryFails(t *testing.T) {
+	seeds := []uint64{2, 3, 7}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		_, err := Run(bg(), Options{Seed: seed, BrokenRetry: true})
+		if err == nil {
+			t.Fatalf("seed %d: BrokenRetry run passed; oracles have no teeth", seed)
+		}
+		if cat := Classify(err); cat != "equivalence" {
+			t.Fatalf("seed %d: BrokenRetry failed as %q, want equivalence: %v", seed, cat, err)
+		}
+	}
+}
+
+// TestScriptRoundTrip checks that a generated script survives
+// String → Parse → String unchanged, which the shrinker's re-runnable
+// reproducer output depends on.
+func TestScriptRoundTrip(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 5, 42, 413} {
+		sc := Generate(seed)
+		text := sc.String()
+		parsed, err := Parse(text)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		if !reflect.DeepEqual(sc, parsed) {
+			t.Fatalf("seed %d: round trip diverged:\n%s\n%s", seed, text, parsed.String())
+		}
+		if parsed.String() != text {
+			t.Fatalf("seed %d: second String diverged", seed)
+		}
+	}
+}
+
+// TestShrinkPreservesCategory shrinks a known-failing run (seed 2 under the
+// BrokenRetry ablation) and checks that the minimal script is no larger than
+// the original, still fails, and fails in the same oracle category.
+func TestShrinkPreservesCategory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinking re-runs the simulation many times")
+	}
+	opts := Options{Seed: 2, BrokenRetry: true}
+	sc := Generate(2)
+	res, err := Shrink(bg(), sc, opts, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Category != "equivalence" {
+		t.Fatalf("shrunk category %q, want equivalence", res.Category)
+	}
+	if len(res.Script.Steps) > len(sc.Steps) {
+		t.Fatalf("shrinking grew the script: %d > %d steps", len(res.Script.Steps), len(sc.Steps))
+	}
+	// The minimal script must replay to the same category, and survive a
+	// String/Parse round trip first — exactly what a pasted reproducer does.
+	replayed, err := Parse(res.Script.String())
+	if err != nil {
+		t.Fatalf("reproducer does not parse: %v", err)
+	}
+	o := opts
+	o.Script = replayed
+	_, rerr := Run(bg(), o)
+	if Classify(rerr) != "equivalence" {
+		t.Fatalf("reproducer replays as %q, want equivalence: %v", Classify(rerr), rerr)
+	}
+}
+
+// Pinned regression seeds. Each seed below found a real engine bug during the
+// first 1000-seed sweeps; the whole-system run must stay green forever. The
+// comments record what each seed caught so a future failure points straight
+// at the subsystem.
+func TestRegressionSeeds(t *testing.T) {
+	seeds := []struct {
+		seed uint64
+		bug  string
+	}{
+		{2, "snapshot.Load trusted a single eventually-consistent listing; a stale List regressed MetaSeq and NextID, rewriting meta and reusing snapshot image keys"},
+		{49, "RestoreSnapshot did not checkpoint, so WAL replay after a later crash resurrected post-snapshot commits"},
+		{17, "a writer checkpoint truncated the replay that re-delivered lost commit notifications; restart GC then deleted committed keys (consumed bitmap now rides the checkpoint)"},
+		{91, "the committed-txn retirement chain was not checkpointed, leaking pages awaiting retirement after a crash"},
+		{11, "restore made retired pages reachable again but their retention records still scheduled deletion (Unretire + PruneRetirements)"},
+		{166, "same family as seed 11, different interleaving"},
+		{950, "same family as seed 11, caught the dead-sweep side"},
+		{401, "restore deleted pages another snapshot still referenced; all post-restore removals must go through retention"},
+		{413, "restore retired the allocation range but cached key chunks kept vending from it, so retention expiry deleted live pages (allocations are burned at restore)"},
+		{765, "a transient object-store delete failure during writer-restart GC failed recovery outright instead of re-queueing the poll"},
+	}
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	for _, tc := range seeds {
+		if _, err := Run(bg(), Options{Seed: tc.seed}); err != nil {
+			t.Errorf("seed %d regressed (%s): %v", tc.seed, tc.bug, err)
+		}
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"cloudiq/internal/objstore"
@@ -118,6 +120,79 @@ func (m *Manager) Pending() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.st.Records)
+}
+
+// Extent is one retired page-version extent awaiting its retention expiry.
+type Extent struct {
+	Space string
+	Range rfrb.Range
+}
+
+// PendingExtents returns the extents currently owned by the manager, in
+// retirement order. Simulation oracles use it to tell legitimately retained
+// pages apart from leaked ones when auditing the store against the set of
+// reachable keys.
+func (m *Manager) PendingExtents() []Extent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Extent, len(m.st.Records))
+	for i, r := range m.st.Records {
+		out[i] = Extent{Space: r.Space, Range: r.Range}
+	}
+	return out
+}
+
+// Unretire removes live keys from one dbspace's retention records: a
+// point-in-time restore can make retired page versions reachable again, and
+// leaving them on the records would delete live data when their retention
+// ends. Records are split around the removed keys (the expiry is inherited);
+// emptied records vanish. The pruned state is persisted.
+func (m *Manager) Unretire(ctx context.Context, space string, live *rfrb.Bitmap) error {
+	m.mu.Lock()
+	var out []record
+	changed := false
+	for _, rec := range m.st.Records {
+		if rec.Space != space {
+			out = append(out, rec)
+			continue
+		}
+		b := &rfrb.Bitmap{}
+		b.AddRange(rec.Range)
+		for _, lr := range live.Ranges() {
+			b.Remove(lr.Start, lr.End)
+		}
+		rs := b.Ranges()
+		if len(rs) == 1 && rs[0] == rec.Range {
+			out = append(out, rec)
+			continue
+		}
+		changed = true
+		for _, r := range rs {
+			out = append(out, record{Space: rec.Space, Range: r, Expiry: rec.Expiry})
+		}
+	}
+	if changed {
+		m.st.Records = out
+	}
+	m.mu.Unlock()
+	if !changed {
+		return nil
+	}
+	return m.persist(ctx)
+}
+
+// Retained returns the union of this dbspace's retention records as a
+// bitmap.
+func (m *Manager) Retained(space string) *rfrb.Bitmap {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := &rfrb.Bitmap{}
+	for _, rec := range m.st.Records {
+		if rec.Space == space {
+			b.AddRange(rec.Range)
+		}
+	}
+	return b
 }
 
 // Expire permanently deletes every record and snapshot whose retention has
@@ -268,18 +343,44 @@ func (m *Manager) persist(ctx context.Context) error {
 
 // Load restores the manager state from the most recent persisted image; a
 // missing image leaves the manager empty.
+//
+// Listing an object store is eventually consistent: a meta image persisted
+// just before a crash may not appear in a single listing yet. Trusting one
+// listing can resurrect a stale sequence number — after which the next
+// persist would rewrite an existing key (breaking never-write-twice and the
+// snapshot-id sequence) — or miss the state entirely, silently dropping
+// every snapshot. The same retry-until-found discipline §3 applies to data
+// pages applies to listings: a key a listing omits is only *transiently*
+// hidden (deleted keys never resurface), so Load lists the prefix
+// metaReadAttempts times and takes the maximum sequence seen across the
+// budget. Probing key-by-key instead would not work: persist prunes seq-1,
+// so sequences between a stale listing and the true head are permanent
+// holes.
 func (m *Manager) Load(ctx context.Context) error {
-	keys, err := m.cfg.Store.List(ctx, m.cfg.MetaPrefix+"meta-")
-	if err != nil {
-		return fmt.Errorf("snapshot: list meta: %w", err)
+	var maxSeq uint64
+	for i := 0; i < metaReadAttempts; i++ {
+		keys, err := m.cfg.Store.List(ctx, m.cfg.MetaPrefix+"meta-")
+		if err != nil {
+			return fmt.Errorf("snapshot: list meta: %w", err)
+		}
+		if len(keys) == 0 {
+			continue
+		}
+		latest := keys[len(keys)-1] // keys sort ascending; fixed-width seq
+		n, err := strconv.ParseUint(strings.TrimPrefix(latest, m.cfg.MetaPrefix+"meta-"), 10, 64)
+		if err != nil {
+			return fmt.Errorf("snapshot: malformed meta key %s: %w", latest, err)
+		}
+		if n > maxSeq {
+			maxSeq = n
+		}
 	}
-	if len(keys) == 0 {
+	if maxSeq == 0 {
 		return nil
 	}
-	latest := keys[len(keys)-1] // keys sort ascending; fixed-width seq
-	data, err := m.pipe.ReadPage(ctx, pageio.Ref{Key: latest})
+	data, err := m.pipe.ReadPage(ctx, pageio.Ref{Key: m.metaKey(maxSeq)})
 	if err != nil {
-		return fmt.Errorf("snapshot: load meta %s: %w", latest, err)
+		return fmt.Errorf("snapshot: load meta %d: %w", maxSeq, err)
 	}
 	var st state
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {

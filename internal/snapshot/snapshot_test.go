@@ -206,3 +206,43 @@ func TestNewValidation(t *testing.T) {
 		t.Fatal("empty config accepted")
 	}
 }
+
+// Regression for simulation seed 2: Load used to trust a single listing of
+// the meta prefix, but listings are eventually consistent — a freshly
+// persisted meta object can stay hidden for several List calls while the
+// superseded sequence numbers have already been deleted (permanent holes, so
+// probing forward from a stale head can never recover). A stale listing
+// regressed MetaSeq and NextID, which rewrote the meta head and reused
+// snapshot image keys. Load must list repeatedly and take the newest
+// sequence it ever observes.
+func TestLoadSeesLatestMetaThroughStaleListings(t *testing.T) {
+	store := objstore.NewMem(objstore.Config{Consistency: objstore.Consistency{NewKeyMissReads: 3}})
+	now := int64(0)
+	mk := func() *Manager {
+		m, err := New(Config{
+			Store:     store,
+			Retention: 100,
+			Now:       func() int64 { return now },
+			Reclaim:   func(context.Context, string, rfrb.Range) error { return nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	first := mk()
+	// Three persists: meta-1 and meta-2 are written and then deleted, only
+	// meta-3 survives — and it is still inside its visibility window.
+	for i := uint64(0); i < 3; i++ {
+		if err := first.Retire(ctxb(), "user", cloudRange(i*10, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second := mk()
+	if err := second.Load(ctxb()); err != nil {
+		t.Fatal(err)
+	}
+	if got := second.Pending(); got != 3 {
+		t.Fatalf("recovered %d pending retirements, want 3 (Load read a stale listing)", got)
+	}
+}

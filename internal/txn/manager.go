@@ -70,6 +70,16 @@ type Manager struct {
 	refs      map[uint64]int  // snapshot seq -> count of active txns reading it
 	chain     []*committedTxn // committed, pages not yet retired; ascending seq
 	retire    RetireFunc
+
+	// consumed accumulates, on secondary nodes, every cloud key this node's
+	// commits have reported to the coordinator. Notifications can be lost in
+	// flight, and the coordinator would then reclaim the keys as orphans on
+	// the node's next restart (Table 1, clock 150) — losing committed data.
+	// Log replay heals that by re-notifying replayed commits, but a
+	// checkpoint truncates replay, so the bitmap rides along in the
+	// checkpoint payload and recovery re-notifies it wholesale (OnCommit on
+	// already-released ranges is a no-op).
+	consumed rfrb.Bitmap
 }
 
 // NewManager returns a Manager.
@@ -136,6 +146,26 @@ func (m *Manager) reclaimOnSpace(ctx context.Context, space string, r rfrb.Range
 		return fmt.Errorf("txn: retire on unknown dbspace %q", space)
 	}
 	return ds.Reclaim(ctx, r)
+}
+
+// PruneRetirements removes live cloud keys from the committed chain's
+// pending retirements on one dbspace. A point-in-time restore can resurrect
+// page versions an earlier rewrite or drop had scheduled for retirement;
+// draining those entries afterwards would retire — and eventually delete —
+// pages the restored catalog references.
+func (m *Manager) PruneRetirements(space string, live *rfrb.Bitmap) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range m.chain {
+		for i := range e.spaces {
+			if e.spaces[i].Space != space {
+				continue
+			}
+			for _, lr := range live.Ranges() {
+				e.spaces[i].RF.Remove(lr.Start, lr.End)
+			}
+		}
+	}
 }
 
 // Begin starts a transaction reading as of the latest committed version.
@@ -252,9 +282,16 @@ func (m *Manager) Commit(ctx context.Context, t *Txn, meta []byte, apply func(se
 	t.mu.Unlock()
 
 	// Phase 4: tell the coordinator which keys were consumed so the active
-	// sets shrink.
+	// sets shrink. Secondary nodes remember what they reported (see the
+	// consumed field): the notification may be lost in flight.
 	if m.cfg.Notify != nil {
-		m.cfg.Notify(t.node, t.cloudRB())
+		rb := t.cloudRB()
+		if m.cfg.Keys == nil {
+			m.mu.Lock()
+			m.consumed.Union(rb)
+			m.mu.Unlock()
+		}
+		m.cfg.Notify(t.node, rb)
 	}
 
 	// Opportunistic GC of newly unreferenced versions.

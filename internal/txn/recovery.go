@@ -29,6 +29,21 @@ func (m *Manager) Checkpoint(ctx context.Context) error {
 	} else {
 		payload = append(payload, 0)
 	}
+	consumed := m.consumed.Marshal()
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(consumed)))
+	payload = append(payload, consumed...)
+	// The committed chain: transactions whose expired page versions are not
+	// retired yet (typically held back by a long-lived reader's snapshot).
+	// Replay only covers commits after this checkpoint, so without this
+	// section a crash would silently forget the pending retirements and leak
+	// their pages forever.
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(m.chain)))
+	for _, e := range m.chain {
+		entry := MarshalCommit(CommitRecord{Node: m.cfg.Node, TxnID: e.txnID, Spaces: e.spaces})
+		payload = binary.LittleEndian.AppendUint64(payload, e.seq)
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(entry)))
+		payload = append(payload, entry...)
+	}
 	type spaceImage struct {
 		name  string
 		image []byte
@@ -93,6 +108,56 @@ func (m *Manager) restoreCheckpoint(payload []byte) error {
 	} else {
 		off++
 	}
+	if off+4 > len(payload) {
+		return fmt.Errorf("txn: truncated checkpoint payload")
+	}
+	cl := int(binary.LittleEndian.Uint32(payload[off:]))
+	off += 4
+	if off+cl > len(payload) {
+		return fmt.Errorf("txn: truncated checkpoint payload")
+	}
+	if cl > 0 {
+		consumed, err := rfrb.Unmarshal(payload[off : off+cl])
+		if err != nil {
+			return fmt.Errorf("txn: checkpoint consumed bitmap: %w", err)
+		}
+		off += cl
+		// Re-notify everything this node ever reported: the checkpoint
+		// truncated the commit records whose replay would have healed a
+		// notification lost before the crash. Idempotent on the coordinator.
+		if m.cfg.Keys == nil && m.cfg.Notify != nil {
+			m.mu.Lock()
+			m.consumed.Union(consumed)
+			m.mu.Unlock()
+			m.cfg.Notify(m.cfg.Node, consumed)
+		}
+	}
+	if off+4 > len(payload) {
+		return fmt.Errorf("txn: truncated checkpoint payload")
+	}
+	cn := int(binary.LittleEndian.Uint32(payload[off:]))
+	off += 4
+	var chain []*committedTxn
+	for i := 0; i < cn; i++ {
+		if off+12 > len(payload) {
+			return fmt.Errorf("txn: truncated checkpoint payload")
+		}
+		seq := binary.LittleEndian.Uint64(payload[off:])
+		el := int(binary.LittleEndian.Uint32(payload[off+8:]))
+		off += 12
+		if off+el > len(payload) {
+			return fmt.Errorf("txn: truncated checkpoint payload")
+		}
+		rec, err := UnmarshalCommit(payload[off : off+el])
+		if err != nil {
+			return fmt.Errorf("txn: checkpoint chain entry: %w", err)
+		}
+		off += el
+		chain = append(chain, &committedTxn{seq: seq, txnID: rec.TxnID, spaces: rec.Spaces})
+	}
+	m.mu.Lock()
+	m.chain = chain
+	m.mu.Unlock()
 	if off+4 > len(payload) {
 		return fmt.Errorf("txn: truncated checkpoint payload")
 	}
@@ -212,6 +277,9 @@ func (m *Manager) applyCommittedRecord(rec CommitRecord) error {
 	if m.cfg.Keys != nil {
 		m.cfg.Keys.OnCommit(rec.Node, consumed)
 	} else if m.cfg.Notify != nil && consumed.Count() > 0 {
+		m.mu.Lock()
+		m.consumed.Union(consumed)
+		m.mu.Unlock()
 		m.cfg.Notify(rec.Node, consumed)
 	}
 	// Re-apply block allocations to the freelists (the checkpoint image
@@ -292,9 +360,17 @@ func (m *Manager) WriterRestartGC(ctx context.Context, node string) error {
 		}
 	}
 	m.mu.Unlock()
-	for _, r := range ranges {
+	for i, r := range ranges {
 		for _, ds := range clouds {
 			if err := ds.Reclaim(ctx, r); err != nil {
+				// Reclaim is an idempotent per-key poll, so a transient
+				// delete failure only means this pass did not finish: put
+				// every range not fully processed back into the node's
+				// active set (already durable via its RecAlloc records)
+				// and let the next restart announcement repeat the poll.
+				for _, rr := range ranges[i:] {
+					m.cfg.Keys.ApplyAlloc(node, rr)
+				}
 				return fmt.Errorf("txn: writer-restart GC %v on %s: %w", r, ds.Name(), err)
 			}
 		}

@@ -1,0 +1,180 @@
+package cloudiq
+
+// Multiplex stress test, meant to run under -race: several writer nodes on
+// real goroutines hammer one coordinator through the allocation and
+// commit-notification paths while committing against a shared object store.
+// The simulation harness (internal/simtest) runs the same topology on a
+// single goroutine for determinism; this test is the complement — no faults,
+// no fake clock, just true concurrency over the shared coordinator state
+// (key generator, WAL, consumed bitmaps, object store).
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cloudiq/internal/rfrb"
+)
+
+func TestMultiplexStress(t *testing.T) {
+	const writers = 4
+	txns := 2000
+	if testing.Short() {
+		txns = 400
+	}
+	perWriter := txns / writers
+
+	store := NewMemObjectStore(ObjectStoreConfig{})
+	coord, err := Open(ctxb(), Config{Node: "coord"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if err := coord.AttachCloudDbspace("user", store, CloudOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	type writerState struct {
+		db   *Database
+		name string
+		rows int // committed rows, by the goroutine's own accounting
+	}
+	states := make([]*writerState, writers)
+	for i := range states {
+		name := fmt.Sprintf("w%d", i+1)
+		db, err := Open(ctxb(), Config{
+			Node: name,
+			AllocKeys: func(ctx context.Context, n uint64) (rfrb.Range, error) {
+				return coord.AllocateKeys(ctx, name, n)
+			},
+			Notify: func(node string, consumed *rfrb.Bitmap) {
+				_ = coord.NotifyCommit(ctxb(), node, consumed)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.AttachCloudDbspace("user", store, CloudOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		states[i] = &writerState{db: db, name: name}
+	}
+	defer func() {
+		for _, st := range states {
+			_ = st.db.Close()
+		}
+	}()
+
+	const rowsPerTxn = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for _, st := range states {
+		wg.Add(1)
+		go func(st *writerState) {
+			defer wg.Done()
+			ctx := context.Background()
+			table := "t_" + st.name
+			for i := 0; i < perWriter; i++ {
+				tx := st.db.Begin()
+				var (
+					tbl *Table
+					err error
+				)
+				if i == 0 {
+					tbl, err = tx.CreateTable(ctx, "user", table, demoSchema(), TableOptions{SegRows: rowsPerTxn})
+				} else {
+					tbl, err = tx.OpenTableForAppend(ctx, "user", table)
+				}
+				if err == nil {
+					err = tbl.Append(ctx, fillBatch(rowsPerTxn, int64(i*rowsPerTxn)))
+				}
+				if err != nil {
+					_ = tx.Rollback(ctx)
+					errs <- fmt.Errorf("%s txn %d: %w", st.name, i, err)
+					return
+				}
+				if i%7 == 6 {
+					// Aborted transactions reclaim their pages and keys
+					// concurrently with everyone else's commits.
+					if err := tx.Rollback(ctx); err != nil {
+						errs <- fmt.Errorf("%s rollback %d: %w", st.name, i, err)
+						return
+					}
+					continue
+				}
+				if err := tx.Commit(ctx); err != nil {
+					errs <- fmt.Errorf("%s commit %d: %w", st.name, i, err)
+					return
+				}
+				st.rows += rowsPerTxn
+			}
+		}(st)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Audit: every writer's committed rows are exactly readable.
+	for _, st := range states {
+		tx := st.db.Begin()
+		tbl, err := tx.Table(ctxb(), "user", "t_"+st.name)
+		if err != nil {
+			t.Fatalf("%s: open table: %v", st.name, err)
+		}
+		src, err := Scan(tbl, []string{"k"}, ScanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Collect(ctxb(), src)
+		if err != nil {
+			t.Fatalf("%s: scan: %v", st.name, err)
+		}
+		if out.Rows() != st.rows {
+			t.Fatalf("%s: scanned %d rows, committed %d", st.name, out.Rows(), st.rows)
+		}
+		_ = tx.Rollback(ctxb())
+	}
+
+	// Never-write-twice must hold across all interleavings.
+	if ow := store.OverwrittenKeys(); len(ow) > 0 {
+		t.Fatalf("%d object keys written twice (first: %s)", len(ow), ow[0])
+	}
+
+	// Reachability: after GC on every node, the store holds exactly the
+	// union of reachable pages — aborted transactions leaked nothing.
+	for _, st := range states {
+		if err := st.db.CollectGarbage(ctxb()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := coord.CollectGarbage(ctxb()); err != nil {
+		t.Fatal(err)
+	}
+	reach := make(map[string]bool)
+	for _, st := range states {
+		keys, err := st.db.ReachableKeys(ctxb(), "user")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			reach[k] = true
+		}
+	}
+	stored := store.AllKeys()
+	var leaked, missing int
+	for _, k := range stored {
+		if !reach[k] {
+			leaked++
+		}
+	}
+	if len(stored) < len(reach) {
+		missing = len(reach) - len(stored)
+	}
+	if leaked > 0 || missing > 0 {
+		t.Fatalf("store audit: %d leaked, %d missing (stored %d, reachable %d)",
+			leaked, missing, len(stored), len(reach))
+	}
+}
