@@ -10,11 +10,14 @@
 //	iqbench -exp table2 -sf 0.01     # one experiment
 //
 // Experiments: table1, table2, table3, table4, table5, fig6, fig7, fig8,
-// fig9, ablations, all.
+// fig9, ablations, sched, all.
+//
+//	iqbench -exp sched -short -schedout BENCH_sched.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "jitter seed")
 	short := flag.Bool("short", false, "shrink scale factor and timescale for a fast smoke run (overrides -sf/-timescale)")
 	iostats := flag.String("iostats", "", "write per-layer pageio statistics JSON to this file after the run")
+	schedOut := flag.String("schedout", "", "write the mixed-fleet scheduler report JSON to this file (sched experiment)")
 	traceOut := flag.String("trace", "", "write structured span JSON to this file after the run and print the slowest operation tree")
 	flag.Parse()
 
@@ -55,7 +59,7 @@ func main() {
 		})
 	}
 	ctx := context.Background()
-	if err := run(ctx, strings.ToLower(*exp), base); err != nil {
+	if err := run(ctx, strings.ToLower(*exp), base, *schedOut); err != nil {
 		fmt.Fprintln(os.Stderr, "iqbench:", err)
 		os.Exit(1)
 	}
@@ -96,6 +100,15 @@ func writeTrace(path string, t *trace.Tracer) error {
 	return nil
 }
 
+// writeSchedReport dumps the mixed-fleet scheduler report as indented JSON.
+func writeSchedReport(path string, rep *bench.SchedReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // writeStats dumps the per-layer I/O counters collected during the run.
 func writeStats(path string, reg *pageio.StatsRegistry) error {
 	f, err := os.Create(path)
@@ -109,7 +122,7 @@ func writeStats(path string, reg *pageio.StatsRegistry) error {
 	return f.Close()
 }
 
-func run(ctx context.Context, exp string, base bench.Options) error {
+func run(ctx context.Context, exp string, base bench.Options, schedOut string) error {
 	all := exp == "all"
 	started := time.Now()
 
@@ -226,9 +239,24 @@ func run(ctx context.Context, exp string, base bench.Options) error {
 		fmt.Print(bench.FormatAblation("OCM write-back vs write-through (churn burst)", wmode))
 	}
 
+	if all || exp == "sched" {
+		rep, err := bench.RunSchedFleet(ctx, base, 240, 3)
+		if err != nil {
+			return err
+		}
+		section(fmt.Sprintf("Mixed fleet: %d concurrent queries, 3 priority lanes over %d readers", rep.Queries, rep.Readers))
+		fmt.Print(bench.FormatSched(rep))
+		if schedOut != "" {
+			if err := writeSchedReport(schedOut, rep); err != nil {
+				return err
+			}
+			fmt.Printf("scheduler report written to %s\n", schedOut)
+		}
+	}
+
 	known := map[string]bool{"all": true, "table1": true, "table2": true, "table3": true,
 		"table4": true, "table5": true, "fig6": true, "fig7": true, "fig8": true,
-		"fig9": true, "ablations": true}
+		"fig9": true, "ablations": true, "sched": true}
 	if !known[exp] {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

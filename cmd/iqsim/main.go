@@ -9,6 +9,7 @@
 //	iqsim -seeds 200 -shrink     # seeds 1..200; shrink and print any failure
 //	iqsim -script repro.iqsim    # replay a (shrunken) reproducer
 //	iqsim -seeds 20 -out fails/  # write failing scripts to fails/
+//	iqsim -seeds 50 -queries     # query mode: scheduler steps + lifecycle oracle
 //
 // Exit status is non-zero if any run fails an oracle or the harness errors.
 package main
@@ -32,6 +33,7 @@ func main() {
 		shrink      = flag.Bool("shrink", false, "shrink failing runs to a minimal reproducer")
 		shrinkRuns  = flag.Int("shrink-runs", 300, "max simulation runs the shrinker may spend per failure")
 		brokenRetry = flag.Bool("broken-retry", false, "ablation: single-attempt reads (the suite must fail)")
+		queries     = flag.Bool("queries", false, "query mode: concurrent-query scheduler steps + lifecycle oracle")
 		verbose     = flag.Bool("v", false, "print step logs")
 		outDir      = flag.String("out", "", "directory for failing seeds + shrunken scripts")
 	)
@@ -54,12 +56,12 @@ func main() {
 		}
 	case *seeds > 0:
 		for s := *start; s < *start+uint64(*seeds); s++ {
-			if !runOne(ctx, simtest.Options{Seed: s, BrokenRetry: *brokenRetry}, *shrink, *shrinkRuns, *verbose, *outDir) {
+			if !runOne(ctx, simtest.Options{Seed: s, BrokenRetry: *brokenRetry, Queries: *queries}, *shrink, *shrinkRuns, *verbose, *outDir) {
 				failures++
 			}
 		}
 	default:
-		if !runOne(ctx, simtest.Options{Seed: *seed, BrokenRetry: *brokenRetry}, *shrink, *shrinkRuns, *verbose, *outDir) {
+		if !runOne(ctx, simtest.Options{Seed: *seed, BrokenRetry: *brokenRetry, Queries: *queries}, *shrink, *shrinkRuns, *verbose, *outDir) {
 			failures++
 		}
 	}

@@ -24,6 +24,20 @@ var boundaryPkgs = map[string]bool{
 // handling is never exercised.
 var mutatingPrefixes = []string{"Put", "Write", "Append", "Delete", "Checkpoint", "Remove", "Truncate"}
 
+// servingPkgs are admission boundaries: packages whose exported serving
+// entry points take work in from concurrent clients. Their obligation is the
+// serving analogue of the write rule — a query that can be admitted without
+// passing a fault site is a query whose rejection handling is never
+// exercised by the crash simulator.
+var servingPkgs = map[string]bool{
+	"sched": true,
+}
+
+// servingPrefixes identify admission entry points by name (Scheduler.Run and
+// friends). The context-first requirement below separates them from
+// similarly-named pure helpers.
+var servingPrefixes = []string{"Run"}
+
 // FaultSite checks that every exported mutating method on the
 // objstore/blockdev/wal/ocm boundary routes through a faultinject hook:
 // its same-package transitive call closure must reach Plan.Check or
@@ -36,13 +50,16 @@ func FaultSite() *Analyzer {
 		Doc:  "exported mutating boundary operations must route through a faultinject site",
 	}
 	a.Run = func(pass *Pass) {
-		if !boundaryPkgs[pkgBase(pass.Pkg.Path())] {
+		base := pkgBase(pass.Pkg.Path())
+		mutating, serving := boundaryPkgs[base], servingPkgs[base]
+		if !mutating && !serving {
 			return
 		}
 		// Map every function/method declared in this unit to its body so
 		// the closure walk can follow same-package calls.
 		bodies := make(map[*types.Func]*ast.BlockStmt)
 		var targets []*ast.FuncDecl
+		kinds := make(map[*ast.FuncDecl]string)
 		for _, f := range pass.Files {
 			for _, decl := range f.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
@@ -54,8 +71,16 @@ func FaultSite() *Analyzer {
 					continue
 				}
 				bodies[fn] = fd.Body
-				if isExportedMutatingMethod(fd, fn) && !pass.InTestFile(fd.Pos()) {
+				if pass.InTestFile(fd.Pos()) {
+					continue
+				}
+				switch {
+				case mutating && isExportedMutatingMethod(fd, fn):
 					targets = append(targets, fd)
+					kinds[fd] = "mutating"
+				case serving && isExportedServingMethod(fd, fn):
+					targets = append(targets, fd)
+					kinds[fd] = "serving"
 				}
 			}
 		}
@@ -65,8 +90,8 @@ func FaultSite() *Analyzer {
 			if !reachesFaultHook(pass, fn, bodies, seen) {
 				recv := recvTypeName(fn)
 				pass.Reportf(fd.Name.Pos(),
-					"exported mutating operation %s.%s has no faultinject site on any path: add a Plan.Check call or route the write through a covered boundary",
-					recv, fn.Name())
+					"exported %s operation %s.%s has no faultinject site on any path: add a Plan.Check call or route the write through a covered boundary",
+					kinds[fd], recv, fn.Name())
 			}
 		}
 	}
@@ -87,6 +112,31 @@ func isExportedMutatingMethod(fd *ast.FuncDecl, fn *types.Func) bool {
 		return false
 	}
 	if !hasMutatingName(fn.Name()) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
+}
+
+// isExportedServingMethod selects exported admission entry points on
+// exported receiver types in serving packages: Run-prefixed methods taking a
+// leading context.Context (the signature every concurrent client calls).
+func isExportedServingMethod(fd *ast.FuncDecl, fn *types.Func) bool {
+	if fd.Recv == nil || !fn.Exported() {
+		return false
+	}
+	name := recvTypeName(fn)
+	if name == "" || !ast.IsExported(name) {
+		return false
+	}
+	served := false
+	for _, p := range servingPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			served = true
+			break
+		}
+	}
+	if !served {
 		return false
 	}
 	sig, ok := fn.Type().(*types.Signature)

@@ -1,0 +1,60 @@
+// Package sched is a faultsite golden corpus for the serving obligation: the
+// directory base matches the scheduler package, so exported Run-prefixed,
+// context-first entry points must route through a faultinject hook — an
+// admission path without a fault site is an admission path whose rejection
+// handling the crash simulator can never exercise.
+package sched
+
+import (
+	"context"
+
+	"cloudiq/internal/faultinject"
+)
+
+// Gate is a serving front end whose Run checks the admission fault site
+// before accepting work; clean.
+type Gate struct {
+	plan *faultinject.Plan
+}
+
+func (g *Gate) Run(ctx context.Context, tenant string, fn func(context.Context) error) error {
+	if err := g.plan.Check(faultinject.SchedAdmit, tenant); err != nil {
+		return err
+	}
+	return fn(ctx)
+}
+
+// RunBatch reaches the hook only through a same-package helper; the closure
+// walk must follow it. Clean.
+func (g *Gate) RunBatch(ctx context.Context, fns []func(context.Context) error) error {
+	for _, fn := range fns {
+		if err := g.admit("batch"); err != nil {
+			return err
+		}
+		if err := fn(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Gate) admit(tenant string) error {
+	return g.plan.Check(faultinject.SchedAdmit, tenant)
+}
+
+// Bypass admits work with no fault site anywhere on the path; a finding.
+type Bypass struct{}
+
+func (b *Bypass) Run(ctx context.Context, fn func(context.Context) error) error { // want "faultsite: exported serving operation Bypass.Run has no faultinject site"
+	return fn(ctx)
+}
+
+// Runway is not an admission point despite the prefix: no context parameter,
+// so it carries no obligation.
+func (b *Bypass) Runway(n int) int { return n + 1 }
+
+// helper types below mirror the unexported-receiver exemption: no obligation
+// on unexported types.
+type gateImpl struct{}
+
+func (g *gateImpl) Run(ctx context.Context) error { return ctx.Err() }

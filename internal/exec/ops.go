@@ -103,6 +103,12 @@ func (s *scanSource) Next(ctx context.Context) (*table.Batch, error) {
 		if s.pos >= len(s.segs) {
 			return nil, nil
 		}
+		// A scan is a schedulable unit: between segments it offers its
+		// reader slot back to whatever scheduler runs it, so one long scan
+		// cannot starve a priority lane.
+		if err := YieldPoint(ctx); err != nil {
+			return nil, err
+		}
 		// Keep the read-ahead window full.
 		if s.fetched < s.pos+s.opts.Prefetch && s.fetched < len(s.segs) {
 			pctx, psp := trace.Start(ctx, "scan.prefetch",

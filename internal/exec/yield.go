@@ -1,0 +1,28 @@
+package exec
+
+import "context"
+
+// YieldFunc is a cooperative scheduling point. The query scheduler
+// (internal/sched) installs one on the context of every query it runs; scans
+// call it between segments, so a long scan periodically offers its reader
+// slot back to the scheduler and a burst of cheap high-priority queries can
+// overtake it. Returning a non-nil error aborts the operator (the query was
+// cancelled or its reader crashed).
+type YieldFunc func(ctx context.Context) error
+
+type yieldKey struct{}
+
+// WithYield installs a yield point on the context.
+func WithYield(ctx context.Context, f YieldFunc) context.Context {
+	return context.WithValue(ctx, yieldKey{}, f)
+}
+
+// YieldPoint invokes the context's yield point, if any. Without one it
+// degrades to a cancellation check, so every operator that yields is also
+// promptly cancellable.
+func YieldPoint(ctx context.Context) error {
+	if f, ok := ctx.Value(yieldKey{}).(YieldFunc); ok && f != nil {
+		return f(ctx)
+	}
+	return ctx.Err()
+}

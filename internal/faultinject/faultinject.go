@@ -76,6 +76,15 @@ const (
 	RPCNotify  Site = "rpc.notify"
 	RPCRestart Site = "rpc.restart"
 
+	// Query scheduler (internal/sched). SchedAdmit drops an admission —
+	// the query is rejected as if the admission queue overflowed (clients
+	// must treat it like backpressure and retry). SchedStall is a lag site
+	// drawn at dispatch: a non-zero draw stalls the assigned reader for
+	// that many simulated milliseconds before the query runs. Detail is
+	// the tenant name (admit) or the reader name (stall).
+	SchedAdmit Site = "sched.admit"
+	SchedStall Site = "sched.stall"
+
 	// Unified page-I/O pipeline (internal/pageio): the Faults middleware
 	// checks these once per request, above whatever terminal serves it.
 	// Detail is the object key or the decimal device offset.

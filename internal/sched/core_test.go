@@ -1,0 +1,613 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Property tests for the deterministic core: work conservation, weighted
+// fairness, starvation freedom, strict lanes, and ledger conservation, driven
+// by seeded random op sequences that shrink on failure.
+// ---------------------------------------------------------------------------
+
+const (
+	opSubmit = iota
+	opDispatch
+	opComplete
+	opFail
+	opCancel
+	opRequeue
+	opDrain
+	numOpKinds
+)
+
+type op struct {
+	Kind int
+	A, B int // op-dependent selectors, resolved modulo live state at replay
+}
+
+func (o op) String() string {
+	names := []string{"submit", "dispatch", "complete", "fail", "cancel", "requeue", "drain"}
+	return fmt.Sprintf("%s(%d,%d)", names[o.Kind], o.A, o.B)
+}
+
+type scenario struct {
+	Tenants []TenantConfig
+	Slots   []int // reader slot counts
+	Ops     []op
+}
+
+func genScenario(rng *rand.Rand) scenario {
+	var sc scenario
+	nt := 1 + rng.Intn(4)
+	for i := 0; i < nt; i++ {
+		cfg := TenantConfig{
+			Name:        fmt.Sprintf("t%d", i),
+			Weight:      1 + rng.Intn(5),
+			QueueBudget: 1 + rng.Intn(8),
+		}
+		if rng.Intn(3) == 0 {
+			cfg.TokenRate = 0.5 + rng.Float64()
+			cfg.TokenBurst = time.Duration(1+rng.Intn(50)) * time.Millisecond
+		}
+		sc.Tenants = append(sc.Tenants, cfg)
+	}
+	nr := 1 + rng.Intn(3)
+	for i := 0; i < nr; i++ {
+		sc.Slots = append(sc.Slots, 1+rng.Intn(4))
+	}
+	nops := 20 + rng.Intn(200)
+	for i := 0; i < nops; i++ {
+		sc.Ops = append(sc.Ops, op{Kind: rng.Intn(numOpKinds), A: rng.Int(), B: rng.Int()})
+	}
+	return sc
+}
+
+// dispatchableHead returns a queued head-of-line query that has an eligible
+// reader, or nil. After a drain, a non-nil result is a work-conservation
+// violation: the scheduler left runnable work idle.
+func dispatchableHead(c *Core) *Query {
+	for _, name := range c.order {
+		t := c.tenants[name]
+		if !t.backlogged() {
+			continue
+		}
+		if q := t.head(); q != nil && c.pickReader(q) != nil {
+			return q
+		}
+	}
+	return nil
+}
+
+// replay runs a scenario against a fresh core and returns the first invariant
+// violation, or nil. It is deterministic: same scenario, same outcome.
+func replay(sc scenario) error {
+	c := NewCore(nil)
+	for _, cfg := range sc.Tenants {
+		if err := c.AddTenant(cfg); err != nil {
+			return err
+		}
+	}
+	for i, slots := range sc.Slots {
+		if err := c.AddReader(fmt.Sprintf("r%d", i), slots); err != nil {
+			return err
+		}
+	}
+	var queued, running []*Query
+	terminal := make(map[uint64]int)
+	remove := func(list []*Query, q *Query) []*Query {
+		for i, x := range list {
+			if x == q {
+				return append(list[:i:i], list[i+1:]...)
+			}
+		}
+		return list
+	}
+	endOne := func(q *Query) error {
+		terminal[q.ID]++
+		if terminal[q.ID] > 1 {
+			return fmt.Errorf("query %d terminated %d times", q.ID, terminal[q.ID])
+		}
+		return nil
+	}
+	checkDispatch := func(q *Query) error {
+		t := c.tenants[q.Tenant]
+		for l := Lane(0); l < q.Lane; l++ {
+			if len(t.lanes[l]) > 0 {
+				return fmt.Errorf("lane violation: %s dispatched on %s with %s backlogged",
+					q.Tenant, q.Lane, l)
+			}
+		}
+		return nil
+	}
+	for _, o := range sc.Ops {
+		switch o.Kind {
+		case opSubmit:
+			tn := sc.Tenants[o.A%len(sc.Tenants)].Name
+			lane := Lane(o.B % int(NumLanes))
+			if q, rej := c.Submit(tn, lane); rej == nil {
+				queued = append(queued, q)
+			} else if c.ChargedTokens(tn) < 0 {
+				return fmt.Errorf("negative charge for %s", tn)
+			}
+		case opDispatch:
+			if q, ok := c.Dispatch(); ok {
+				queued = remove(queued, q)
+				running = append(running, q)
+				if err := checkDispatch(q); err != nil {
+					return err
+				}
+			}
+		case opDrain:
+			for {
+				q, ok := c.Dispatch()
+				if !ok {
+					break
+				}
+				queued = remove(queued, q)
+				running = append(running, q)
+				if err := checkDispatch(q); err != nil {
+					return err
+				}
+			}
+			if q := dispatchableHead(c); q != nil {
+				return fmt.Errorf("work conservation: query %d runnable after drain", q.ID)
+			}
+		case opComplete, opFail:
+			if len(running) == 0 {
+				continue
+			}
+			q := running[o.A%len(running)]
+			if err := c.Complete(q, o.Kind == opComplete); err != nil {
+				return err
+			}
+			running = remove(running, q)
+			if err := endOne(q); err != nil {
+				return err
+			}
+		case opCancel:
+			if len(queued) == 0 {
+				continue
+			}
+			q := queued[o.A%len(queued)]
+			if err := c.Cancel(q); err != nil {
+				return err
+			}
+			queued = remove(queued, q)
+			if err := endOne(q); err != nil {
+				return err
+			}
+		case opRequeue:
+			if len(running) == 0 {
+				continue
+			}
+			q := running[o.A%len(running)]
+			reader := q.Reader
+			if err := c.Requeue(q); err != nil {
+				return err
+			}
+			running = remove(running, q)
+			queued = append(queued, q)
+			if q.Reader != reader {
+				return fmt.Errorf("query %d lost its reader pin on requeue", q.ID)
+			}
+		}
+		if err := c.CheckConservation(); err != nil {
+			return err
+		}
+	}
+	// Drain to empty: complete everything, then audit the final ledger.
+	for {
+		q, ok := c.Dispatch()
+		if !ok {
+			break
+		}
+		queued = remove(queued, q)
+		running = append(running, q)
+	}
+	for len(running) > 0 {
+		q := running[0]
+		if err := c.Complete(q, true); err != nil {
+			return err
+		}
+		running = running[1:]
+		if err := endOne(q); err != nil {
+			return err
+		}
+		for {
+			q, ok := c.Dispatch()
+			if !ok {
+				break
+			}
+			queued = remove(queued, q)
+			running = append(running, q)
+		}
+	}
+	for _, q := range queued {
+		if err := c.Cancel(q); err != nil {
+			return err
+		}
+		if err := endOne(q); err != nil {
+			return err
+		}
+	}
+	if err := c.CheckConservation(); err != nil {
+		return err
+	}
+	n := c.Counters()
+	if n.Queued != 0 || n.Running != 0 {
+		return fmt.Errorf("non-empty after full drain: %+v", n)
+	}
+	return nil
+}
+
+// shrinkOps is a ddmin pass over the op list: it removes chunks while the
+// scenario still fails, so the reported counterexample is near-minimal.
+func shrinkOps(sc scenario) scenario {
+	for chunk := len(sc.Ops) / 2; chunk >= 1; chunk /= 2 {
+		for i := 0; i+chunk <= len(sc.Ops); {
+			cand := sc
+			cand.Ops = append(append([]op{}, sc.Ops[:i]...), sc.Ops[i+chunk:]...)
+			if replay(cand) != nil {
+				sc = cand
+				continue
+			}
+			i += chunk
+		}
+	}
+	return sc
+}
+
+func TestPropertyRandomOps(t *testing.T) {
+	seeds := int64(1000)
+	if testing.Short() {
+		seeds = 100
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		sc := genScenario(rand.New(rand.NewSource(seed)))
+		if err := replay(sc); err != nil {
+			min := shrinkOps(sc)
+			t.Fatalf("seed %d: %v\nshrunk to %d ops: %v", seed, err, len(min.Ops), min.Ops)
+		}
+	}
+}
+
+// saturatedLoop keeps every tenant backlogged and runs n dispatch+complete
+// rounds on a single-slot reader, returning per-tenant dispatch counts and
+// the maximum inter-dispatch gap seen by any tenant.
+func saturatedLoop(t *testing.T, weights []int, n int) (map[string]int, int) {
+	t.Helper()
+	c := NewCore(nil)
+	for i, w := range weights {
+		name := fmt.Sprintf("t%d", i)
+		if err := c.AddTenant(TenantConfig{Name: name, Weight: w, QueueBudget: 4}); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 4; j++ {
+			if _, rej := c.Submit(name, LaneNormal); rej != nil {
+				t.Fatalf("prefill: %v", rej)
+			}
+		}
+	}
+	if err := c.AddReader("r0", 1); err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	last := make(map[string]int)
+	maxGap := 0
+	for i := 0; i < n; i++ {
+		q, ok := c.Dispatch()
+		if !ok {
+			t.Fatalf("round %d: nothing dispatched with full backlog", i)
+		}
+		if gap := i - last[q.Tenant]; gap > maxGap && counts[q.Tenant] > 0 {
+			maxGap = gap
+		}
+		last[q.Tenant] = i
+		counts[q.Tenant]++
+		if err := c.Complete(q, true); err != nil {
+			t.Fatal(err)
+		}
+		if _, rej := c.Submit(q.Tenant, LaneNormal); rej != nil {
+			t.Fatalf("refill: %v", rej)
+		}
+	}
+	return counts, maxGap
+}
+
+func TestWeightedFairnessExact(t *testing.T) {
+	weights := []int{4, 2, 1}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	n := 100 * total
+	counts, _ := saturatedLoop(t, weights, n)
+	for i, w := range weights {
+		name := fmt.Sprintf("t%d", i)
+		want := n * w / total
+		got := counts[name]
+		if got < want-total || got > want+total {
+			t.Errorf("%s (weight %d): %d dispatches, want %d±%d", name, w, got, want, total)
+		}
+	}
+}
+
+func TestWeightedFairnessSeeds(t *testing.T) {
+	seeds := int64(1000)
+	if testing.Short() {
+		seeds = 100
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nt := 2 + rng.Intn(3)
+		weights := make([]int, nt)
+		total := 0
+		for i := range weights {
+			weights[i] = 1 + rng.Intn(5)
+			total += weights[i]
+		}
+		n := (10 + rng.Intn(40)) * total
+		counts, maxGap := saturatedLoop(t, weights, n)
+		for i, w := range weights {
+			name := fmt.Sprintf("t%d", i)
+			want := n * w / total
+			if got := counts[name]; got < want-total || got > want+total {
+				t.Fatalf("seed %d: %s (weight %d of %d): %d dispatches in %d, want %d±%d",
+					seed, name, w, total, got, n, want, total)
+			}
+		}
+		// Starvation freedom: with everyone backlogged, no tenant waits more
+		// than one full WDRR cycle between dispatches.
+		if maxGap > total {
+			t.Fatalf("seed %d: starvation: max inter-dispatch gap %d > cycle %d",
+				seed, maxGap, total)
+		}
+	}
+}
+
+func TestStrictLanes(t *testing.T) {
+	c := NewCore(nil)
+	if err := c.AddTenant(TenantConfig{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReader("r0", 1); err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := c.Submit("a", LaneLow)
+	nm, _ := c.Submit("a", LaneNormal)
+	hi, _ := c.Submit("a", LaneHigh)
+	for _, want := range []*Query{hi, nm, lo} {
+		q, ok := c.Dispatch()
+		if !ok || q != want {
+			t.Fatalf("dispatch order: got %v, want query %d", q, want.ID)
+		}
+		if err := c.Complete(q, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAdmissionBackpressure(t *testing.T) {
+	c := NewCore(nil)
+	if err := c.AddTenant(TenantConfig{Name: "a", QueueBudget: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReader("r0", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, rej := c.Submit("a", LaneNormal); rej != nil {
+			t.Fatalf("submit %d: %v", i, rej)
+		}
+	}
+	_, rej := c.Submit("a", LaneNormal)
+	if rej == nil || rej.Reason != "queue" {
+		t.Fatalf("expected queue rejection, got %v", rej)
+	}
+	if rej.RetryAfter < time.Millisecond {
+		t.Fatalf("retry-after %s below floor", rej.RetryAfter)
+	}
+	if _, rej := c.Submit("nobody", LaneNormal); rej == nil {
+		t.Fatal("unknown tenant admitted")
+	}
+	if got := c.ChargedTokens("a"); got != 0 {
+		t.Fatalf("rejected/queued queries charged %s tokens", got)
+	}
+}
+
+func TestTokenBucketDebitsOnCompleteOnly(t *testing.T) {
+	var now time.Duration
+	clock := func() time.Duration { return now }
+	c := NewCore(clock)
+	err := c.AddTenant(TenantConfig{
+		Name: "a", TokenRate: 1.0, TokenBurst: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReader("r0", 1); err != nil {
+		t.Fatal(err)
+	}
+	q, rej := c.Submit("a", LaneHigh)
+	if rej != nil {
+		t.Fatal(rej)
+	}
+	if _, ok := c.Dispatch(); !ok {
+		t.Fatal("no dispatch")
+	}
+	if got := c.ChargedTokens("a"); got != 0 {
+		t.Fatalf("charged %s before completion", got)
+	}
+	now += 30 * time.Millisecond // service time exceeds the burst
+	if err := c.Complete(q, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ChargedTokens("a"); got != 30*time.Millisecond {
+		t.Fatalf("charged %s, want 30ms", got)
+	}
+	// Bucket is now in debt: the next submit is rejected with reason tokens,
+	// and the rejection itself charges nothing.
+	_, rej = c.Submit("a", LaneHigh)
+	if rej == nil || rej.Reason != "tokens" {
+		t.Fatalf("expected tokens rejection, got %v", rej)
+	}
+	if got := c.ChargedTokens("a"); got != 30*time.Millisecond {
+		t.Fatalf("rejection changed charge to %s", got)
+	}
+	// After enough simulated time the bucket refills and admits again.
+	now += 40 * time.Millisecond
+	if _, rej := c.Submit("a", LaneHigh); rej != nil {
+		t.Fatalf("post-refill submit rejected: %v", rej)
+	}
+}
+
+func TestRequeuePinsReaderAndResumesFirst(t *testing.T) {
+	c := NewCore(nil)
+	if err := c.AddTenant(TenantConfig{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReader("r0", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReader("r1", 1); err != nil {
+		t.Fatal(err)
+	}
+	q1, _ := c.Submit("a", LaneNormal)
+	q2, _ := c.Submit("a", LaneNormal)
+	d1, _ := c.Dispatch()
+	d2, _ := c.Dispatch()
+	if d1 != q1 || d2 != q2 {
+		t.Fatal("dispatch order broke FIFO within a lane")
+	}
+	pin := q1.Reader
+	if err := c.Requeue(q1); err != nil {
+		t.Fatal(err)
+	}
+	// q1 must come back before any newcomer, and on the same reader.
+	q3, _ := c.Submit("a", LaneNormal)
+	rq, ok := c.Dispatch()
+	if !ok || rq != q1 {
+		t.Fatalf("requeued query did not resume first (got %v)", rq)
+	}
+	if q1.Reader != pin {
+		t.Fatalf("pin broken: %s -> %s", pin, q1.Reader)
+	}
+	_ = q3
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	c := NewCore(nil)
+	if err := c.AddTenant(TenantConfig{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReader("r0", 1); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := c.Submit("a", LaneNormal)
+	if err := c.Complete(q, true); err == nil {
+		t.Fatal("completed a queued query")
+	}
+	if _, ok := c.Dispatch(); !ok {
+		t.Fatal("no dispatch")
+	}
+	if err := c.Cancel(q); err == nil {
+		t.Fatal("cancelled a running query")
+	}
+	if err := c.Complete(q, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(q, true); err == nil {
+		t.Fatal("double complete not rejected")
+	}
+	if err := c.Requeue(q); err == nil {
+		t.Fatal("requeued a terminal query")
+	}
+}
+
+func TestRemoveReaderReturnsRunning(t *testing.T) {
+	c := NewCore(nil)
+	if err := c.AddTenant(TenantConfig{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReader("r0", 2); err != nil {
+		t.Fatal(err)
+	}
+	q1, _ := c.Submit("a", LaneNormal)
+	q2, _ := c.Submit("a", LaneNormal)
+	c.Dispatch()
+	c.Dispatch()
+	lost := c.RemoveReader("r0")
+	if len(lost) != 2 {
+		t.Fatalf("RemoveReader returned %d queries, want 2", len(lost))
+	}
+	// The caller fails them; the ledger stays conserved.
+	for _, q := range []*Query{q1, q2} {
+		if err := c.Complete(q, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	n := c.Counters()
+	if n.Failed != 2 {
+		t.Fatalf("failed=%d, want 2", n.Failed)
+	}
+}
+
+func TestShouldYield(t *testing.T) {
+	c := NewCore(nil)
+	if err := c.AddTenant(TenantConfig{Name: "a", QueueBudget: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReader("r0", 1); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := c.Submit("a", LaneNormal)
+	c.Dispatch()
+	if c.ShouldYield(q) {
+		t.Fatal("yield requested with empty backlog (concurrency-1 overhead)")
+	}
+	// A low-lane arrival with no free slot: yield (work conservation).
+	c.Submit("a", LaneLow)
+	if !c.ShouldYield(q) {
+		t.Fatal("no yield with backlog and zero free slots")
+	}
+	// A higher lane of the same tenant always preempts at a yield point.
+	if err := c.AddReader("r1", 4); err != nil {
+		t.Fatal(err)
+	}
+	c.Submit("a", LaneHigh)
+	if !c.ShouldYield(q) {
+		t.Fatal("no yield with a higher lane backlogged")
+	}
+}
+
+func TestLoadBalancingLeastLoaded(t *testing.T) {
+	c := NewCore(nil)
+	if err := c.AddTenant(TenantConfig{Name: "a", QueueBudget: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReader("r0", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReader("r1", 2); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]int)
+	for i := 0; i < 4; i++ {
+		c.Submit("a", LaneNormal)
+		q, ok := c.Dispatch()
+		if !ok {
+			t.Fatalf("dispatch %d failed", i)
+		}
+		seen[q.Reader]++
+	}
+	if seen["r0"] != 2 || seen["r1"] != 2 {
+		t.Fatalf("load not balanced: %v", seen)
+	}
+}

@@ -1,0 +1,179 @@
+// Differential test: a query run through the scheduler — admitted, queued,
+// dispatched, yielding between segments, possibly preempted — must produce
+// byte-identical results to the same query run directly against the engine.
+// Scheduling may reorder queries; it must never change what they return.
+package sched_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cloudiq"
+	"cloudiq/internal/sched"
+)
+
+func diffSchema() cloudiq.Schema {
+	return cloudiq.Schema{Cols: []cloudiq.ColumnDef{
+		{Name: "k", Typ: cloudiq.Int64},
+		{Name: "v", Typ: cloudiq.String},
+	}}
+}
+
+// buildDB loads a 400-row table in 32-row segments, so every scan crosses
+// a dozen segment boundaries — a dozen yield points per query.
+func buildDB(t *testing.T) *cloudiq.Database {
+	t.Helper()
+	ctx := context.Background()
+	store := cloudiq.NewMemObjectStore(cloudiq.ObjectStoreConfig{})
+	db, err := cloudiq.Open(ctx, cloudiq.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = db.Close() })
+	if err := db.AttachCloudDbspace("user", store, cloudiq.CloudOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	tbl, err := tx.CreateTable(ctx, "user", "kv", diffSchema(), cloudiq.TableOptions{SegRows: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := cloudiq.NewBatch(diffSchema())
+	for i := 0; i < 400; i++ {
+		b.Vecs[0].AppendInt(int64(i))
+		b.Vecs[1].AppendStr(fmt.Sprintf("val-%d", i))
+	}
+	if err := tbl.Append(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// runQuery scans kv for k >= lo and serializes the result row by row. The
+// ctx carries the scheduler's yield point when run under the scheduler.
+func runQuery(ctx context.Context, db *cloudiq.Database, lo int64) ([]byte, error) {
+	tx := db.Begin()
+	defer func() { _ = tx.Rollback(ctx) }()
+	tbl, err := tx.Table(ctx, "user", "kv")
+	if err != nil {
+		return nil, err
+	}
+	src, err := cloudiq.Scan(tbl, []string{"k", "v"}, cloudiq.ScanOptions{
+		Filter: cloudiq.GeE(cloudiq.Col("k"), cloudiq.ConstI(lo)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := cloudiq.Collect(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if out != nil {
+		ks, vs := out.Col("k"), out.Col("v")
+		for i := range ks.I64 {
+			fmt.Fprintf(&buf, "%d,%s\n", ks.I64[i], vs.Str[i])
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+func TestSchedulerResultsMatchDirect(t *testing.T) {
+	db := buildDB(t)
+	ctx := context.Background()
+
+	direct, err := runQuery(ctx, db, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) == 0 {
+		t.Fatal("direct query returned nothing; test is vacuous")
+	}
+
+	s := sched.New(sched.Config{})
+	if err := s.AddTenant(sched.TenantConfig{Name: "t0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddReader("r0", 1); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	err = s.Run(ctx, "t0", sched.LaneNormal, func(ctx context.Context, reader string) error {
+		var err error
+		got, err = runQuery(ctx, db, 100)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, direct) {
+		t.Fatalf("scheduler-run query diverged: %d bytes vs %d direct", len(got), len(direct))
+	}
+}
+
+func TestSchedulerResultsMatchDirectUnderContention(t *testing.T) {
+	db := buildDB(t)
+	ctx := context.Background()
+
+	const n = 12
+	want := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		var err error
+		want[i], err = runQuery(ctx, db, int64(i*31))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One single-slot reader and three tenants: every query yields at
+	// segment boundaries and most get preempted at least once.
+	s := sched.New(sched.Config{})
+	for i := 0; i < 3; i++ {
+		err := s.AddTenant(sched.TenantConfig{
+			Name: fmt.Sprintf("t%d", i), Weight: i + 1, QueueBudget: n,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddReader("r0", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", i%3)
+			lane := sched.Lane(i % int(sched.NumLanes))
+			errs[i] = s.Run(ctx, tenant, lane, func(ctx context.Context, reader string) error {
+				var err error
+				got[i], err = runQuery(ctx, db, int64(i*31))
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("query %d diverged under scheduling: %d bytes vs %d direct",
+				i, len(got[i]), len(want[i]))
+		}
+	}
+	if err := s.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cloudiq/internal/exec"
+	"cloudiq/internal/faultinject"
+)
+
+func newTestScheduler(t *testing.T, readers, slots int) *Scheduler {
+	t.Helper()
+	s := New(Config{})
+	if err := s.AddTenant(TenantConfig{Name: "a", QueueBudget: 8}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < readers; i++ {
+		if err := s.AddReader(fmt.Sprintf("r%d", i), slots); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestRunExecutesOnReader(t *testing.T) {
+	s := newTestScheduler(t, 2, 1)
+	var got string
+	err := s.Run(context.Background(), "a", LaneHigh, func(ctx context.Context, reader string) error {
+		got = reader
+		return exec.YieldPoint(ctx) // no backlog: must be a no-op
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "r0" {
+		t.Fatalf("ran on %q, want r0 (least-loaded tie breaks on registration order)", got)
+	}
+	n := s.Counters()
+	if n.Completed != 1 || n.Queued != 0 || n.Running != 0 {
+		t.Fatalf("counters %+v", n)
+	}
+}
+
+func TestRunPropagatesQueryError(t *testing.T) {
+	s := newTestScheduler(t, 1, 1)
+	boom := errors.New("boom")
+	err := s.Run(context.Background(), "a", LaneNormal, func(context.Context, string) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := s.Counters(); n.Failed != 1 {
+		t.Fatalf("counters %+v, want one failure", n)
+	}
+}
+
+func TestRejectionChargedZeroTokens(t *testing.T) {
+	s := New(Config{})
+	err := s.AddTenant(TenantConfig{Name: "a", QueueBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No readers: the first query queues forever, the second overflows the
+	// budget and must be rejected without touching the token ledger.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		done <- s.Run(ctx, "a", LaneNormal, func(context.Context, string) error { return nil })
+	}()
+	<-started
+	waitFor(t, func() bool { return s.Counters().Queued == 1 })
+	err = s.Run(ctx, "a", LaneNormal, func(context.Context, string) error { return nil })
+	var rej *Rejection
+	if !errors.As(err, &rej) || rej.Reason != "queue" {
+		t.Fatalf("err = %v, want queue rejection", err)
+	}
+	if !errors.Is(err, ErrRejected) {
+		t.Fatal("rejection does not unwrap to ErrRejected")
+	}
+	if got := s.ChargedTokens("a"); got != 0 {
+		t.Fatalf("rejected/queued work charged %s", got)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued query ended with %v, want context.Canceled", err)
+	}
+	if n := s.Counters(); n.Cancelled != 1 || n.Rejected != 1 {
+		t.Fatalf("counters %+v", n)
+	}
+	if err := s.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdmissionFaultRejects(t *testing.T) {
+	plan := faultinject.New(1).Always(faultinject.SchedAdmit) // drop every admission
+	s := New(Config{Faults: plan})
+	if err := s.AddTenant(TenantConfig{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddReader("r0", 1); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Run(context.Background(), "a", LaneNormal, func(context.Context, string) error {
+		t.Fatal("dropped admission still ran")
+		return nil
+	})
+	var rej *Rejection
+	if !errors.As(err, &rej) || rej.Reason != "fault" {
+		t.Fatalf("err = %v, want fault rejection", err)
+	}
+	if s.FaultRejected() != 1 {
+		t.Fatalf("FaultRejected = %d, want 1", s.FaultRejected())
+	}
+	// Dropped admissions never reach the core ledger.
+	if n := s.Counters(); n.Submitted != 0 {
+		t.Fatalf("counters %+v, want untouched ledger", n)
+	}
+	if got := s.ChargedTokens("a"); got != 0 {
+		t.Fatalf("dropped admission charged %s", got)
+	}
+}
+
+func TestYieldPreemptsForHighLane(t *testing.T) {
+	s := newTestScheduler(t, 1, 1)
+	order := make(chan string, 4)
+	lowAtYield := make(chan struct{})
+	highDone := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Run(context.Background(), "a", LaneLow, func(ctx context.Context, reader string) error {
+			order <- "low-start"
+			close(lowAtYield)
+			<-highDone // let the high query queue up before yielding
+			if err := exec.YieldPoint(ctx); err != nil {
+				return err
+			}
+			order <- "low-resume"
+			return nil
+		})
+	}()
+	<-lowAtYield
+	// Submit high while the slot is held; it must run during low's yield.
+	go func() {
+		waitFor(t, func() bool { return s.Counters().Queued == 1 })
+		close(highDone)
+	}()
+	err := s.Run(context.Background(), "a", LaneHigh, func(context.Context, string) error {
+		order <- "high"
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	close(order)
+	var seq []string
+	for s := range order {
+		seq = append(seq, s)
+	}
+	want := []string{"low-start", "high", "low-resume"}
+	if len(seq) != len(want) {
+		t.Fatalf("sequence %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("sequence %v, want %v", seq, want)
+		}
+	}
+	if err := s.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaneStats(t *testing.T) {
+	s := newTestScheduler(t, 1, 1)
+	for i := 0; i < 3; i++ {
+		err := s.Run(context.Background(), "a", LaneNormal, func(context.Context, string) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	lanes := s.Lanes()
+	if lanes[LaneNormal].Admitted != 3 || len(lanes[LaneNormal].Waits) != 3 {
+		t.Fatalf("normal lane stats %+v", lanes[LaneNormal])
+	}
+	if lanes[LaneHigh].Admitted != 0 {
+		t.Fatalf("high lane stats %+v", lanes[LaneHigh])
+	}
+}
+
+// waitFor polls a condition that a concurrent Run goroutine establishes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cloudiq/internal/exec"
+)
+
+// TestStressConcurrentFleet hammers the scheduler from 8 tenant goroutines —
+// 500 queries each in full mode — against a 3-reader fleet, under the race
+// detector in CI. Afterwards the conservation ledger must balance to the
+// query: submitted = admitted + rejected, every admitted query terminated
+// exactly once, and tenants whose submissions were all rejected were charged
+// zero tokens.
+func TestStressConcurrentFleet(t *testing.T) {
+	const tenants = 8
+	perTenant := 500
+	if testing.Short() {
+		perTenant = 60
+	}
+
+	s := New(Config{})
+	for i := 0; i < tenants; i++ {
+		cfg := TenantConfig{
+			Name:        fmt.Sprintf("t%d", i),
+			Weight:      1 + i%4,
+			QueueBudget: 16,
+		}
+		if err := s.AddTenant(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.AddReader(fmt.Sprintf("r%d", i), 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var completed, failed, rejected, cancelled int64
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("t%d", i)
+			for j := 0; j < perTenant; j++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if j%17 == 0 {
+					// A slice of queries race a cancellation against their
+					// own dispatch; either outcome must keep the ledger.
+					ctx, cancel = context.WithCancel(ctx)
+				}
+				lane := Lane(j % int(NumLanes))
+				err := s.Run(ctx, name, lane, func(ctx context.Context, reader string) error {
+					if reader == "" {
+						t.Error("dispatched with no reader")
+					}
+					if cancel != nil {
+						cancel()
+					}
+					for k := 0; k < 3; k++ {
+						if err := exec.YieldPoint(ctx); err != nil {
+							return err
+						}
+					}
+					if j%97 == 0 {
+						return errors.New("synthetic query failure")
+					}
+					return nil
+				})
+				if cancel != nil {
+					cancel()
+				}
+				switch {
+				case err == nil:
+					atomic.AddInt64(&completed, 1)
+				case errors.Is(err, ErrRejected):
+					atomic.AddInt64(&rejected, 1)
+				case errors.Is(err, context.Canceled):
+					atomic.AddInt64(&cancelled, 1)
+				default:
+					atomic.AddInt64(&failed, 1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if err := s.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	n := s.Counters()
+	total := int64(tenants * perTenant)
+	if n.Submitted != total {
+		t.Fatalf("submitted %d, want %d", n.Submitted, total)
+	}
+	if n.Queued != 0 || n.Running != 0 {
+		t.Fatalf("queries left behind: %+v", n)
+	}
+	if n.Completed != completed {
+		t.Fatalf("ledger completed=%d, callers observed %d", n.Completed, completed)
+	}
+	if n.Rejected != rejected {
+		t.Fatalf("ledger rejected=%d, callers observed %d", n.Rejected, rejected)
+	}
+	// A cancellation that races its own dispatch lands as Failed (the slot
+	// was granted and returned) or Cancelled (still queued); the caller sees
+	// context.Canceled either way. Completion errors land as Failed too.
+	if n.Failed+n.Cancelled != failed+cancelled {
+		t.Fatalf("ledger failed+cancelled=%d+%d, callers observed %d+%d",
+			n.Failed, n.Cancelled, failed, cancelled)
+	}
+	if n.Admitted != n.Completed+n.Cancelled+n.Failed {
+		t.Fatalf("admitted %d not conserved: %+v", n.Admitted, n)
+	}
+	for i := 0; i < tenants; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if got := s.ChargedTokens(name); got < 0 {
+			t.Fatalf("%s charged negative tokens %s", name, got)
+		}
+	}
+
+}

@@ -1,0 +1,102 @@
+package simtest
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestQueriesBitReproducible is the determinism tripwire for query mode:
+// the scheduler core runs on the simulation's charged clock, so two runs of
+// the same seed must produce identical fingerprints — including every
+// admission decision, queue wait, stall draw and reader kill in the step log.
+func TestQueriesBitReproducible(t *testing.T) {
+	seeds := []uint64{1, 24, 171}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		a, errA := Run(bg(), Options{Seed: seed, Queries: true})
+		b, errB := Run(bg(), Options{Seed: seed, Queries: true})
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("seed %d: inconsistent outcome: %v vs %v", seed, errA, errB)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("seed %d: fingerprints diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+				seed, a.Fingerprint(), b.Fingerprint())
+		}
+	}
+}
+
+// TestQueriesSmokeSeeds sweeps the first query-mode seeds through all six
+// oracle families.
+func TestQueriesSmokeSeeds(t *testing.T) {
+	n := uint64(20)
+	if testing.Short() {
+		n = 5
+	}
+	for seed := uint64(1); seed <= n; seed++ {
+		if _, err := Run(bg(), Options{Seed: seed, Queries: true}); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestQueriesScriptRoundTrip: query-mode scripts (queries directive, sched
+// fault family, q-* steps) must survive String → Parse → String, or shrunken
+// reproducers cannot be replayed.
+func TestQueriesScriptRoundTrip(t *testing.T) {
+	for _, seed := range []uint64{1, 24, 65, 171} {
+		sc := GenerateQueries(seed)
+		text := sc.String()
+		parsed, err := Parse(text)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		if !reflect.DeepEqual(sc, parsed) {
+			t.Fatalf("seed %d: round trip diverged:\n%s\n%s", seed, text, parsed.String())
+		}
+	}
+}
+
+// TestGenerateUnchangedByQueryMode guards the seed→script mapping of the
+// base generator: adding query mode must never perturb Generate's output,
+// or every pinned regression seed in sim_test.go silently changes meaning.
+func TestGenerateUnchangedByQueryMode(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 17, 91, 413} {
+		sc := Generate(seed)
+		if sc.Queries || sc.FaultSched {
+			t.Fatalf("seed %d: base generator enabled query mode", seed)
+		}
+		for _, st := range sc.Steps {
+			switch st.Op {
+			case OpQSubmit, OpQDispatch, OpQFinish, OpQCancel, OpQCrashReader:
+				t.Fatalf("seed %d: base generator emitted query step %s", seed, st.Op)
+			}
+		}
+	}
+}
+
+// Pinned query-mode regression seeds. Each pins a scheduler interleaving the
+// 200-seed sweeps showed to exercise a distinct lifecycle edge; the run must
+// stay green (all six oracles) forever.
+func TestQueriesRegressionSeeds(t *testing.T) {
+	seeds := []struct {
+		seed uint64
+		why  string
+	}{
+		{24, "token-bucket rejections interleaved with a reader crash killing a running query"},
+		{171, "reader crash plus four cancellations plus an injected admission drop in one script"},
+		{20, "queue-budget rejections under backlog (two in one run)"},
+		{30, "queue-budget rejections (two) in a multi-writer topology"},
+		{65, "two injected admission drops around a reader kill"},
+		{162, "cancellation-heavy script: four cancels racing dispatches, no fault drops"},
+	}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, tc := range seeds {
+		if _, err := Run(bg(), Options{Seed: tc.seed, Queries: true}); err != nil {
+			t.Errorf("query seed %d regressed (%s): %v", tc.seed, tc.why, err)
+		}
+	}
+}

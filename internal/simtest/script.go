@@ -8,7 +8,7 @@
 // seed, so a failing run reproduces bit for bit, and a failing script shrinks
 // to a minimal reproducer (see Shrink).
 //
-// The harness checks five oracle families at every quiescent point:
+// The harness checks six oracle families at every quiescent point:
 //
 //  1. committed-data equivalence: every node's tables, scanned through the
 //     exec pipeline, match the model exactly;
@@ -19,7 +19,11 @@
 //     once every restart announcement has landed — no unreachable key leaks;
 //  5. monotonic visibility: per-node commit sequences never regress across
 //     crashes, and a pinned read transaction's view never changes while
-//     writers churn underneath it.
+//     writers churn underneath it;
+//  6. query lifecycle (query-mode scripts): every query the scheduler admits
+//     terminates exactly once — completed, failed or cancelled — through
+//     submissions, cancellations, reader crashes and full drains, and the
+//     scheduler's conservation ledger always balances.
 package simtest
 
 import (
@@ -56,6 +60,15 @@ const (
 	OpCheckPin    Op = "check-pin"    // re-scan Node's pinned transaction; its view must not have changed
 	OpUnpin       Op = "unpin"        // close Node's pinned transaction
 	OpReader      Op = "reader"       // spin up an ephemeral reader node from the coordinator's log (Arg=1: with an OCM cache) and verify its view
+
+	// Query-mode steps (Queries on): drive the internal/sched scheduler core
+	// deterministically — submissions, dispatches, completions, cancellations
+	// and reader crashes — against the coordinator's tables.
+	OpQSubmit      Op = "q-submit"       // submit a query: Rows=tenant pick, Arg=lane, Table=table to scan
+	OpQDispatch    Op = "q-dispatch"     // dispatch one queued query to a reader (it keeps running until q-finish)
+	OpQFinish      Op = "q-finish"       // finish a running query (Arg picks): scan its table, compare to the model, complete
+	OpQCancel      Op = "q-cancel"       // cancel a queued query (Arg picks)
+	OpQCrashReader Op = "q-crash-reader" // crash a scheduler reader (Arg picks): its running queries fail, then it rejoins
 )
 
 // Step is one scripted workload step.
@@ -85,11 +98,17 @@ type Script struct {
 	// single-node).
 	Snapshots bool
 
+	// Queries arms the concurrent-query harness: a scheduler core with three
+	// tenants (gold/silver/bronze, weights 4/2/1) over two modeled readers,
+	// driven by the q-* steps and audited by the query-lifecycle oracle.
+	Queries bool
+
 	// Ambient fault toggles. Shrinking turns them off one family at a time.
 	FaultPut        bool // transient object PUT failures
 	FaultDelete     bool // transient object DELETE failures
 	FaultVisibility bool // visibility lag spikes on top of MissReads
 	FaultRPC        bool // allocation / notification / restart RPC faults
+	FaultSched      bool // scheduler admission drops and reader-stall lags
 
 	Steps []Step
 }
@@ -121,7 +140,15 @@ func (sc *Script) Clone() *Script {
 // Generate derives a complete script from one seed: topology, fault toggles
 // and the weighted step mix all come from a private MT19937-64 stream, so the
 // same seed always yields the same script.
-func Generate(seed uint64) *Script {
+func Generate(seed uint64) *Script { return generate(seed, false) }
+
+// GenerateQueries derives a query-mode script: the base workload mix plus
+// the q-* scheduler steps, with the sched fault family armed. It is a
+// separate generator so Generate's seed→script mapping (and every pinned
+// regression seed) stays byte-stable.
+func GenerateQueries(seed uint64) *Script { return generate(seed, true) }
+
+func generate(seed uint64, queries bool) *Script {
 	rng := mt.New(seed)
 	draw := func(n int) int {
 		if n <= 1 {
@@ -160,6 +187,13 @@ func Generate(seed uint64) *Script {
 	}
 	if sc.Snapshots {
 		ops = append(ops, weighted{OpSnapshot, 6}, weighted{OpRestore, 3}, weighted{OpExpire, 4})
+	}
+	if queries {
+		sc.Queries = true
+		sc.FaultSched = true
+		ops = append(ops,
+			weighted{OpQSubmit, 16}, weighted{OpQDispatch, 8}, weighted{OpQFinish, 10},
+			weighted{OpQCancel, 3}, weighted{OpQCrashReader, 2})
 	}
 	total := 0
 	for _, o := range ops {
@@ -202,6 +236,14 @@ func Generate(seed uint64) *Script {
 			st.Arg = 10 + draw(50)
 		case OpReader:
 			st.Arg = draw(2)
+		case OpQSubmit:
+			st.Table = draw(sc.Tables)
+			st.Rows = draw(3)
+			st.Arg = draw(3)
+		case OpQFinish, OpQCancel:
+			st.Arg = draw(8)
+		case OpQCrashReader:
+			st.Arg = draw(2)
 		}
 		sc.Steps = append(sc.Steps, st)
 	}
@@ -221,8 +263,9 @@ func (sc *Script) String() string {
 	fmt.Fprintf(&b, "missreads %d\n", sc.MissReads)
 	fmt.Fprintf(&b, "retention %d\n", sc.Retent)
 	fmt.Fprintf(&b, "snapshots %s\n", onOff(sc.Snapshots))
-	fmt.Fprintf(&b, "faults put=%s delete=%s visibility=%s rpc=%s\n",
-		onOff(sc.FaultPut), onOff(sc.FaultDelete), onOff(sc.FaultVisibility), onOff(sc.FaultRPC))
+	fmt.Fprintf(&b, "queries %s\n", onOff(sc.Queries))
+	fmt.Fprintf(&b, "faults put=%s delete=%s visibility=%s rpc=%s sched=%s\n",
+		onOff(sc.FaultPut), onOff(sc.FaultDelete), onOff(sc.FaultVisibility), onOff(sc.FaultRPC), onOff(sc.FaultSched))
 	for _, st := range sc.Steps {
 		node := st.Node
 		if node == "" {
@@ -245,6 +288,8 @@ var validOps = map[Op]bool{
 	OpCrash: true, OpCrashCommit: true, OpCheckpoint: true, OpGC: true,
 	OpCheck: true, OpQuiesce: true, OpSnapshot: true, OpRestore: true,
 	OpExpire: true, OpPin: true, OpCheckPin: true, OpUnpin: true, OpReader: true,
+	OpQSubmit: true, OpQDispatch: true, OpQFinish: true, OpQCancel: true,
+	OpQCrashReader: true,
 }
 
 // Parse reads the format String writes. Unknown directives and malformed
@@ -296,6 +341,11 @@ func Parse(text string) (*Script, error) {
 				return nil, bad("want: snapshots on|off")
 			}
 			sc.Snapshots = f[1] == "on"
+		case "queries":
+			if len(f) != 2 {
+				return nil, bad("want: queries on|off")
+			}
+			sc.Queries = f[1] == "on"
 		case "faults":
 			for _, kv := range f[1:] {
 				k, v, ok := strings.Cut(kv, "=")
@@ -312,6 +362,8 @@ func Parse(text string) (*Script, error) {
 					sc.FaultVisibility = on
 				case "rpc":
 					sc.FaultRPC = on
+				case "sched":
+					sc.FaultSched = on
 				default:
 					return nil, bad("unknown fault family " + k)
 				}

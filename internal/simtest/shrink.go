@@ -59,6 +59,7 @@ func Shrink(ctx context.Context, sc *Script, opts Options, maxRuns int) (*Shrink
 		off  func(*Script)
 		on   func(*Script) bool
 	}{
+		{"sched", func(s *Script) { s.FaultSched = false }, func(s *Script) bool { return s.FaultSched }},
 		{"rpc", func(s *Script) { s.FaultRPC = false }, func(s *Script) bool { return s.FaultRPC }},
 		{"visibility", func(s *Script) { s.FaultVisibility = false }, func(s *Script) bool { return s.FaultVisibility }},
 		{"delete", func(s *Script) { s.FaultDelete = false }, func(s *Script) bool { return s.FaultDelete }},

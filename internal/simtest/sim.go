@@ -13,6 +13,7 @@ import (
 	"cloudiq/internal/faultinject"
 	"cloudiq/internal/iomodel"
 	"cloudiq/internal/objstore"
+	"cloudiq/internal/sched"
 )
 
 // Oracle violations. Run wraps them with the seed, step index and detail;
@@ -33,6 +34,10 @@ var (
 	// sequence moved backwards, or a pinned read transaction's view
 	// changed.
 	ErrVisibility = errors.New("simtest: transaction visibility not monotonic")
+	// ErrQueryLost means the query-lifecycle oracle tripped: an admitted
+	// query was lost, terminated twice, or the scheduler's conservation
+	// ledger stopped balancing.
+	ErrQueryLost = errors.New("simtest: query lifecycle violated")
 )
 
 // Classify maps a Run error to an oracle category ("" for success,
@@ -51,6 +56,8 @@ func Classify(err error) string {
 		return "gc"
 	case errors.Is(err, ErrVisibility):
 		return "visibility"
+	case errors.Is(err, ErrQueryLost):
+		return "query"
 	default:
 		return "harness"
 	}
@@ -62,6 +69,9 @@ type Options struct {
 	Seed uint64
 	// Script overrides generation (parsed reproducers, shrunken scripts).
 	Script *Script
+	// Queries selects the query-mode generator (GenerateQueries) when
+	// Script is nil: the base workload plus scheduler steps.
+	Queries bool
 	// BrokenRetry ablates retry-until-found reads to a single attempt;
 	// with an eventual-consistency window armed the oracles must fail.
 	BrokenRetry bool
@@ -114,6 +124,14 @@ type runner struct {
 	valid map[string]bool // node names in the script's topology
 	clock int64
 
+	// query-mode state (nil/empty unless Script.Queries): the scheduler
+	// core under test and the lifecycle ledger the sixth oracle audits.
+	qcore  *sched.Core
+	qlive  map[uint64]*sched.Query // admitted, not yet terminal
+	qtable map[uint64]string       // query → table it scans
+	qterm  map[uint64]int          // query → terminal transitions (must be 1)
+	qdrops int                     // admissions dropped by the fault site
+
 	commits int
 	log     strings.Builder
 
@@ -128,7 +146,11 @@ type runner struct {
 func Run(ctx context.Context, opts Options) (*Report, error) {
 	sc := opts.Script
 	if sc == nil {
-		sc = Generate(opts.Seed)
+		if opts.Queries {
+			sc = GenerateQueries(opts.Seed)
+		} else {
+			sc = Generate(opts.Seed)
+		}
 	}
 	plan := faultinject.New(sc.Seed)
 	scale := iomodel.NewScale(0) // factor 0: charge simulated time, never sleep
@@ -153,6 +175,10 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			p.Prob(faultinject.RPCAlloc, 0.02)
 			p.Prob(faultinject.RPCNotify, 0.15)
 			p.Prob(faultinject.RPCRestart, 0.2)
+		}
+		if sc.FaultSched {
+			p.Prob(faultinject.SchedAdmit, 0.05)
+			p.Lag(faultinject.SchedStall, 0, 3)
 		}
 	}
 	ambient(plan)
@@ -187,6 +213,11 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		return nil, err
 	}
 	r.cl = cl
+	if sc.Queries {
+		if err := r.setupQueries(); err != nil {
+			return nil, err
+		}
+	}
 
 	runErr := r.run(ctx)
 	rep := &Report{
@@ -342,6 +373,21 @@ func (r *runner) step(ctx context.Context, i int, st Step) error {
 
 	case OpReader:
 		return r.readerStep(ctx, i, st)
+
+	case OpQSubmit:
+		return r.qSubmitStep(i, st)
+
+	case OpQDispatch:
+		return r.qDispatchStep(i, st)
+
+	case OpQFinish:
+		return r.qFinishStep(ctx, i, st)
+
+	case OpQCancel:
+		return r.qCancelStep(i, st)
+
+	case OpQCrashReader:
+		return r.qCrashReaderStep(i, st)
 
 	default:
 		return fmt.Errorf("unknown op %q", st.Op)
@@ -610,6 +656,9 @@ func (r *runner) lightOracles(ctx context.Context) error {
 			return err
 		}
 	}
+	if err := r.queryLedgerOracle(); err != nil {
+		return err
+	}
 	return r.checkWriteTwice()
 }
 
@@ -696,6 +745,11 @@ func sameRows(got, want []int64) error {
 // collection everywhere, then check all five oracle families.
 func (r *runner) quiesce(ctx context.Context) error {
 	nodes := r.sc.NodeNames()
+	// 0. Drain the query scheduler and audit the lifecycle ledger: every
+	// admitted query must reach exactly one terminal state.
+	if err := r.drainQueries(ctx); err != nil {
+		return err
+	}
 	// 1. Close pins and roll back open transactions in node order.
 	for _, node := range nodes {
 		if p := r.pins[node]; p != nil {
