@@ -621,6 +621,9 @@ func (db *Database) RestoreSnapshot(ctx context.Context, id uint64) error {
 		}
 	}
 	db.mu.Unlock()
+	// Walk the dbspaces in name order: the pre-restore liveness walks issue
+	// simulated I/O, so their order is part of the deterministic schedule.
+	sort.Slice(clouds, func(i, j int) bool { return clouds[i].Name() < clouds[j].Name() })
 	// What the pre-restore catalog reaches, per cloud dbspace — computed
 	// before any deletion, while its blockmaps are still readable. Pages
 	// reachable now but not from the restored catalog (and not retained for

@@ -1,12 +1,19 @@
-// Command cloudiq-lint runs the engine's custom static analyzers — noclock,
-// lockcheck, iqerrcheck, keyhygiene, faultsite and pageioonly — over module packages and
-// reports file:line:col: rule: message diagnostics, exiting non-zero on any
-// finding. It is built purely on the standard library's go/parser, go/ast
-// and go/types.
+// Command cloudiq-lint runs the engine's custom static analyzers over module
+// packages and reports file:line:col: rule: message diagnostics, exiting
+// non-zero on any finding. It is built purely on the standard library's
+// go/parser, go/ast and go/types.
+//
+// Two layers of rules run. The per-unit analyzers (noclock, lockcheck,
+// iqerrcheck, keyhygiene, faultsite, pageioonly) inspect one package at a
+// time, in parallel across -workers. The module analyzers (lockorder,
+// ctxflow, detclosure, leakcheck) build a whole-module call graph — static
+// call edges plus interface-dispatch edges — and reason across packages:
+// global lock-ordering cycles, severed context chains, the deterministic
+// closure of the simulation tester, and goroutine termination.
 //
 // Usage:
 //
-//	cloudiq-lint [-json] [pattern ...]
+//	cloudiq-lint [-json] [-workers n] [-ignores] [pattern ...]
 //
 // Patterns are module-relative directories, optionally ending in /... to
 // recurse ("./...", the default, analyzes the whole module). Intentional
@@ -14,23 +21,34 @@
 //
 //	//lint:ignore <rule> <reason>
 //
-// on the flagged line or the line directly above it.
+// on the flagged line or the line directly above it. -ignores lists every
+// such directive with its rule and reason and exits non-zero if any is stale
+// (its rule no longer fires on the line it covers), so suppressions cannot
+// outlive the violation they were written for.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"cloudiq/internal/analysis"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON diagnostics")
+	ignores := flag.Bool("ignores", false, "audit //lint:ignore directives; exit 1 on stale suppressions")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers for the per-package phase")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cloudiq-lint [-json] [pattern ...]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: cloudiq-lint [-json] [-workers n] [-ignores] [pattern ...]\n\nper-package analyzers:\n")
 		for _, a := range analysis.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nwhole-module analyzers:\n")
+		for _, m := range analysis.ModuleAnalyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", m.Name, m.Doc)
 		}
 		flag.PrintDefaults()
 	}
@@ -58,17 +76,44 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := analysis.Run(units, analysis.Analyzers())
+	result := analysis.RunAll(context.Background(), units, analysis.Options{
+		Analyzers: analysis.Analyzers(),
+		Module:    analysis.ModuleAnalyzers(),
+		Workers:   *workers,
+	})
 	cwd, _ := os.Getwd()
+
+	if *ignores {
+		stale := 0
+		for _, ig := range result.Ignores {
+			if ig.Stale {
+				stale++
+			}
+		}
+		if *jsonOut {
+			if err := analysis.WriteIgnoresJSON(os.Stdout, cwd, result.Ignores); err != nil {
+				fmt.Fprintln(os.Stderr, "cloudiq-lint:", err)
+				os.Exit(2)
+			}
+		} else {
+			analysis.WriteIgnoresText(os.Stdout, cwd, result.Ignores)
+			fmt.Printf("%d suppressions, %d stale\n", len(result.Ignores), stale)
+		}
+		if stale > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *jsonOut {
-		if err := analysis.WriteJSON(os.Stdout, cwd, diags); err != nil {
+		if err := analysis.WriteJSON(os.Stdout, cwd, result.Diagnostics); err != nil {
 			fmt.Fprintln(os.Stderr, "cloudiq-lint:", err)
 			os.Exit(2)
 		}
 	} else {
-		analysis.WriteText(os.Stdout, cwd, diags)
+		analysis.WriteText(os.Stdout, cwd, result.Diagnostics)
 	}
-	if len(diags) > 0 {
+	if len(result.Diagnostics) > 0 {
 		os.Exit(1)
 	}
 }

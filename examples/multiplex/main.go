@@ -29,7 +29,7 @@ func main() {
 	if err := coord.AttachCloudDbspace("user", bucket, cloudiq.CloudOptions{}); err != nil {
 		log.Fatal(err)
 	}
-	srv, err := cloudiq.ListenCoordinator("127.0.0.1:0", coord)
+	srv, err := cloudiq.ListenCoordinator(ctx, "127.0.0.1:0", coord)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -103,72 +103,27 @@ func Analyzers() []*Analyzer {
 	}
 }
 
-// Run applies the analyzers to every unit and returns the surviving
-// diagnostics sorted by position, with //lint:ignore suppressions applied.
-// Malformed or reason-less directives are reported under the "lintdirective"
-// pseudo-rule so suppressions cannot rot silently.
-func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	sup := newSuppressions()
-	for _, u := range units {
-		for _, f := range u.Files {
-			if u.Analyze[f] {
-				sup.scanFile(u.Fset, f)
-			}
-		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     u.Fset,
-				Path:     u.Path,
-				Files:    u.Files,
-				Pkg:      u.Pkg,
-				Info:     u.Info,
-				analyze:  u.Analyze,
-				diags:    &diags,
-			}
-			a.Run(pass)
-		}
-	}
-	diags = append(diags, sup.malformed...)
-	kept := diags[:0]
-	for _, d := range diags {
-		if !sup.suppressed(d) {
-			kept = append(kept, d)
-		}
-	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
-		if a.Position.Filename != b.Position.Filename {
-			return a.Position.Filename < b.Position.Filename
-		}
-		if a.Position.Line != b.Position.Line {
-			return a.Position.Line < b.Position.Line
-		}
-		if a.Position.Column != b.Position.Column {
-			return a.Position.Column < b.Position.Column
-		}
-		return a.Rule < b.Rule
-	})
-	return kept
-}
-
 // --- suppression directives ---
 
 const ignorePrefix = "//lint:ignore"
 
 type directive struct {
-	rule string
+	rule   string
+	reason string
+	pos    token.Position
 }
 
 type suppressions struct {
-	// byLine maps file -> line -> rules suppressed on that line.
-	byLine    map[string]map[int][]directive
+	// byLine maps file -> line -> directives covering that line. Both lines
+	// a directive covers point at the same *directive, so liveness marking
+	// is shared.
+	byLine    map[string]map[int][]*directive
+	all       []*directive
 	malformed []Diagnostic
 }
 
 func newSuppressions() *suppressions {
-	return &suppressions{byLine: make(map[string]map[int][]directive)}
+	return &suppressions{byLine: make(map[string]map[int][]*directive)}
 }
 
 func (s *suppressions) scanFile(fset *token.FileSet, f *ast.File) {
@@ -188,18 +143,35 @@ func (s *suppressions) scanFile(fset *token.FileSet, f *ast.File) {
 				})
 				continue
 			}
-			lines := s.byLine[pos.Filename]
-			if lines == nil {
-				lines = make(map[int][]directive)
-				s.byLine[pos.Filename] = lines
+			d := &directive{
+				rule:   fields[0],
+				reason: strings.Join(fields[1:], " "),
+				pos:    pos,
 			}
-			d := directive{rule: fields[0]}
-			// A directive covers its own line (trailing comment) and the
-			// line below it (comment-above form).
-			lines[pos.Line] = append(lines[pos.Line], d)
-			lines[pos.Line+1] = append(lines[pos.Line+1], d)
+			s.add(d)
 		}
 	}
+}
+
+func (s *suppressions) add(d *directive) {
+	s.all = append(s.all, d)
+	lines := s.byLine[d.pos.Filename]
+	if lines == nil {
+		lines = make(map[int][]*directive)
+		s.byLine[d.pos.Filename] = lines
+	}
+	// A directive covers its own line (trailing comment) and the line below
+	// it (comment-above form).
+	lines[d.pos.Line] = append(lines[d.pos.Line], d)
+	lines[d.pos.Line+1] = append(lines[d.pos.Line+1], d)
+}
+
+// merge folds another unit's scan into s (used by the parallel driver).
+func (s *suppressions) merge(o *suppressions) {
+	for _, d := range o.all {
+		s.add(d)
+	}
+	s.malformed = append(s.malformed, o.malformed...)
 }
 
 func (s *suppressions) suppressed(d Diagnostic) bool {
@@ -212,6 +184,43 @@ func (s *suppressions) suppressed(d Diagnostic) bool {
 		}
 	}
 	return false
+}
+
+// audit classifies every directive against the raw (pre-suppression)
+// diagnostics: a directive whose rule produced no diagnostic on either line
+// it covers is stale. The result is sorted by position.
+func (s *suppressions) audit(raw []Diagnostic) []Ignore {
+	type key struct {
+		file string
+		line int
+		rule string
+	}
+	fired := make(map[key]bool, len(raw))
+	for _, d := range raw {
+		fired[key{d.Position.Filename, d.Position.Line, d.Rule}] = true
+	}
+	out := make([]Ignore, 0, len(s.all))
+	for _, d := range s.all {
+		live := fired[key{d.pos.Filename, d.pos.Line, d.rule}] ||
+			fired[key{d.pos.Filename, d.pos.Line + 1, d.rule}]
+		out = append(out, Ignore{
+			Position: d.pos,
+			Rule:     d.rule,
+			Reason:   d.reason,
+			Stale:    !live,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
 }
 
 // --- shared type helpers used by several analyzers ---

@@ -2,9 +2,12 @@ package analysis
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"go/parser"
 	"go/token"
+	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -130,5 +133,108 @@ var c = 3
 	m := sup.malformed[0]
 	if m.Rule != "lintdirective" || m.Position.Line != 6 {
 		t.Errorf("malformed diagnostic = %s, want lintdirective at line 6", m)
+	}
+}
+
+// loadCorpus loads a testdata subtree (all unit variants) for driver tests.
+func loadCorpus(t *testing.T, rel string) []*Unit {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.Load([]string{dir + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range loader.Errors {
+		t.Fatalf("corpus type error: %v", e)
+	}
+	if len(units) == 0 {
+		t.Fatalf("corpus %s loaded no packages", dir)
+	}
+	return units
+}
+
+// TestRunAllParallelDeterminism pins the driver's ordering contract: the
+// diagnostics and the suppression audit are identical whether the per-unit
+// phase runs sequentially or on any number of workers.
+func TestRunAllParallelDeterminism(t *testing.T) {
+	units := loadCorpus(t, ".")
+	if len(units) < 4 {
+		t.Fatalf("want several corpus units to exercise the pool, got %d", len(units))
+	}
+	run := func(workers int) Result {
+		return RunAll(context.Background(), units, Options{
+			Analyzers: Analyzers(),
+			Module:    ModuleAnalyzers(),
+			Workers:   workers,
+		})
+	}
+	sequential := run(1)
+	if len(sequential.Diagnostics) == 0 {
+		t.Fatal("corpus run produced no diagnostics")
+	}
+	if len(sequential.Ignores) == 0 {
+		t.Fatal("corpus run found no suppression directives")
+	}
+	for _, w := range []int{2, 4, 8, 16} {
+		got := run(w)
+		if !reflect.DeepEqual(got.Diagnostics, sequential.Diagnostics) {
+			t.Errorf("workers=%d: diagnostics differ from the sequential run", w)
+		}
+		if !reflect.DeepEqual(got.Ignores, sequential.Ignores) {
+			t.Errorf("workers=%d: suppression audit differs from the sequential run", w)
+		}
+	}
+}
+
+// TestIgnoresAudit checks the three directive fates on the ignores corpus:
+// a live suppression, a stale one (rule no longer fires on the covered
+// lines), and a malformed directive reported as a lintdirective diagnostic.
+func TestIgnoresAudit(t *testing.T) {
+	units := loadCorpus(t, "ignores")
+	res := RunAll(context.Background(), units, Options{
+		Analyzers: Analyzers(),
+		Module:    ModuleAnalyzers(),
+	})
+
+	var live, stale int
+	for _, ig := range res.Ignores {
+		if ig.Rule != "noclock" {
+			t.Errorf("unexpected directive rule %q at %s", ig.Rule, ig.Position)
+			continue
+		}
+		if ig.Stale {
+			stale++
+			if ig.Reason != "corpus demo of a rotted suppression" {
+				t.Errorf("stale directive has wrong reason %q", ig.Reason)
+			}
+		} else {
+			live++
+			if ig.Reason != "corpus demo of an audited wall-clock read" {
+				t.Errorf("live directive has wrong reason %q", ig.Reason)
+			}
+		}
+	}
+	if live != 1 || stale != 1 {
+		t.Errorf("want exactly 1 live and 1 stale directive, got %d live, %d stale", live, stale)
+	}
+
+	var malformed int
+	for _, d := range res.Diagnostics {
+		switch d.Rule {
+		case "lintdirective":
+			malformed++
+		case "noclock":
+			t.Errorf("suppressed noclock diagnostic leaked through: %s", d)
+		}
+	}
+	if malformed != 1 {
+		t.Errorf("want exactly 1 lintdirective diagnostic, got %d", malformed)
 	}
 }

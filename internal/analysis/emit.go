@@ -22,6 +22,20 @@ type JSONDiagnostic struct {
 type JSONReport struct {
 	Diagnostics []JSONDiagnostic `json:"diagnostics"`
 	Count       int              `json:"count"`
+
+	// Ignores is the suppression audit, present when the run collected it
+	// (cloudiq-lint -ignores). Additive: absent from plain diagnostic runs.
+	Ignores    []JSONIgnore `json:"ignores,omitempty"`
+	StaleCount int          `json:"stale_count,omitempty"`
+}
+
+// JSONIgnore is one //lint:ignore directive in the audited tree.
+type JSONIgnore struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Rule   string `json:"rule"`
+	Reason string `json:"reason"`
+	Stale  bool   `json:"stale"`
 }
 
 // WriteJSON renders diagnostics as the stable JSON schema. File paths are
@@ -47,6 +61,40 @@ func WriteText(w io.Writer, root string, diags []Diagnostic) {
 	for _, d := range diags {
 		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n",
 			relPath(root, d.Position.Filename), d.Position.Line, d.Position.Column, d.Rule, d.Message)
+	}
+}
+
+// WriteIgnoresJSON renders the suppression audit as the stable JSON schema.
+func WriteIgnoresJSON(w io.Writer, root string, ignores []Ignore) error {
+	report := JSONReport{Diagnostics: []JSONDiagnostic{}, Ignores: make([]JSONIgnore, 0, len(ignores))}
+	for _, ig := range ignores {
+		if ig.Stale {
+			report.StaleCount++
+		}
+		report.Ignores = append(report.Ignores, JSONIgnore{
+			File:   relPath(root, ig.Position.Filename),
+			Line:   ig.Position.Line,
+			Rule:   ig.Rule,
+			Reason: ig.Reason,
+			Stale:  ig.Stale,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// WriteIgnoresText renders the suppression audit one directive per line;
+// stale directives — whose rule no longer fires on the covered line — are
+// marked STALE.
+func WriteIgnoresText(w io.Writer, root string, ignores []Ignore) {
+	for _, ig := range ignores {
+		mark := "live "
+		if ig.Stale {
+			mark = "STALE"
+		}
+		fmt.Fprintf(w, "%s %s:%d: %s: %s\n",
+			mark, relPath(root, ig.Position.Filename), ig.Position.Line, ig.Rule, ig.Reason)
 	}
 }
 

@@ -14,60 +14,82 @@ import (
 // "rule: message" on the same line.
 var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
 
-// TestGoldenCorpus runs each analyzer over its testdata/<rule> corpus and
-// checks the produced diagnostics against the `// want` annotations, both
-// ways: every want must be matched by a diagnostic on its line, and every
-// diagnostic must be covered by a want.
+// TestGoldenCorpus runs each per-unit analyzer over its testdata/<rule>
+// corpus and checks the produced diagnostics against the `// want`
+// annotations, both ways: every want must be matched by a diagnostic on its
+// line, and every diagnostic must be covered by a want.
 func TestGoldenCorpus(t *testing.T) {
 	for _, a := range Analyzers() {
+		a := a
 		t.Run(a.Name, func(t *testing.T) {
-			dir, err := filepath.Abs(filepath.Join("testdata", a.Name))
-			if err != nil {
-				t.Fatal(err)
-			}
-			if _, err := os.Stat(dir); err != nil {
-				t.Fatalf("missing golden corpus for %s: %v", a.Name, err)
-			}
-			loader, err := NewLoader(".")
-			if err != nil {
-				t.Fatal(err)
-			}
-			units, err := loader.Load([]string{dir + "/..."})
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, e := range loader.Errors {
-				t.Errorf("corpus type error: %v", e)
-			}
-			if t.Failed() {
-				t.FailNow()
-			}
-			if len(units) == 0 {
-				t.Fatalf("corpus %s loaded no packages", dir)
-			}
-
-			wants := collectWants(t, units)
-			if len(wants) == 0 {
-				t.Fatalf("corpus %s has no want annotations", dir)
-			}
-
-			diags := Run(units, []*Analyzer{a})
-			if len(diags) == 0 {
-				t.Fatalf("analyzer %s produced no diagnostics on its corpus", a.Name)
-			}
-			for _, d := range diags {
-				key := fmt.Sprintf("%s:%d", d.Position.Filename, d.Position.Line)
-				text := d.Rule + ": " + d.Message
-				if !consumeWant(wants, key, text) {
-					t.Errorf("unexpected diagnostic: %s", d)
-				}
-			}
-			for key, subs := range wants {
-				for _, sub := range subs {
-					t.Errorf("%s: expected diagnostic containing %q, got none", key, sub)
-				}
-			}
+			runGolden(t, a.Name, func(units []*Unit) []Diagnostic {
+				return Run(units, []*Analyzer{a})
+			})
 		})
+	}
+}
+
+// TestGoldenCorpusModule does the same for the whole-module interprocedural
+// analyzers, whose corpora typically span several packages (the point of the
+// rules being cross-package reasoning).
+func TestGoldenCorpusModule(t *testing.T) {
+	for _, m := range ModuleAnalyzers() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			runGolden(t, m.Name, func(units []*Unit) []Diagnostic {
+				return RunModule(units, m)
+			})
+		})
+	}
+}
+
+func runGolden(t *testing.T, name string, run func([]*Unit) []Diagnostic) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("missing golden corpus for %s: %v", name, err)
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.Load([]string{dir + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range loader.Errors {
+		t.Errorf("corpus type error: %v", e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if len(units) == 0 {
+		t.Fatalf("corpus %s loaded no packages", dir)
+	}
+
+	wants := collectWants(t, units)
+	if len(wants) == 0 {
+		t.Fatalf("corpus %s has no want annotations", dir)
+	}
+
+	diags := run(units)
+	if len(diags) == 0 {
+		t.Fatalf("analyzer %s produced no diagnostics on its corpus", name)
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Position.Filename, d.Position.Line)
+		text := d.Rule + ": " + d.Message
+		if !consumeWant(wants, key, text) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, subs := range wants {
+		for _, sub := range subs {
+			t.Errorf("%s: expected diagnostic containing %q, got none", key, sub)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -19,7 +20,10 @@ var ioLayerPkgs = map[string]bool{
 }
 
 // IQErrCheck flags discarded error results from objstore, blockdev, wal and
-// ocm calls, including errors dropped by `defer f.Close()` patterns.
+// ocm calls: bare call statements, bare `defer f.Close()`, go statements,
+// and — the pattern that defeats the visible-discard convention — blank
+// assignments inside deferred closures, where `defer func() { _ = f.Close()
+// }()` dresses a silent drop up as handling.
 func IQErrCheck() *Analyzer {
 	a := &Analyzer{
 		Name: "iqerrcheck",
@@ -35,6 +39,9 @@ func IQErrCheck() *Analyzer {
 					}
 				case *ast.DeferStmt:
 					checkDroppedErr(pass, st.Call, "defer ")
+					if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+						checkDeferredDiscards(pass, lit)
+					}
 				case *ast.GoStmt:
 					checkDroppedErr(pass, st.Call, "go ")
 				}
@@ -45,22 +52,65 @@ func IQErrCheck() *Analyzer {
 	return a
 }
 
-func checkDroppedErr(pass *Pass, call *ast.CallExpr, form string) {
+// droppedErrFunc resolves call to an in-scope method whose final result is
+// an error, or nil when the call is outside the rule.
+func droppedErrFunc(pass *Pass, call *ast.CallExpr) *types.Func {
 	fn := calleeFunc(pass.Info, call)
 	if fn == nil || fn.Pkg() == nil || !ioLayerPkgs[pkgBase(fn.Pkg().Path())] {
-		return
+		return nil
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
 		// Only the object/device/log/cache method surfaces are in scope;
 		// package-level helpers are judged by the general vet rules.
-		return
+		return nil
 	}
 	results := sig.Results()
 	if results.Len() == 0 || !isErrorType(results.At(results.Len()-1).Type()) {
+		return nil
+	}
+	return fn
+}
+
+func checkDroppedErr(pass *Pass, call *ast.CallExpr, form string) {
+	fn := droppedErrFunc(pass, call)
+	if fn == nil {
 		return
 	}
 	pass.Reportf(call.Pos(),
 		"%s%s.%s drops its error: handle it or assign it explicitly (e.g. `_ = ...` with a reason)",
 		form, pkgBase(fn.Pkg().Path()), fn.Name())
+}
+
+// checkDeferredDiscards flags `_ = f()` blank assignments inside a deferred
+// closure. In straight-line code a blank assign is a reviewable, intentional
+// discard; inside `defer func() { ... }()` it is usually the last chance to
+// observe a Close/Sync failure, and the closure form signals that handling
+// was intended — so the error must be checked (or the discard suppressed
+// with a reason).
+func checkDeferredDiscards(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // not part of the deferred execution
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Rhs) != 1 {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); !ok || id.Name != "_" {
+				return true
+			}
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := droppedErrFunc(pass, call); fn != nil {
+			pass.Reportf(as.Pos(),
+				"deferred closure blank-discards the %s.%s error: this is the last chance to observe it — check it (or suppress with a reason)",
+				pkgBase(fn.Pkg().Path()), fn.Name())
+		}
+		return true
+	})
 }

@@ -26,6 +26,11 @@ type Unit struct {
 	Analyze map[*ast.File]bool
 	Pkg     *types.Package
 	Info    *types.Info
+
+	// Test marks the test variants. The module phase builds its call graph
+	// from the base units only: test variants re-type-check the base files
+	// and would duplicate every function under fresh type identities.
+	Test bool
 }
 
 // Loader loads and type-checks the module's packages from source. Module
@@ -327,7 +332,7 @@ func (l *Loader) testUnit(path string, bp *basePkg) (*Unit, error) {
 	}
 	return &Unit{
 		Path: path + " [tests]", Dir: bp.dir, Fset: l.Fset,
-		Files: files, Analyze: analyze, Pkg: pkg, Info: info,
+		Files: files, Analyze: analyze, Pkg: pkg, Info: info, Test: true,
 	}, nil
 }
 
@@ -352,6 +357,6 @@ func (l *Loader) xtestUnit(path string, bp *basePkg) (*Unit, error) {
 	}
 	return &Unit{
 		Path: path + "_test", Dir: bp.dir, Fset: l.Fset,
-		Files: files, Analyze: analyze, Pkg: pkg, Info: info,
+		Files: files, Analyze: analyze, Pkg: pkg, Info: info, Test: true,
 	}, nil
 }

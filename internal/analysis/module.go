@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// ModuleAnalyzer is a whole-module rule: unlike an Analyzer, which inspects
+// one package unit at a time, a ModuleAnalyzer sees every loaded unit at once
+// plus the call graph built over them, so it can reason interprocedurally —
+// lock orders lifted across packages, context flow through call chains,
+// reachability closures from deterministic entry points.
+type ModuleAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*ModulePass)
+}
+
+// ModulePass carries the whole module through one ModuleAnalyzer.
+type ModulePass struct {
+	Analyzer *ModuleAnalyzer
+	Fset     *token.FileSet
+	Units    []*Unit // base (non-test) units, in load order
+	Graph    *Graph
+
+	analyzed map[string]bool // filename -> this run reports on it
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos, provided pos lies in a file this run
+// analyzes (module analyzers see imported units too, but report only on the
+// files the caller asked about).
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if !p.analyzed[position.Filename] {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Position: position,
+		Rule:     p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *ModulePass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ModuleAnalyzers returns the interprocedural rule set, in reporting order.
+func ModuleAnalyzers() []*ModuleAnalyzer {
+	return []*ModuleAnalyzer{
+		LockOrder(),
+		CtxFlow(),
+		DetClosure(),
+		LeakCheck(),
+	}
+}

@@ -1,0 +1,11 @@
+// Package main is the ctxflow negative corpus: process entry points own the
+// root context, so context.Background here is not a finding.
+package main
+
+import "context"
+
+func main() {
+	run(context.Background())
+}
+
+func run(ctx context.Context) { _ = ctx }

@@ -1,0 +1,23 @@
+// Package sched is the detclosure golden corpus for the scheduler root:
+// every method of Core is a deterministic entry point.
+package sched
+
+import "math/rand"
+
+// Core stands in for the WDRR scheduler core.
+type Core struct {
+	tenants []string
+}
+
+// Pick draws from the process-global PRNG: a finding, since a re-run with
+// the same seeds would schedule differently.
+func (c *Core) Pick() int {
+	return rand.Intn(len(c.tenants)) // want "detclosure: global rand.Intn reachable from the deterministic step loop"
+}
+
+// Rotate iterates a slice, not a map: clean.
+func (c *Core) Rotate() {
+	if len(c.tenants) > 1 {
+		c.tenants = append(c.tenants[1:], c.tenants[0])
+	}
+}

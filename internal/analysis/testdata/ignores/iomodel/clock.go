@@ -1,0 +1,22 @@
+// Package iomodel (corpus) exercises the -ignores suppression audit: one
+// live directive, one stale directive whose rule no longer fires, and one
+// malformed directive missing its rule and reason.
+package iomodel
+
+import "time"
+
+// Sample reads the wall clock under an audited suppression: the directive is
+// live because noclock fires on the covered line.
+func Sample() time.Time {
+	//lint:ignore noclock corpus demo of an audited wall-clock read
+	return time.Now()
+}
+
+// Idle touches no clock at all, so its directive suppresses nothing: stale.
+func Idle() int {
+	//lint:ignore noclock corpus demo of a rotted suppression
+	return 42
+}
+
+//lint:ignore
+func malformedAbove() {}

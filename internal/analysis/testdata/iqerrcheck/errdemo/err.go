@@ -30,3 +30,24 @@ func handled(ctx context.Context, s objstore.Store) error {
 	_ = s.Delete(ctx, "k")
 	return nil
 }
+
+// deferredClosureDiscard dresses a silent drop up as handling: the blank
+// assign inside the deferred closure is the last chance to observe the
+// error.
+func deferredClosureDiscard(ctx context.Context, s objstore.Store) {
+	defer func() {
+		_ = s.Delete(ctx, "k") // want "iqerrcheck: deferred closure blank-discards the objstore.Delete error"
+	}()
+	_ = s.Put(ctx, "k", []byte("v"))
+}
+
+// deferredClosureChecked observes the deferred error through the named
+// result: clean.
+func deferredClosureChecked(ctx context.Context, s objstore.Store) (err error) {
+	defer func() {
+		if cerr := s.Delete(ctx, "k"); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return s.Put(ctx, "k", []byte("v"))
+}

@@ -1,0 +1,77 @@
+// Package leakdemo is the leakcheck golden corpus: every go statement needs
+// a visible termination path — directly in the spawned closure or in any
+// function it reaches.
+package leakdemo
+
+type queue struct {
+	ch   chan int
+	done chan struct{}
+}
+
+// spawnLiteral leaks: the spawned closure can never exit.
+func spawnLiteral() {
+	go func() { // want "leakcheck: goroutine leak: spawned closure loops forever"
+		for {
+			tick()
+		}
+	}()
+}
+
+// spawnNamed leaks through a named worker.
+func spawnNamed() {
+	go forever() // want "leakcheck: goroutine leak: leakdemo.forever"
+}
+
+// spawnTransitive leaks two calls deep: the loop is in forever, reached via
+// entry.
+func spawnTransitive() {
+	go entry() // want "leakcheck: goroutine leak: leakdemo.forever (via leakdemo.entry -> leakdemo.forever)"
+}
+
+func entry() {
+	forever()
+}
+
+func forever() {
+	for {
+		tick()
+	}
+}
+
+// worker terminates on done: the select's return is a visible exit.
+func (q *queue) worker() {
+	go func() {
+		for {
+			select {
+			case <-q.done:
+				return
+			case v := <-q.ch:
+				use(v)
+			}
+		}
+	}()
+}
+
+// bounded loops with conditions are out of scope.
+func bounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			tick()
+		}
+	}()
+}
+
+// breaker escapes with an unlabeled break at loop depth.
+func breaker(stop func() bool) {
+	go func() {
+		for {
+			if stop() {
+				break
+			}
+			tick()
+		}
+	}()
+}
+
+func tick()     {}
+func use(v int) { _ = v }

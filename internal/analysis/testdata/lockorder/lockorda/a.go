@@ -1,0 +1,45 @@
+// Package lockorda is the lockorder golden corpus driver: Fwd orders A.mu
+// before lockordb's B.Mu interprocedurally (the acquisition is inside Bump,
+// one call deep and one package away), Rev orders them the other way around
+// directly — a cross-package lock-order cycle, reported once.
+package lockorda
+
+import (
+	"sync"
+
+	"cloudiq/internal/analysis/testdata/lockorder/lockordb"
+)
+
+// A is the upstream structure holding its own lock plus a guarded B.
+type A struct {
+	mu sync.Mutex
+	n  int
+	b  *lockordb.B
+}
+
+// Fwd acquires A.mu, then B.Mu via the interprocedural Bump call.
+func (a *A) Fwd() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+	a.b.Bump() // want "lockorder: lock-order cycle (potential deadlock): lockorda.A.mu before lockordb.B.Mu (via lockordb.(*B).Bump), then lockordb.B.Mu before lockorda.A.mu"
+}
+
+// Rev acquires B.Mu first, then A.mu — the reverse order.
+func (a *A) Rev() {
+	a.b.Mu.Lock()
+	defer a.b.Mu.Unlock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+// Consistent always takes the locks in Fwd's order; it adds a parallel edge
+// but no cycle and must stay silent.
+func (a *A) Consistent() {
+	a.mu.Lock()
+	a.b.Mu.Lock()
+	a.n++
+	a.b.Mu.Unlock()
+	a.mu.Unlock()
+}

@@ -1,0 +1,20 @@
+// Package lockordb is half of the lockorder golden corpus: it exports a
+// mutex-guarded type whose methods acquire B.Mu, so a caller in another
+// package that calls in while holding its own lock creates a cross-package
+// ordering edge.
+package lockordb
+
+import "sync"
+
+// B is the downstream guarded structure.
+type B struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Bump acquires B.Mu: callers holding their own locks order them before it.
+func (b *B) Bump() {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	b.n++
+}

@@ -652,6 +652,7 @@ func (o *Object) flushBatch(ctx context.Context, batch []*page) []error {
 			wsp.AddInt("bytes", n)
 		}
 		done := make(chan writeResult, 1)
+		//lint:ignore detclosure the overlapped chunk write is joined through done before flushBatch returns; only the join order, fixed by chunk index, is observable
 		go func() {
 			entries, err := o.ds.WriteBatch(wctx, sub, core.WriteThrough)
 			if err != nil {
@@ -711,6 +712,7 @@ func (o *Object) Prefetch(ctx context.Context, logicals []uint64) {
 		return
 	}
 	pctx, psp := trace.Start(ctx, "buffer.prefetch", trace.Int("pages", int64(len(logicals))))
+	//lint:ignore detclosure prefetch is a cache-warmup hint bounded by prefetchSem; it only populates the page cache, whose content is order-insensitive
 	go func() {
 		defer func() { <-o.pool.prefetchSem }()
 		_, _ = o.ReadBatch(pctx, logicals)

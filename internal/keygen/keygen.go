@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"cloudiq/internal/rfrb"
@@ -153,6 +154,7 @@ func (g *Generator) Nodes() []string {
 	for n := range g.active {
 		nodes = append(nodes, n)
 	}
+	sort.Strings(nodes)
 	return nodes
 }
 
@@ -187,10 +189,18 @@ func (g *Generator) CheckpointPayload() []byte {
 	defer g.mu.Unlock()
 	buf := binary.LittleEndian.AppendUint64(nil, g.next)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(g.active)))
-	for node, b := range g.active {
+	// Serialize in sorted node order: checkpoint bytes must be a pure
+	// function of the generator state, not of map iteration order, or two
+	// identically seeded runs produce different checkpoint images.
+	nodes := make([]string, 0, len(g.active))
+	for node := range g.active {
+		nodes = append(nodes, node)
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(node)))
 		buf = append(buf, node...)
-		img := b.Marshal()
+		img := g.active[node].Marshal()
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(img)))
 		buf = append(buf, img...)
 	}

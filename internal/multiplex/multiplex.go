@@ -50,14 +50,19 @@ type RestartArgs struct {
 	Node string
 }
 
-// service adapts Coordinator to net/rpc's method shape.
+// service adapts Coordinator to net/rpc's method shape. net/rpc offers no
+// per-call context, so handlers run under the server's base context: derived
+// from the context the owner passed to ListenAndServe and cancelled on
+// Close, so in-flight coordinator work is abandoned when the endpoint shuts
+// down instead of running against a context nothing can cancel.
 type service struct {
-	api Coordinator
+	api  Coordinator
+	base context.Context
 }
 
 // AllocateKeys implements the RPC method.
 func (s *service) AllocateKeys(args AllocArgs, reply *AllocReply) error {
-	r, err := s.api.AllocateKeys(context.Background(), args.Node, args.N)
+	r, err := s.api.AllocateKeys(s.base, args.Node, args.N)
 	if err != nil {
 		return err
 	}
@@ -71,35 +76,39 @@ func (s *service) NotifyCommit(args NotifyArgs, reply *struct{}) error {
 	if err != nil {
 		return err
 	}
-	return s.api.NotifyCommit(context.Background(), args.Node, bm)
+	return s.api.NotifyCommit(s.base, args.Node, bm)
 }
 
 // WriterRestartGC implements the RPC method.
 func (s *service) WriterRestartGC(args RestartArgs, reply *struct{}) error {
-	return s.api.WriterRestartGC(context.Background(), args.Node)
+	return s.api.WriterRestartGC(s.base, args.Node)
 }
 
 // Server runs a coordinator RPC endpoint.
 type Server struct {
-	lis net.Listener
+	lis    net.Listener
+	cancel context.CancelFunc
 
 	mu     sync.Mutex
 	closed bool
 }
 
 // ListenAndServe starts serving api on addr (use "127.0.0.1:0" for an
-// ephemeral port) and returns the running server.
-func ListenAndServe(addr string, api Coordinator) (*Server, error) {
+// ephemeral port) and returns the running server. RPC handlers run under a
+// context derived from ctx and cancelled when the server closes.
+func ListenAndServe(ctx context.Context, addr string, api Coordinator) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("multiplex: listen %s: %w", addr, err)
 	}
+	base, cancel := context.WithCancel(ctx)
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Coordinator", &service{api: api}); err != nil {
+	if err := srv.RegisterName("Coordinator", &service{api: api, base: base}); err != nil {
+		cancel()
 		_ = lis.Close()
 		return nil, fmt.Errorf("multiplex: register: %w", err)
 	}
-	s := &Server{lis: lis}
+	s := &Server{lis: lis, cancel: cancel}
 	go func() {
 		for {
 			conn, err := lis.Accept()
@@ -115,7 +124,8 @@ func ListenAndServe(addr string, api Coordinator) (*Server, error) {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.lis.Addr().String() }
 
-// Close stops accepting connections.
+// Close stops accepting connections and cancels the context in-flight
+// handlers run under.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -123,6 +133,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.cancel()
 	return s.lis.Close()
 }
 

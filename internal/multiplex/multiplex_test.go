@@ -42,7 +42,7 @@ func (f *fakeCoord) WriterRestartGC(ctx context.Context, node string) error {
 func startServer(t *testing.T) (*Server, *fakeCoord) {
 	t.Helper()
 	coord := &fakeCoord{gen: keygen.NewGenerator(nil)}
-	srv, err := ListenAndServe("127.0.0.1:0", coord)
+	srv, err := ListenAndServe(context.Background(), "127.0.0.1:0", coord)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -168,6 +168,7 @@ func New(cfg Config) (*Cache, error) {
 	c.cond = sync.NewCond(&c.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		c.wg.Add(1)
+		//lint:ignore detclosure upload workers drain a FIFO queue and join via wg on Close; WaitUploads is the only observation point and it barriers on the queue being empty
 		go c.uploadWorker()
 	}
 	return c, nil
@@ -299,6 +300,7 @@ func (c *Cache) Get(ctx context.Context, key string) ([]byte, error) {
 	copy(cp, data)
 	c.wg.Add(1)
 	c.fillWG.Add(1)
+	//lint:ignore detclosure the async fill is an idempotent single-key cache insert joined via fillWG/wg; cache content is order-insensitive
 	go func() {
 		defer c.wg.Done()
 		defer c.fillWG.Done()
@@ -418,6 +420,7 @@ func (c *Cache) PutThrough(ctx context.Context, key string, data []byte) error {
 	copy(cp, data)
 	c.wg.Add(1)
 	c.fillWG.Add(1)
+	//lint:ignore detclosure the async fill is an idempotent single-key cache insert joined via fillWG/wg; cache content is order-insensitive
 	go func() {
 		defer c.wg.Done()
 		defer c.fillWG.Done()
@@ -454,6 +457,7 @@ func (c *Cache) uploadWorker() {
 		// cannot inherit the writer's context: each job becomes its own
 		// root span, and its queue_ns (dequeue minus enqueue stamp) is the
 		// brown-out signal — store time stays flat while queue-wait grows.
+		//lint:ignore ctxflow write-back uploads outlive every writer context by design; cancellation is Close draining the queue
 		ctx := context.Background()
 		var sp *trace.Span
 		if c.cfg.Trace != nil {

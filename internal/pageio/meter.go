@@ -16,16 +16,40 @@ import (
 // "store:user" below it — the difference between the two read counts IS the
 // retry amplification).
 //
-// Wall-clock latencies feed histograms only; no control flow depends on
-// them, so metered pipelines stay safe inside deterministic simulations.
+// Latencies feed histograms only; no control flow depends on them. By
+// default they are sampled from the wall clock; deterministic harnesses
+// inject their simulated clock with SetClock so a metered pipeline's
+// observable state is a pure function of the seeds.
 type StatsRegistry struct {
 	mu     sync.Mutex
 	layers map[string]*LayerStats
+	clock  func() time.Time
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry sampling the wall clock.
 func NewRegistry() *StatsRegistry {
 	return &StatsRegistry{layers: make(map[string]*LayerStats)}
+}
+
+// SetClock injects the latency clock (simulated time in deterministic runs).
+// Call it before building pipelines: meters capture the sampler at
+// construction.
+func (r *StatsRegistry) SetClock(fn func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clock = fn
+}
+
+// now samples the registry's clock, falling back to the wall clock when none
+// was injected.
+func (r *StatsRegistry) now() time.Time {
+	r.mu.Lock()
+	fn := r.clock
+	r.mu.Unlock()
+	if fn != nil {
+		return fn()
+	}
+	return time.Now()
 }
 
 // Layer returns the named layer's stats, creating them on first use.
@@ -150,13 +174,14 @@ func Meter(reg *StatsRegistry, name string) Middleware {
 		if reg == nil {
 			return next
 		}
-		return &meter{next: next, stats: reg.Layer(name)}
+		return &meter{next: next, stats: reg.Layer(name), now: reg.now}
 	}
 }
 
 type meter struct {
 	next  Handler
 	stats *LayerStats
+	now   func() time.Time
 }
 
 func errCount(err error) int {
@@ -167,28 +192,28 @@ func errCount(err error) int {
 }
 
 func (m *meter) ReadPage(ctx context.Context, ref Ref) ([]byte, error) {
-	start := time.Now()
+	start := m.now()
 	data, err := m.next.ReadPage(ctx, ref)
-	m.stats.read.record(time.Since(start), 1, errCount(err), len(data))
+	m.stats.read.record(m.now().Sub(start), 1, errCount(err), len(data))
 	return data, err
 }
 
 func (m *meter) WritePage(ctx context.Context, req WriteReq) error {
-	start := time.Now()
+	start := m.now()
 	err := m.next.WritePage(ctx, req)
-	m.stats.write.record(time.Since(start), 1, errCount(err), len(req.Data))
+	m.stats.write.record(m.now().Sub(start), 1, errCount(err), len(req.Data))
 	return err
 }
 
 func (m *meter) Delete(ctx context.Context, ref Ref) error {
-	start := time.Now()
+	start := m.now()
 	err := m.next.Delete(ctx, ref)
-	m.stats.delete.record(time.Since(start), 1, errCount(err), 0)
+	m.stats.delete.record(m.now().Sub(start), 1, errCount(err), 0)
 	return err
 }
 
 func (m *meter) ReadBatch(ctx context.Context, refs []Ref) ([][]byte, error) {
-	start := time.Now()
+	start := m.now()
 	out, err := m.next.ReadBatch(ctx, refs)
 	nerr, nbytes := 0, 0
 	for _, e := range ItemErrors(err, len(refs)) {
@@ -199,12 +224,12 @@ func (m *meter) ReadBatch(ctx context.Context, refs []Ref) ([][]byte, error) {
 	for _, data := range out {
 		nbytes += len(data)
 	}
-	m.stats.read.record(time.Since(start), len(refs), nerr, nbytes)
+	m.stats.read.record(m.now().Sub(start), len(refs), nerr, nbytes)
 	return out, err
 }
 
 func (m *meter) WriteBatch(ctx context.Context, reqs []WriteReq) error {
-	start := time.Now()
+	start := m.now()
 	err := m.next.WriteBatch(ctx, reqs)
 	nerr, nbytes := 0, 0
 	for _, e := range ItemErrors(err, len(reqs)) {
@@ -215,6 +240,6 @@ func (m *meter) WriteBatch(ctx context.Context, reqs []WriteReq) error {
 	for _, req := range reqs {
 		nbytes += len(req.Data)
 	}
-	m.stats.write.record(time.Since(start), len(reqs), nerr, nbytes)
+	m.stats.write.record(m.now().Sub(start), len(reqs), nerr, nbytes)
 	return err
 }

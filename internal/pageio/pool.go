@@ -65,6 +65,7 @@ func (p *WorkPool) Do(ctx context.Context, n int, fn func(i int) error) []error 
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
+			//lint:ignore detclosure workers join via wg.Wait before Do returns, and each claimed index writes its own errs slot, so the result is independent of interleaving
 			go func() {
 				defer wg.Done()
 				run()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"cloudiq/internal/core"
 	"cloudiq/internal/freelist"
@@ -55,6 +56,9 @@ func (m *Manager) Checkpoint(ctx context.Context) error {
 		}
 	}
 	m.mu.Unlock()
+	// Checkpoint bytes must not depend on map iteration order: identically
+	// seeded runs have to produce identical checkpoint records.
+	sort.Slice(images, func(i, j int) bool { return images[i].name < images[j].name })
 
 	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(images)))
 	for _, im := range images {
@@ -360,6 +364,9 @@ func (m *Manager) WriterRestartGC(ctx context.Context, node string) error {
 		}
 	}
 	m.mu.Unlock()
+	// Poll the dbspaces in name order so the delete schedule (and any
+	// partial-failure resume point) is reproducible under simulation.
+	sort.Slice(clouds, func(i, j int) bool { return clouds[i].Name() < clouds[j].Name() })
 	for i, r := range ranges {
 		for _, ds := range clouds {
 			if err := ds.Reclaim(ctx, r); err != nil {

@@ -86,7 +86,7 @@ func TestCoordinatorRPCThroughPublicAPI(t *testing.T) {
 	if err := coord.AttachCloudDbspace("user", store, CloudOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := ListenCoordinator("127.0.0.1:0", coord)
+	srv, err := ListenCoordinator(context.Background(), "127.0.0.1:0", coord)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,8 @@ package cloudiq
 // program against the cloudiq package alone.
 
 import (
+	"context"
+
 	"cloudiq/internal/blockdev"
 	"cloudiq/internal/column"
 	"cloudiq/internal/exec"
@@ -244,9 +246,11 @@ type (
 	MultiplexClient = multiplex.Client
 )
 
-// ListenCoordinator starts serving a coordinator Database over net/rpc.
-func ListenCoordinator(addr string, db *Database) (*MultiplexServer, error) {
-	return multiplex.ListenAndServe(addr, db)
+// ListenCoordinator starts serving a coordinator Database over net/rpc. RPC
+// handlers run under a context derived from ctx, cancelled when the server
+// closes.
+func ListenCoordinator(ctx context.Context, addr string, db *Database) (*MultiplexServer, error) {
+	return multiplex.ListenAndServe(ctx, addr, db)
 }
 
 // DialCoordinator connects a secondary node to a coordinator endpoint.
