@@ -32,6 +32,7 @@ import (
 	"cloudiq/internal/faultinject"
 	"cloudiq/internal/iomodel"
 	"cloudiq/internal/keygen"
+	"cloudiq/internal/multiplex"
 	"cloudiq/internal/objstore"
 	"cloudiq/internal/ocm"
 	"cloudiq/internal/pageio"
@@ -100,6 +101,16 @@ type Database struct {
 	spaces map[string]core.Dbspace
 	caches []*ocm.Cache
 	snap   *snapshot.Manager
+
+	// Fence-epoch state (coordinator failover, §3.2 operationalized). The
+	// epoch is this node's own coordinator epoch; maxSeen is the highest
+	// epoch ever observed in an incoming RPC. maxSeen > epoch means a newer
+	// coordinator exists: this node is deposed and every mutating
+	// coordinator entry point rejects. Both default to zero, so single-node
+	// and pre-failover deployments are unaffected.
+	epochMu sync.Mutex
+	epoch   uint64
+	maxSeen uint64
 }
 
 // Open creates or reopens a database over cfg.LogDevice. Reopening an
@@ -486,12 +497,18 @@ func (db *Database) SnapshotRetainedKeys(space string) ([]string, error) {
 // NotifyCommit is the coordinator-side entry point for commit notifications
 // from secondary nodes.
 func (db *Database) NotifyCommit(ctx context.Context, node string, consumed *rfrb.Bitmap) error {
+	if err := db.fencedErr(); err != nil {
+		return err
+	}
 	return db.mgr.NotifyCommit(ctx, node, consumed)
 }
 
 // AllocateKeys is the coordinator-side entry point for key-range requests
 // from secondary nodes.
 func (db *Database) AllocateKeys(ctx context.Context, node string, n uint64) (rfrb.Range, error) {
+	if err := db.fencedErr(); err != nil {
+		return rfrb.Range{}, err
+	}
 	if db.gen == nil {
 		return rfrb.Range{}, fmt.Errorf("cloudiq: node %s is not the coordinator", db.cfg.Node)
 	}
@@ -501,7 +518,88 @@ func (db *Database) AllocateKeys(ctx context.Context, node string, n uint64) (rf
 // WriterRestartGC garbage collects a crashed writer's outstanding key
 // allocations (coordinator only).
 func (db *Database) WriterRestartGC(ctx context.Context, node string) error {
+	if err := db.fencedErr(); err != nil {
+		return err
+	}
 	return db.mgr.WriterRestartGC(ctx, node)
+}
+
+// --- fence epochs (coordinator failover) ---
+
+// SetEpoch installs this node's coordinator epoch. The cluster controller
+// calls it when promoting a standby; the new epoch also raises maxSeen, so a
+// promoted node can never be fenced by its own announcement.
+func (db *Database) SetEpoch(e uint64) {
+	db.epochMu.Lock()
+	defer db.epochMu.Unlock()
+	db.epoch = e
+	if e > db.maxSeen {
+		db.maxSeen = e
+	}
+}
+
+// Epoch returns the node's coordinator epoch.
+func (db *Database) Epoch() uint64 {
+	db.epochMu.Lock()
+	defer db.epochMu.Unlock()
+	return db.epoch
+}
+
+// Fenced reports whether this node has been deposed: it observed a fence
+// epoch higher than its own. A fenced coordinator rejects every mutating
+// entry point forever — the other half of split-brain prevention (the first
+// half is stale-epoch rejection of old clients).
+func (db *Database) Fenced() bool {
+	db.epochMu.Lock()
+	defer db.epochMu.Unlock()
+	return db.maxSeen > db.epoch
+}
+
+// fencedErr returns the mutating-entry-point rejection when deposed.
+func (db *Database) fencedErr() error {
+	if db.Fenced() {
+		return fmt.Errorf("%w (node %s, epoch %d)", multiplex.ErrFenced, db.cfg.Node, db.Epoch())
+	}
+	return nil
+}
+
+// CheckEpoch validates a caller's fence epoch (multiplex.Coordinator). A
+// higher remote epoch permanently fences this node; a lower one rejects the
+// caller as stale. Only a caller at exactly this node's epoch is served.
+func (db *Database) CheckEpoch(ctx context.Context, remote uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	db.epochMu.Lock()
+	defer db.epochMu.Unlock()
+	if remote > db.maxSeen {
+		db.maxSeen = remote
+	}
+	if db.maxSeen > db.epoch {
+		return fmt.Errorf("%w (node %s, epoch %d, saw %d)", multiplex.ErrFenced, db.cfg.Node, db.epoch, db.maxSeen)
+	}
+	if remote < db.epoch {
+		return fmt.Errorf("%w (caller at %d, coordinator at %d)", multiplex.ErrStaleEpoch, remote, db.epoch)
+	}
+	return nil
+}
+
+// Status reports the node's identity, fence-epoch position and commit
+// sequence — the health-probe payload (multiplex.Coordinator).
+func (db *Database) Status(ctx context.Context) (multiplex.NodeStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return multiplex.NodeStatus{}, err
+	}
+	db.epochMu.Lock()
+	epoch, maxSeen := db.epoch, db.maxSeen
+	db.epochMu.Unlock()
+	return multiplex.NodeStatus{
+		Node:      db.cfg.Node,
+		Epoch:     epoch,
+		MaxSeen:   maxSeen,
+		Fenced:    maxSeen > epoch,
+		CommitSeq: db.mgr.CommitSeq(),
+	}, nil
 }
 
 // PoolStats reports buffer-manager cache behaviour.

@@ -37,6 +37,8 @@ func main() {
 	short := flag.Bool("short", false, "shrink scale factor and timescale for a fast smoke run (overrides -sf/-timescale)")
 	iostats := flag.String("iostats", "", "write per-layer pageio statistics JSON to this file after the run")
 	schedOut := flag.String("schedout", "", "write the mixed-fleet scheduler report JSON to this file (sched experiment)")
+	failoverOut := flag.String("failoverout", "", "write the coordinator-failover report JSON to this file (failover experiment)")
+	failoverCycles := flag.Int("failover-cycles", 5, "kill/promote cycles for the failover experiment")
 	traceOut := flag.String("trace", "", "write structured span JSON to this file after the run and print the slowest operation tree")
 	flag.Parse()
 
@@ -59,7 +61,7 @@ func main() {
 		})
 	}
 	ctx := context.Background()
-	if err := run(ctx, strings.ToLower(*exp), base, *schedOut); err != nil {
+	if err := run(ctx, strings.ToLower(*exp), base, *schedOut, *failoverOut, *failoverCycles); err != nil {
 		fmt.Fprintln(os.Stderr, "iqbench:", err)
 		os.Exit(1)
 	}
@@ -109,6 +111,15 @@ func writeSchedReport(path string, rep *bench.SchedReport) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// writeFailoverReport dumps the coordinator-failover report as indented JSON.
+func writeFailoverReport(path string, rep *bench.FailoverReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // writeStats dumps the per-layer I/O counters collected during the run.
 func writeStats(path string, reg *pageio.StatsRegistry) error {
 	f, err := os.Create(path)
@@ -122,7 +133,7 @@ func writeStats(path string, reg *pageio.StatsRegistry) error {
 	return f.Close()
 }
 
-func run(ctx context.Context, exp string, base bench.Options, schedOut string) error {
+func run(ctx context.Context, exp string, base bench.Options, schedOut, failoverOut string, failoverCycles int) error {
 	all := exp == "all"
 	started := time.Now()
 
@@ -254,9 +265,24 @@ func run(ctx context.Context, exp string, base bench.Options, schedOut string) e
 		}
 	}
 
+	if all || exp == "failover" {
+		rep, err := bench.RunFailover(ctx, base, failoverCycles)
+		if err != nil {
+			return err
+		}
+		section(fmt.Sprintf("Coordinator failover: %d kill/promote cycles under the reconcile-loop controller", rep.Cycles))
+		fmt.Print(bench.FormatFailover(rep))
+		if failoverOut != "" {
+			if err := writeFailoverReport(failoverOut, rep); err != nil {
+				return err
+			}
+			fmt.Printf("failover report written to %s\n", failoverOut)
+		}
+	}
+
 	known := map[string]bool{"all": true, "table1": true, "table2": true, "table3": true,
 		"table4": true, "table5": true, "fig6": true, "fig7": true, "fig8": true,
-		"fig9": true, "ablations": true, "sched": true}
+		"fig9": true, "ablations": true, "sched": true, "failover": true}
 	if !known[exp] {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -10,6 +10,7 @@
 //	iqsim -script repro.iqsim    # replay a (shrunken) reproducer
 //	iqsim -seeds 20 -out fails/  # write failing scripts to fails/
 //	iqsim -seeds 50 -queries     # query mode: scheduler steps + lifecycle oracle
+//	iqsim -seeds 200 -cluster    # cluster mode: controller failover + convergence oracle
 //
 // Exit status is non-zero if any run fails an oracle or the harness errors.
 package main
@@ -34,6 +35,7 @@ func main() {
 		shrinkRuns  = flag.Int("shrink-runs", 300, "max simulation runs the shrinker may spend per failure")
 		brokenRetry = flag.Bool("broken-retry", false, "ablation: single-attempt reads (the suite must fail)")
 		queries     = flag.Bool("queries", false, "query mode: concurrent-query scheduler steps + lifecycle oracle")
+		clusterMode = flag.Bool("cluster", false, "cluster mode: reconcile-loop controller, coordinator failover, convergence oracle")
 		verbose     = flag.Bool("v", false, "print step logs")
 		outDir      = flag.String("out", "", "directory for failing seeds + shrunken scripts")
 	)
@@ -56,12 +58,12 @@ func main() {
 		}
 	case *seeds > 0:
 		for s := *start; s < *start+uint64(*seeds); s++ {
-			if !runOne(ctx, simtest.Options{Seed: s, BrokenRetry: *brokenRetry, Queries: *queries}, *shrink, *shrinkRuns, *verbose, *outDir) {
+			if !runOne(ctx, simtest.Options{Seed: s, BrokenRetry: *brokenRetry, Queries: *queries, Cluster: *clusterMode}, *shrink, *shrinkRuns, *verbose, *outDir) {
 				failures++
 			}
 		}
 	default:
-		if !runOne(ctx, simtest.Options{Seed: *seed, BrokenRetry: *brokenRetry, Queries: *queries}, *shrink, *shrinkRuns, *verbose, *outDir) {
+		if !runOne(ctx, simtest.Options{Seed: *seed, BrokenRetry: *brokenRetry, Queries: *queries, Cluster: *clusterMode}, *shrink, *shrinkRuns, *verbose, *outDir) {
 			failures++
 		}
 	}

@@ -52,7 +52,10 @@ func DetClosure() *ModuleAnalyzer {
 }
 
 // detRoots selects the deterministic entry points: the simtest runner's step
-// loop and every method of the sched scheduler core.
+// loop, every method of the sched scheduler core, and every method of the
+// cluster controller — reconcile rounds run under the simulated clock, so a
+// wall-clock read or unseeded draw anywhere in the controller's reach would
+// desynchronize replayed failovers.
 func detRoots(g *Graph) []*types.Func {
 	var roots []*types.Func
 	for _, n := range g.NodesSorted() {
@@ -64,6 +67,10 @@ func detRoots(g *Graph) []*types.Func {
 			}
 		case "sched":
 			if recvTypeName(n.Func) == "Core" {
+				roots = append(roots, n.Func)
+			}
+		case "cluster":
+			if recvTypeName(n.Func) == "Controller" {
 				roots = append(roots, n.Func)
 			}
 		}

@@ -38,8 +38,23 @@ var servingPkgs = map[string]bool{
 // similarly-named pure helpers.
 var servingPrefixes = []string{"Run"}
 
+// reconcilePkgs are control-loop boundaries: packages whose exported
+// reconcile entry points mutate cluster topology (promotions, restarts,
+// scaling). Their obligation mirrors the write rule one level up — a
+// reconcile round that cannot be crashed by the fault planner is a failover
+// path whose mid-takeover behavior the simulator never exercises.
+var reconcilePkgs = map[string]bool{
+	"cluster": true,
+}
+
+// reconcilePrefixes identify reconcile entry points by name
+// (Controller.ReconcileOnce, Controller.Converge).
+var reconcilePrefixes = []string{"Reconcile", "Converge"}
+
 // FaultSite checks that every exported mutating method on the
-// objstore/blockdev/wal/ocm boundary routes through a faultinject hook:
+// objstore/blockdev/wal/ocm boundary — and every serving or reconcile entry
+// point (sched admission, cluster controller rounds) — routes through a
+// faultinject hook:
 // its same-package transitive call closure must reach Plan.Check or
 // Plan.LagAt, or delegate the mutation to another covered boundary (for
 // example, ocm's write paths delegate to objstore.Store.Put and
@@ -51,8 +66,8 @@ func FaultSite() *Analyzer {
 	}
 	a.Run = func(pass *Pass) {
 		base := pkgBase(pass.Pkg.Path())
-		mutating, serving := boundaryPkgs[base], servingPkgs[base]
-		if !mutating && !serving {
+		mutating, serving, reconciling := boundaryPkgs[base], servingPkgs[base], reconcilePkgs[base]
+		if !mutating && !serving && !reconciling {
 			return
 		}
 		// Map every function/method declared in this unit to its body so
@@ -81,6 +96,9 @@ func FaultSite() *Analyzer {
 				case serving && isExportedServingMethod(fd, fn):
 					targets = append(targets, fd)
 					kinds[fd] = "serving"
+				case reconciling && isExportedPrefixedMethod(fd, fn, reconcilePrefixes):
+					targets = append(targets, fd)
+					kinds[fd] = "reconcile"
 				}
 			}
 		}
@@ -122,6 +140,13 @@ func isExportedMutatingMethod(fd *ast.FuncDecl, fn *types.Func) bool {
 // exported receiver types in serving packages: Run-prefixed methods taking a
 // leading context.Context (the signature every concurrent client calls).
 func isExportedServingMethod(fd *ast.FuncDecl, fn *types.Func) bool {
+	return isExportedPrefixedMethod(fd, fn, servingPrefixes)
+}
+
+// isExportedPrefixedMethod selects exported, context-first methods on
+// exported receiver types whose name carries one of the given prefixes — the
+// shared shape of serving and reconcile obligations.
+func isExportedPrefixedMethod(fd *ast.FuncDecl, fn *types.Func, prefixes []string) bool {
 	if fd.Recv == nil || !fn.Exported() {
 		return false
 	}
@@ -129,14 +154,14 @@ func isExportedServingMethod(fd *ast.FuncDecl, fn *types.Func) bool {
 	if name == "" || !ast.IsExported(name) {
 		return false
 	}
-	served := false
-	for _, p := range servingPrefixes {
+	matched := false
+	for _, p := range prefixes {
 		if strings.HasPrefix(fn.Name(), p) {
-			served = true
+			matched = true
 			break
 		}
 	}
-	if !served {
+	if !matched {
 		return false
 	}
 	sig, ok := fn.Type().(*types.Signature)

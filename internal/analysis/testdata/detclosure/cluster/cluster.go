@@ -1,0 +1,41 @@
+// Package cluster is the detclosure golden corpus for the controller root:
+// every method of Controller is a deterministic entry point — reconcile
+// rounds run under the simulated clock, so their whole reach must be a pure
+// function of the seeds.
+package cluster
+
+import (
+	"sort"
+	"time"
+)
+
+// Controller stands in for the reconcile-loop cluster controller.
+type Controller struct {
+	suspect map[string]int
+}
+
+// Deadline reads the wall clock: a finding, since a replayed failover would
+// time out at a different simulated instant.
+func (c *Controller) Deadline() time.Time {
+	return time.Now().Add(time.Second) // want "detclosure: time.Now reachable from the deterministic step loop"
+}
+
+// Suspects iterates the suspicion map and appends without sorting: a
+// finding — probe order would follow the runtime's coin flips.
+func (c *Controller) Suspects() []string {
+	var out []string
+	for name := range c.suspect { // want "detclosure: map iteration appends to out without sorting it afterwards"
+		out = append(out, name)
+	}
+	return out
+}
+
+// SuspectsSorted is the collect-then-sort idiom: clean.
+func (c *Controller) SuspectsSorted() []string {
+	var out []string
+	for name := range c.suspect {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

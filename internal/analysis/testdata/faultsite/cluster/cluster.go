@@ -1,0 +1,54 @@
+// Package cluster is the faultsite golden corpus for the reconcile
+// obligation: the directory base matches the cluster-controller package, so
+// exported Reconcile/Converge entry points (context-first, on exported
+// receivers) must route through a faultinject hook — a reconcile round the
+// fault planner cannot crash is a failover path whose mid-takeover behavior
+// the simulator never exercises.
+package cluster
+
+import (
+	"context"
+
+	"cloudiq/internal/faultinject"
+)
+
+// Controller draws the reconcile fault site at the top of every round; clean.
+type Controller struct {
+	plan *faultinject.Plan
+}
+
+func (c *Controller) ReconcileOnce(ctx context.Context) error {
+	if err := c.plan.Check(faultinject.ClusterReconcile, "reconcile"); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Converge reaches the hook only through the same-package round method; the
+// closure walk must follow it. Clean.
+func (c *Controller) Converge(ctx context.Context, rounds int) error {
+	for i := 0; i < rounds; i++ {
+		if err := c.ReconcileOnce(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Blind runs reconcile rounds with no fault site anywhere on the path; a
+// finding.
+type Blind struct{}
+
+func (b *Blind) ReconcileOnce(ctx context.Context) error { // want "faultsite: exported reconcile operation Blind.ReconcileOnce has no faultinject site"
+	return ctx.Err()
+}
+
+// Reconciler is not an entry point despite the prefix: no context parameter,
+// so it carries no obligation.
+func (b *Blind) Reconciled(n int) int { return n + 1 }
+
+// loop mirrors the unexported-receiver exemption: no obligation on
+// unexported types.
+type loop struct{}
+
+func (l *loop) ReconcileOnce(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,49 @@
+package leakdemo
+
+// Controller-loop corpus: the background shape of a reconcile-loop cluster
+// controller. The production controller runs single-threaded under the
+// simulation's step loop, but a deployment wraps it in a goroutine — and
+// that wrapper must have a visible shutdown path, or the controller (and its
+// probe connections to every node) outlives the process's intent to stop it.
+
+type controller struct {
+	stop chan struct{}
+}
+
+// runForever leaks: the reconcile loop has no exit, so the controller
+// goroutine can never be joined on shutdown.
+func runForever(c *controller) {
+	go func() { // want "leakcheck: goroutine leak: spawned closure loops forever"
+		for {
+			reconcileRound(c)
+		}
+	}()
+}
+
+// runUntilStopped terminates on the stop channel: the select's return is a
+// visible exit, so the spawn is clean.
+func runUntilStopped(c *controller) {
+	go func() {
+		for {
+			select {
+			case <-c.stop:
+				return
+			default:
+				reconcileRound(c)
+			}
+		}
+	}()
+}
+
+// runNamedLoop leaks through a named reconcile loop reached by the spawn.
+func runNamedLoop(c *controller) {
+	go reconcileLoop(c) // want "leakcheck: goroutine leak: leakdemo.reconcileLoop"
+}
+
+func reconcileLoop(c *controller) {
+	for {
+		reconcileRound(c)
+	}
+}
+
+func reconcileRound(c *controller) {}

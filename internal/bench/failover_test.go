@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// TestFailoverBounded runs a scaled-down failover experiment (the full run is
+// iqbench's job) and checks the acceptance properties: every cycle promotes
+// within the round budget (RunFailover errors otherwise), no committed row is
+// lost across any takeover, the fence epoch advances once per cycle, and the
+// unavailability window is bounded — per-cycle checkpointing keeps the last
+// cycle's takeover from growing past the first one's.
+func TestFailoverBounded(t *testing.T) {
+	rep, err := RunFailover(ctxb(), fast(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SurvivedRows != rep.CommittedRows {
+		t.Fatalf("lost rows: %d survived of %d committed", rep.SurvivedRows, rep.CommittedRows)
+	}
+	if rep.FinalEpoch != 3 {
+		t.Fatalf("final fence epoch = %d, want 3", rep.FinalEpoch)
+	}
+	if len(rep.PerCycle) != 3 {
+		t.Fatalf("%d cycles reported, want 3", len(rep.PerCycle))
+	}
+	for _, c := range rep.PerCycle {
+		if c.RestoreSimMs <= 0 || c.PromoteSimMs <= 0 {
+			t.Errorf("cycle %d: non-positive window (promote %.1fms, restore %.1fms)", c.Cycle, c.PromoteSimMs, c.RestoreSimMs)
+		}
+		if c.RestoreSimMs < c.PromoteSimMs {
+			t.Errorf("cycle %d: first commit %.1fms before promotion %.1fms", c.Cycle, c.RestoreSimMs, c.PromoteSimMs)
+		}
+	}
+	first, last := rep.PerCycle[0].RestoreSimMs, rep.PerCycle[len(rep.PerCycle)-1].RestoreSimMs
+	if last > first*1.5 {
+		t.Errorf("unavailability grows with history: cycle 1 %.1fms, cycle %d %.1fms", first, len(rep.PerCycle), last)
+	}
+}

@@ -1,0 +1,374 @@
+// Package cluster is the reconcile-loop controller for the multiplex: it
+// owns a declarative desired-state Spec ({coordinator + standbys, writers,
+// readers min..max}) and drives the observed fleet toward it one primitive
+// action at a time — standby promotion with epoch fencing when the
+// coordinator dies, writer starts and spec-generation rolling restarts,
+// reader autoscaling from scheduler load.
+//
+// The controller follows the Kubernetes-operator discipline the paper's
+// cloud-native deployment implies (§2: the coordinator is an HA pair; §6:
+// elasticity): every ReconcileOnce call observes the fleet by probing,
+// decides, and performs at most ONE action. That makes the loop crashable
+// anywhere — a controller that dies mid-reconcile is replaced by a fresh one
+// whose state is reconstructed entirely from probes (the fence epoch lives
+// in the coordinators themselves, not in the controller). The whole-system
+// simulator exploits exactly that: it kills the controller at fault sites
+// and asserts the convergence oracle regardless.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"cloudiq/internal/faultinject"
+	"cloudiq/internal/multiplex"
+	"cloudiq/internal/sched"
+)
+
+// Spec is the desired state of the multiplex. The zero value of the
+// autoscale fields disables load-driven scaling (the min/max bounds are
+// still enforced).
+type Spec struct {
+	// Standbys is the number of warm coordinator standbys to keep eligible
+	// for promotion.
+	Standbys int
+	// Writers is the writer-node count.
+	Writers int
+	// ReadersMin/ReadersMax bound the reader fleet; the autoscaler moves
+	// within them.
+	ReadersMin int
+	ReadersMax int
+	// Generation is the rolling-restart cursor: a writer whose member Gen
+	// lags it is drained (flush/commit) and restarted, one at a time, only
+	// while every writer is healthy. Bumping Generation IS the rolling
+	// restart; the controller carries no restart state of its own, so a
+	// controller crash mid-roll resumes where the fleet's Gens say.
+	Generation int
+	// ScaleOutWait scales a reader out when the oldest queued query has
+	// waited at least this long with no free slot (0 disables).
+	ScaleOutWait time.Duration
+	// ScaleInFree scales a reader in when the queue is empty and at least
+	// this many slots are free (0 disables).
+	ScaleInFree int
+}
+
+// ProbeThreshold is how many consecutive failed probes depose a coordinator.
+// One lost probe is routine (a blip, an injected partition); promotion —
+// which permanently fences the old coordinator — waits for a second opinion.
+const ProbeThreshold = 2
+
+// ActionKind names the primitive a reconcile step performed.
+type ActionKind string
+
+// The reconcile primitives, in decision priority order.
+const (
+	ActNone          ActionKind = "none"
+	ActPromote       ActionKind = "promote"
+	ActStartStandby  ActionKind = "start-standby"
+	ActStartWriter   ActionKind = "start-writer"
+	ActRestartWriter ActionKind = "restart-writer"
+	ActAddReader     ActionKind = "add-reader"
+	ActDrainReader   ActionKind = "drain-reader"
+)
+
+// Action is one reconcile step's outcome.
+type Action struct {
+	Kind   ActionKind
+	Target string // the node acted on (new node's name for starts)
+	Epoch  uint64 // for ActPromote: the fence epoch the new coordinator serves at
+}
+
+// String renders the action for traces and logs.
+func (a Action) String() string {
+	if a.Kind == ActPromote {
+		return fmt.Sprintf("%s(%s@%d)", a.Kind, a.Target, a.Epoch)
+	}
+	if a.Target == "" {
+		return string(a.Kind)
+	}
+	return fmt.Sprintf("%s(%s)", a.Kind, a.Target)
+}
+
+// Fleet is the actuation surface the controller drives: observe membership,
+// probe liveness, and perform the primitives. Implementations (the simulator
+// fleet, the benchmark fleet) own node naming, registry upkeep and the
+// actual process lifecycle.
+type Fleet interface {
+	// Members returns the registered fleet, sorted by name.
+	Members() []multiplex.Member
+	// Probe health-checks one member. An error is indistinguishable from a
+	// dead node or a partition — the controller treats it with suspicion,
+	// not certainty.
+	Probe(ctx context.Context, name string) (multiplex.NodeStatus, error)
+	// Promote fences the reigning coordinator at epoch and activates the
+	// standby in its place: the standby replays the coordinator WAL
+	// (keygen high-water and active sets), adopts epoch, and registers as
+	// coordinator. Fence-before-activate: from the moment this returns, at
+	// most one coordinator serves mutating RPCs. Implementations persist
+	// the fence epoch on shared storage and report that floor in standby
+	// probes' MaxSeen, so a freshly restarted controller re-learns the
+	// epoch without ever reaching the (possibly dead) old coordinator —
+	// and must reject a Promote below the persisted floor.
+	Promote(ctx context.Context, standby string, epoch uint64) error
+	// StartStandby launches a warm coordinator standby, returning its name.
+	StartStandby(ctx context.Context) (string, error)
+	// StartWriter launches a writer under the given spec generation.
+	StartWriter(ctx context.Context, gen int) (string, error)
+	// RestartWriter drains a writer through its flush/commit path and
+	// restarts it under gen (also the recovery path for a crashed writer).
+	RestartWriter(ctx context.Context, name string, gen int) error
+	// AddReader launches a reader and joins it to the scheduler fleet.
+	AddReader(ctx context.Context, gen int) (string, error)
+	// DrainReader starts a graceful drain; the reader deregisters once its
+	// running queries finish.
+	DrainReader(ctx context.Context, name string) error
+	// Load is the scheduler's load snapshot, feeding the reader autoscaler.
+	Load() sched.LoadStats
+}
+
+// ErrNoStandby means a promotion was required but no live standby exists and
+// none could be started this round.
+var ErrNoStandby = errors.New("cluster: coordinator dead with no standby")
+
+// Controller runs the reconcile loop. It is deliberately almost stateless:
+// the spec, a probe-suspicion counter and the highest fence epoch it has
+// observed. Everything else is re-learned from the fleet each round, so a
+// crashed controller is replaced by calling New again.
+type Controller struct {
+	spec   Spec
+	fleet  Fleet
+	faults *faultinject.Plan
+
+	// suspect counts consecutive failed probes per node; promotion fires at
+	// ProbeThreshold for the coordinator.
+	suspect map[string]int
+	// epoch is the highest fence epoch observed across probes — the floor
+	// for the next promotion. A fresh controller re-learns it by probing.
+	epoch uint64
+}
+
+// New builds a controller over the fleet. faults arms the ClusterReconcile
+// site (nil means none).
+func New(spec Spec, fleet Fleet, faults *faultinject.Plan) *Controller {
+	if spec.ReadersMax < spec.ReadersMin {
+		spec.ReadersMax = spec.ReadersMin
+	}
+	return &Controller{spec: spec, fleet: fleet, faults: faults, suspect: make(map[string]int)}
+}
+
+// Spec returns the current desired state.
+func (c *Controller) Spec() Spec { return c.spec }
+
+// SetSpec replaces the desired state (the operator edited the spec object).
+func (c *Controller) SetSpec(s Spec) {
+	if s.ReadersMax < s.ReadersMin {
+		s.ReadersMax = s.ReadersMin
+	}
+	c.spec = s
+}
+
+// Epoch returns the highest fence epoch the controller has observed.
+func (c *Controller) Epoch() uint64 { return c.epoch }
+
+// observation is one round's view of a member.
+type observation struct {
+	member multiplex.Member
+	status multiplex.NodeStatus
+	err    error
+}
+
+// ReconcileOnce observes the fleet and performs at most one primitive
+// action, returned for tracing. ActNone means the observed fleet matches the
+// spec — the convergence oracle's fixed point. An error aborts the round
+// with nothing actuated beyond the probes already sent; the caller just
+// reconciles again.
+func (c *Controller) ReconcileOnce(ctx context.Context) (Action, error) {
+	if err := ctx.Err(); err != nil {
+		return Action{}, err
+	}
+	// The reconcile entry point is itself a fault site: an injected failure
+	// here models the controller process dying between observation rounds.
+	if err := c.faults.Check(faultinject.ClusterReconcile, "reconcile"); err != nil {
+		return Action{}, fmt.Errorf("cluster: reconcile: %w", err)
+	}
+
+	// Observe: probe every member in sorted order. Probe outcomes update
+	// the suspicion counters and the epoch floor.
+	var coords, standbys, writers, readers []observation
+	for _, m := range c.fleet.Members() {
+		ob := observation{member: m}
+		ob.status, ob.err = c.fleet.Probe(ctx, m.Name)
+		if ob.err != nil {
+			c.suspect[m.Name]++
+		} else {
+			delete(c.suspect, m.Name)
+			if ob.status.MaxSeen > c.epoch {
+				c.epoch = ob.status.MaxSeen
+			}
+			if ob.status.Epoch > c.epoch {
+				c.epoch = ob.status.Epoch
+			}
+		}
+		switch m.Role {
+		case multiplex.RoleCoordinator:
+			coords = append(coords, ob)
+		case multiplex.RoleStandby:
+			standbys = append(standbys, ob)
+		case multiplex.RoleWriter:
+			writers = append(writers, ob)
+		case multiplex.RoleReader:
+			readers = append(readers, ob)
+		}
+	}
+
+	// Decide and act: strict priority, one primitive per round.
+	if act, err, acted := c.reconcileCoordinator(ctx, coords, standbys); acted {
+		return act, err
+	}
+	if len(standbys) < c.spec.Standbys {
+		name, err := c.fleet.StartStandby(ctx)
+		return Action{Kind: ActStartStandby, Target: name}, err
+	}
+	if act, err, acted := c.reconcileWriters(ctx, writers); acted {
+		return act, err
+	}
+	return c.reconcileReaders(ctx, readers)
+}
+
+// reconcileCoordinator handles the availability-critical tier: if the
+// reigning coordinator is dead (ProbeThreshold consecutive failed probes),
+// fenced, or absent, promote a live standby at a fresh fence epoch.
+func (c *Controller) reconcileCoordinator(ctx context.Context, coords, standbys []observation) (Action, error, bool) {
+	needPromote := len(coords) == 0
+	for _, ob := range coords {
+		switch {
+		case ob.err != nil && c.suspect[ob.member.Name] >= ProbeThreshold:
+			needPromote = true
+		case ob.err == nil && ob.status.Fenced:
+			// A fenced coordinator can never serve again; replace it even
+			// though it answers probes.
+			needPromote = true
+		}
+	}
+	if !needPromote {
+		return Action{}, nil, false
+	}
+	for _, ob := range standbys {
+		if ob.err != nil {
+			continue
+		}
+		epoch := c.epoch + 1
+		if err := c.fleet.Promote(ctx, ob.member.Name, epoch); err != nil {
+			return Action{Kind: ActPromote, Target: ob.member.Name, Epoch: epoch}, err, true
+		}
+		c.epoch = epoch
+		return Action{Kind: ActPromote, Target: ob.member.Name, Epoch: epoch}, nil, true
+	}
+	// No live standby: starting one is this round's action; promotion is
+	// next round's.
+	name, err := c.fleet.StartStandby(ctx)
+	if err != nil {
+		return Action{Kind: ActStartStandby, Target: name}, fmt.Errorf("%w (start standby: %v)", ErrNoStandby, err), true
+	}
+	return Action{Kind: ActStartStandby, Target: name}, nil, true
+}
+
+// reconcileWriters keeps the writer tier at spec: start missing writers,
+// restart crashed ones, then advance the rolling restart one writer at a
+// time — and only when every writer is healthy, so a roll never takes the
+// second writer down while the first is still coming back.
+func (c *Controller) reconcileWriters(ctx context.Context, writers []observation) (Action, error, bool) {
+	if len(writers) < c.spec.Writers {
+		name, err := c.fleet.StartWriter(ctx, c.spec.Generation)
+		return Action{Kind: ActStartWriter, Target: name}, err, true
+	}
+	for _, ob := range writers {
+		if ob.err != nil && c.suspect[ob.member.Name] >= ProbeThreshold {
+			err := c.fleet.RestartWriter(ctx, ob.member.Name, c.spec.Generation)
+			return Action{Kind: ActRestartWriter, Target: ob.member.Name}, err, true
+		}
+	}
+	for _, ob := range writers {
+		if ob.err != nil {
+			return Action{}, nil, false // suspicion pending; hold the roll
+		}
+	}
+	for _, ob := range writers {
+		if ob.member.Gen < c.spec.Generation {
+			err := c.fleet.RestartWriter(ctx, ob.member.Name, c.spec.Generation)
+			return Action{Kind: ActRestartWriter, Target: ob.member.Name}, err, true
+		}
+	}
+	return Action{}, nil, false
+}
+
+// reconcileReaders enforces the [min,max] bounds, then autoscales on
+// scheduler load: out when queued work has waited past ScaleOutWait with no
+// free slot, in when the queue is empty and ScaleInFree slots idle. A drain
+// already in progress pauses further scaling (hysteresis).
+func (c *Controller) reconcileReaders(ctx context.Context, readers []observation) (Action, error) {
+	load := c.fleet.Load()
+	switch {
+	case load.Readers < c.spec.ReadersMin:
+		name, err := c.fleet.AddReader(ctx, c.spec.Generation)
+		return Action{Kind: ActAddReader, Target: name}, err
+	case load.Draining > 0:
+		return Action{Kind: ActNone}, nil
+	case load.Readers > c.spec.ReadersMax:
+		if name, ok := lastReader(readers); ok {
+			return Action{Kind: ActDrainReader, Target: name}, c.fleet.DrainReader(ctx, name)
+		}
+	case c.spec.ScaleOutWait > 0 && load.Readers < c.spec.ReadersMax &&
+		load.Queued > 0 && load.FreeSlots == 0 && load.OldestWait >= c.spec.ScaleOutWait:
+		name, err := c.fleet.AddReader(ctx, c.spec.Generation)
+		return Action{Kind: ActAddReader, Target: name}, err
+	case c.spec.ScaleInFree > 0 && load.Readers > c.spec.ReadersMin &&
+		load.Queued == 0 && load.FreeSlots >= c.spec.ScaleInFree:
+		if name, ok := lastReader(readers); ok {
+			return Action{Kind: ActDrainReader, Target: name}, c.fleet.DrainReader(ctx, name)
+		}
+	}
+	return Action{Kind: ActNone}, nil
+}
+
+// lastReader picks the highest-named reader — the scale-in victim, chosen so
+// repeated decisions are deterministic and drains hit the newest node.
+func lastReader(readers []observation) (string, bool) {
+	if len(readers) == 0 {
+		return "", false
+	}
+	return readers[len(readers)-1].member.Name, true
+}
+
+// Converge runs ReconcileOnce until the fleet is stably at the spec's fixed
+// point — more than ProbeThreshold consecutive ActNone rounds — up to rounds
+// attempts, treating per-round errors as crashes to retry through. A single
+// ActNone round is not proof of convergence: a freshly dead coordinator
+// yields ActNone while its suspicion count is still below ProbeThreshold, so
+// the streak must be long enough that any dead node would have crossed the
+// threshold and forced an action. Converge is the convergence oracle's
+// driver: from any reachable fleet state, a quiescent period (no new faults)
+// must reach this fixed point.
+func (c *Controller) Converge(ctx context.Context, rounds int) error {
+	var last error
+	streak := 0
+	for i := 0; i < rounds; i++ {
+		act, err := c.ReconcileOnce(ctx)
+		if err != nil {
+			last = err
+			streak = 0
+			continue
+		}
+		if act.Kind == ActNone {
+			if streak++; streak > ProbeThreshold {
+				return nil
+			}
+			continue
+		}
+		streak = 0
+		last = fmt.Errorf("cluster: still reconciling: %s", act)
+	}
+	return fmt.Errorf("cluster: no convergence after %d rounds: %w", rounds, last)
+}

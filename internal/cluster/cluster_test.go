@@ -1,0 +1,415 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cloudiq/internal/multiplex"
+	"cloudiq/internal/sched"
+)
+
+// fakeNode is one simulated process in the fake fleet.
+type fakeNode struct {
+	multiplex.Member
+	alive          bool
+	epoch, maxSeen uint64
+}
+
+// fakeFleet is an in-memory Fleet for controller unit tests: registry-backed
+// membership, scriptable liveness and load, and an action log.
+type fakeFleet struct {
+	reg   *multiplex.Registry
+	nodes map[string]*fakeNode
+	load  sched.LoadStats
+	slots int
+	seq   int
+	log   []string
+	// fence is the shared-storage fence record: the highest epoch ever
+	// promoted to. Standby probes report it as their MaxSeen floor.
+	fence uint64
+}
+
+func newFakeFleet() *fakeFleet {
+	return &fakeFleet{reg: multiplex.NewRegistry(), nodes: map[string]*fakeNode{}, slots: 4}
+}
+
+func (f *fakeFleet) add(name string, role multiplex.Role, gen int) *fakeNode {
+	n := &fakeNode{Member: multiplex.Member{Name: name, Role: role, Gen: gen}, alive: true}
+	f.nodes[name] = n
+	f.reg.Register(n.Member)
+	if role == multiplex.RoleReader {
+		f.load.Readers++
+		f.load.FreeSlots += f.slots
+	}
+	return n
+}
+
+func (f *fakeFleet) Members() []multiplex.Member { return f.reg.Members() }
+
+func (f *fakeFleet) Probe(ctx context.Context, name string) (multiplex.NodeStatus, error) {
+	n, ok := f.nodes[name]
+	if !ok || !n.alive {
+		return multiplex.NodeStatus{}, fmt.Errorf("fake: %s unreachable", name)
+	}
+	maxSeen := n.maxSeen
+	if n.Role == multiplex.RoleStandby && f.fence > maxSeen {
+		maxSeen = f.fence // standbys read the durable fence record
+	}
+	return multiplex.NodeStatus{
+		Node: name, Epoch: n.epoch, MaxSeen: maxSeen, Fenced: n.maxSeen > n.epoch,
+	}, nil
+}
+
+func (f *fakeFleet) Promote(ctx context.Context, standby string, epoch uint64) error {
+	n, ok := f.nodes[standby]
+	if !ok || !n.alive || n.Role != multiplex.RoleStandby {
+		return fmt.Errorf("fake: promote %s: not a live standby", standby)
+	}
+	if epoch <= f.fence {
+		return fmt.Errorf("fake: promote %s: epoch %d below fence %d", standby, epoch, f.fence)
+	}
+	f.fence = epoch
+	// Fence-before-activate: every reigning coordinator observes the new
+	// epoch (and its process is torn down) before the standby serves.
+	for _, m := range f.reg.WithRole(multiplex.RoleCoordinator) {
+		if old := f.nodes[m.Name]; old != nil && epoch > old.maxSeen {
+			old.maxSeen = epoch
+		}
+		f.reg.Deregister(m.Name)
+		delete(f.nodes, m.Name)
+	}
+	n.Role = multiplex.RoleCoordinator
+	n.epoch, n.maxSeen = epoch, epoch
+	f.reg.Register(n.Member)
+	f.log = append(f.log, fmt.Sprintf("promote %s@%d", standby, epoch))
+	return nil
+}
+
+func (f *fakeFleet) StartStandby(ctx context.Context) (string, error) {
+	f.seq++
+	name := fmt.Sprintf("sb%d", f.seq)
+	f.add(name, multiplex.RoleStandby, 0)
+	f.log = append(f.log, "start-standby "+name)
+	return name, nil
+}
+
+func (f *fakeFleet) StartWriter(ctx context.Context, gen int) (string, error) {
+	f.seq++
+	name := fmt.Sprintf("w%d", f.seq)
+	f.add(name, multiplex.RoleWriter, gen)
+	f.log = append(f.log, "start-writer "+name)
+	return name, nil
+}
+
+func (f *fakeFleet) RestartWriter(ctx context.Context, name string, gen int) error {
+	n, ok := f.nodes[name]
+	if !ok {
+		return fmt.Errorf("fake: restart %s: unknown", name)
+	}
+	n.alive, n.Gen = true, gen
+	f.reg.Register(n.Member)
+	f.log = append(f.log, fmt.Sprintf("restart-writer %s@%d", name, gen))
+	return nil
+}
+
+func (f *fakeFleet) AddReader(ctx context.Context, gen int) (string, error) {
+	f.seq++
+	name := fmt.Sprintf("r%d", f.seq)
+	f.add(name, multiplex.RoleReader, gen)
+	f.log = append(f.log, "add-reader "+name)
+	return name, nil
+}
+
+func (f *fakeFleet) DrainReader(ctx context.Context, name string) error {
+	n, ok := f.nodes[name]
+	if !ok || n.Role != multiplex.RoleReader {
+		return fmt.Errorf("fake: drain %s: not a reader", name)
+	}
+	f.reg.Deregister(name)
+	delete(f.nodes, name)
+	f.load.Readers--
+	f.load.FreeSlots -= f.slots
+	f.log = append(f.log, "drain-reader "+name)
+	return nil
+}
+
+func (f *fakeFleet) Load() sched.LoadStats { return f.load }
+
+func (f *fakeFleet) roleCount(role multiplex.Role) int { return len(f.reg.WithRole(role)) }
+
+func ctxb() context.Context { return context.Background() }
+
+func TestConvergeFromEmpty(t *testing.T) {
+	f := newFakeFleet()
+	spec := Spec{Standbys: 1, Writers: 2, ReadersMin: 1, ReadersMax: 3}
+	c := New(spec, f, nil)
+	if err := c.Converge(ctxb(), 20); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.roleCount(multiplex.RoleCoordinator); got != 1 {
+		t.Fatalf("coordinators = %d", got)
+	}
+	if got := f.roleCount(multiplex.RoleStandby); got != 1 {
+		t.Fatalf("standbys = %d", got)
+	}
+	if got := f.roleCount(multiplex.RoleWriter); got != 2 {
+		t.Fatalf("writers = %d", got)
+	}
+	if got := f.roleCount(multiplex.RoleReader); got != 1 {
+		t.Fatalf("readers = %d", got)
+	}
+	if c.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1 (one promotion)", c.Epoch())
+	}
+	// Converged is a fixed point: another round does nothing.
+	act, err := c.ReconcileOnce(ctxb())
+	if err != nil || act.Kind != ActNone {
+		t.Fatalf("post-convergence round: %v %v", act, err)
+	}
+}
+
+func TestSingleProbeBlipDoesNotPromote(t *testing.T) {
+	f := newFakeFleet()
+	coord := f.add("coord", multiplex.RoleCoordinator, 0)
+	coord.epoch, coord.maxSeen = 1, 1
+	f.add("sb1", multiplex.RoleStandby, 0)
+	c := New(Spec{Standbys: 1}, f, nil)
+
+	coord.alive = false
+	if act, err := c.ReconcileOnce(ctxb()); err != nil || act.Kind == ActPromote {
+		t.Fatalf("promoted on a single failed probe: %v %v", act, err)
+	}
+	coord.alive = true // the blip clears
+	if act, err := c.ReconcileOnce(ctxb()); err != nil || act.Kind == ActPromote {
+		t.Fatalf("promoted after recovery: %v %v", act, err)
+	}
+	// Suspicion must have reset: a later single failure is again tolerated.
+	coord.alive = false
+	if act, _ := c.ReconcileOnce(ctxb()); act.Kind == ActPromote {
+		t.Fatal("suspicion survived a successful probe")
+	}
+}
+
+func TestCoordinatorFailoverPromotesAtThreshold(t *testing.T) {
+	f := newFakeFleet()
+	coord := f.add("coord", multiplex.RoleCoordinator, 0)
+	coord.epoch, coord.maxSeen = 3, 3
+	f.add("sb1", multiplex.RoleStandby, 0)
+	c := New(Spec{Standbys: 1}, f, nil)
+
+	if _, err := c.ReconcileOnce(ctxb()); err != nil { // learn epoch 3
+		t.Fatal(err)
+	}
+	coord.alive = false
+	for i := 1; i < ProbeThreshold; i++ {
+		if act, _ := c.ReconcileOnce(ctxb()); act.Kind == ActPromote {
+			t.Fatalf("promoted after %d failed probes", i)
+		}
+	}
+	act, err := c.ReconcileOnce(ctxb())
+	if err != nil || act.Kind != ActPromote || act.Target != "sb1" {
+		t.Fatalf("act = %v err = %v, want promote(sb1)", act, err)
+	}
+	if act.Epoch != 4 {
+		t.Fatalf("promotion epoch = %d, want 4 (above the deposed coordinator's 3)", act.Epoch)
+	}
+	if got := f.roleCount(multiplex.RoleCoordinator); got != 1 {
+		t.Fatalf("coordinators after failover = %d", got)
+	}
+	st, err := f.Probe(ctxb(), "sb1")
+	if err != nil || st.Fenced || st.Epoch != 4 {
+		t.Fatalf("new coordinator status %+v (%v)", st, err)
+	}
+}
+
+func TestFencedCoordinatorReplacedImmediately(t *testing.T) {
+	f := newFakeFleet()
+	coord := f.add("coord", multiplex.RoleCoordinator, 0)
+	coord.epoch, coord.maxSeen = 2, 5 // deposed: answered probes but fenced
+	f.add("sb1", multiplex.RoleStandby, 0)
+	c := New(Spec{Standbys: 1}, f, nil)
+
+	act, err := c.ReconcileOnce(ctxb())
+	if err != nil || act.Kind != ActPromote || act.Epoch != 6 {
+		t.Fatalf("act = %v err = %v, want promote at epoch 6", act, err)
+	}
+}
+
+func TestNoStandbyStartsOneThenPromotes(t *testing.T) {
+	f := newFakeFleet()
+	c := New(Spec{}, f, nil)
+	act, err := c.ReconcileOnce(ctxb())
+	if err != nil || act.Kind != ActStartStandby {
+		t.Fatalf("act = %v err = %v, want start-standby", act, err)
+	}
+	act, err = c.ReconcileOnce(ctxb())
+	if err != nil || act.Kind != ActPromote {
+		t.Fatalf("act = %v err = %v, want promote", act, err)
+	}
+}
+
+func TestRollingRestartOneAtATime(t *testing.T) {
+	f := newFakeFleet()
+	coord := f.add("coord", multiplex.RoleCoordinator, 0)
+	coord.epoch, coord.maxSeen = 1, 1
+	f.add("sb1", multiplex.RoleStandby, 0)
+	for i := 1; i <= 3; i++ {
+		f.add(fmt.Sprintf("wa%d", i), multiplex.RoleWriter, 0)
+	}
+	c := New(Spec{Standbys: 1, Writers: 3, Generation: 1}, f, nil)
+
+	var restarted []string
+	for i := 0; i < 10; i++ {
+		act, err := c.ReconcileOnce(ctxb())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if act.Kind == ActRestartWriter {
+			restarted = append(restarted, act.Target)
+		}
+		if act.Kind == ActNone {
+			break
+		}
+	}
+	if len(restarted) != 3 || restarted[0] != "wa1" || restarted[1] != "wa2" || restarted[2] != "wa3" {
+		t.Fatalf("restart order = %v, want [wa1 wa2 wa3]", restarted)
+	}
+	for _, m := range f.reg.WithRole(multiplex.RoleWriter) {
+		if m.Gen != 1 {
+			t.Fatalf("writer %s still at gen %d", m.Name, m.Gen)
+		}
+	}
+}
+
+func TestRollHoldsWhileWriterUnhealthy(t *testing.T) {
+	f := newFakeFleet()
+	coord := f.add("coord", multiplex.RoleCoordinator, 0)
+	coord.epoch, coord.maxSeen = 1, 1
+	f.add("sb1", multiplex.RoleStandby, 0)
+	f.add("wa1", multiplex.RoleWriter, 0)
+	sick := f.add("wa2", multiplex.RoleWriter, 1)
+	sick.alive = false
+	c := New(Spec{Standbys: 1, Writers: 2, Generation: 1}, f, nil)
+
+	// One failed probe: suspicion pending, the gen-0 writer must NOT be
+	// rolled while a peer is possibly down.
+	act, err := c.ReconcileOnce(ctxb())
+	if err != nil || act.Kind == ActRestartWriter {
+		t.Fatalf("act = %v err = %v: rolled with an unhealthy peer", act, err)
+	}
+	// At threshold the crashed writer is restarted first (recovery beats
+	// the roll).
+	act, err = c.ReconcileOnce(ctxb())
+	if err != nil || act.Kind != ActRestartWriter || act.Target != "wa2" {
+		t.Fatalf("act = %v err = %v, want restart-writer(wa2)", act, err)
+	}
+	// Now the roll proceeds to the lagging writer.
+	act, err = c.ReconcileOnce(ctxb())
+	if err != nil || act.Kind != ActRestartWriter || act.Target != "wa1" {
+		t.Fatalf("act = %v err = %v, want restart-writer(wa1)", act, err)
+	}
+}
+
+func TestReaderAutoscale(t *testing.T) {
+	f := newFakeFleet()
+	coord := f.add("coord", multiplex.RoleCoordinator, 0)
+	coord.epoch, coord.maxSeen = 1, 1
+	f.add("sb1", multiplex.RoleStandby, 0)
+	f.add("r1", multiplex.RoleReader, 0)
+	spec := Spec{
+		Standbys: 1, ReadersMin: 1, ReadersMax: 3,
+		ScaleOutWait: 10 * time.Millisecond, ScaleInFree: 8,
+	}
+	c := New(spec, f, nil)
+
+	// Saturated with an old backlog: scale out.
+	f.load.Queued, f.load.FreeSlots, f.load.OldestWait = 5, 0, 20*time.Millisecond
+	act, err := c.ReconcileOnce(ctxb())
+	if err != nil || act.Kind != ActAddReader {
+		t.Fatalf("act = %v err = %v, want add-reader", act, err)
+	}
+	// Backlog young: hold.
+	f.load.Queued, f.load.FreeSlots, f.load.OldestWait = 5, 0, time.Millisecond
+	if act, _ = c.ReconcileOnce(ctxb()); act.Kind != ActNone {
+		t.Fatalf("scaled on a young backlog: %v", act)
+	}
+	// At max: never beyond.
+	f.add("rX", multiplex.RoleReader, 0)
+	f.load.Queued, f.load.FreeSlots, f.load.OldestWait = 9, 0, time.Hour
+	if act, _ = c.ReconcileOnce(ctxb()); act.Kind != ActNone {
+		t.Fatalf("scaled past max: %v", act)
+	}
+	// Idle with plenty of free slots: scale in, newest reader first.
+	f.load.Queued, f.load.OldestWait = 0, 0
+	f.load.FreeSlots = f.load.Readers * f.slots
+	act, err = c.ReconcileOnce(ctxb())
+	if err != nil || act.Kind != ActDrainReader || act.Target != "rX" {
+		t.Fatalf("act = %v err = %v, want drain-reader(rX)", act, err)
+	}
+	// A drain in progress pauses further scaling decisions.
+	f.load.Draining = 1
+	if act, _ = c.ReconcileOnce(ctxb()); act.Kind != ActNone {
+		t.Fatalf("acted during a drain: %v", act)
+	}
+	f.load.Draining = 0
+	// Never below min.
+	f.load.FreeSlots = f.load.Readers * f.slots
+	for i := 0; i < 5; i++ {
+		act, err = c.ReconcileOnce(ctxb())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if act.Kind == ActNone {
+			break
+		}
+	}
+	if f.load.Readers < spec.ReadersMin {
+		t.Fatalf("scaled below min: %d readers", f.load.Readers)
+	}
+}
+
+func TestControllerCrashRelearnsEpoch(t *testing.T) {
+	f := newFakeFleet()
+	coord := f.add("coord", multiplex.RoleCoordinator, 0)
+	coord.epoch, coord.maxSeen = 7, 7
+	f.fence = 7 // the durable fence record from coord's own promotion
+	f.add("sb1", multiplex.RoleStandby, 0)
+
+	// First controller converges, then "crashes" (is discarded).
+	c1 := New(Spec{Standbys: 1}, f, nil)
+	if err := c1.Converge(ctxb(), 10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replacement controller starts from zero state; a failover under it
+	// must still fence above epoch 7, learned purely from probes.
+	c2 := New(Spec{Standbys: 1}, f, nil)
+	coord.alive = false
+	var act Action
+	var err error
+	for i := 0; i < ProbeThreshold; i++ {
+		act, err = c2.ReconcileOnce(ctxb())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if act.Kind != ActPromote || act.Epoch != 8 {
+		t.Fatalf("act = %v, want promote at epoch 8", act)
+	}
+}
+
+func TestReconcileRespectsContext(t *testing.T) {
+	f := newFakeFleet()
+	c := New(Spec{}, f, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.ReconcileOnce(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(f.log) != 0 {
+		t.Fatalf("acted under a dead context: %v", f.log)
+	}
+}

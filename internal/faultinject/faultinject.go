@@ -72,9 +72,21 @@ const (
 
 	// Coordinator<->writer RPCs (internal/multiplex and the crashsim
 	// closures). A fault on RPCNotify models a lost commit notification.
+	// RPCProbe fails a health probe — a partition between the cluster
+	// controller and the probed node, which can make a live coordinator
+	// look dead and trigger a (fenced, therefore safe) failover.
 	RPCAlloc   Site = "rpc.alloc"
 	RPCNotify  Site = "rpc.notify"
 	RPCRestart Site = "rpc.restart"
+	RPCProbe   Site = "rpc.probe"
+
+	// Cluster controller (internal/cluster). ClusterReconcile fails one
+	// reconcile action before it executes (a controller-side transient:
+	// the action is retried on a later round). ClusterPromote fails the
+	// coordinator takeover between its phases — the new coordinator is
+	// killed mid-promotion and a later round must finish the job.
+	ClusterReconcile Site = "cluster.reconcile"
+	ClusterPromote   Site = "cluster.promote"
 
 	// Query scheduler (internal/sched). SchedAdmit drops an admission —
 	// the query is rejected as if the admission queue overflowed (clients

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"net/rpc"
+	"strings"
 	"sync"
 
 	"cloudiq/internal/faultinject"
@@ -20,18 +21,65 @@ import (
 	"cloudiq/internal/txn"
 )
 
+// Epoch-fencing errors. Every coordinator RPC carries the caller's fence
+// epoch; the coordinator compares it against its own epoch and the highest
+// epoch it has ever observed. net/rpc flattens server-side errors to
+// strings, so cross-wire classification goes through IsStaleEpoch/IsFenced
+// rather than errors.Is.
+var (
+	// ErrStaleEpoch rejects a caller whose epoch is older than the
+	// coordinator's: the client belongs to a deposed configuration and must
+	// rediscover the active coordinator.
+	ErrStaleEpoch = errors.New("multiplex: stale epoch")
+	// ErrFenced rejects every mutating call on a deposed coordinator: it
+	// has observed a higher fence epoch than its own and may never again
+	// allocate keys, accept notifications or garbage collect.
+	ErrFenced = errors.New("multiplex: coordinator fenced")
+)
+
+// IsStaleEpoch reports whether err is (or carries, possibly across the RPC
+// boundary as a flattened string) a stale-epoch rejection.
+func IsStaleEpoch(err error) bool {
+	return err != nil && (errors.Is(err, ErrStaleEpoch) || strings.Contains(err.Error(), ErrStaleEpoch.Error()))
+}
+
+// IsFenced reports whether err is (or carries across the RPC boundary) a
+// fenced-coordinator rejection.
+func IsFenced(err error) bool {
+	return err != nil && (errors.Is(err, ErrFenced) || strings.Contains(err.Error(), ErrFenced.Error()))
+}
+
 // Coordinator is the coordinator-side surface exposed over RPC.
 // *cloudiq.Database implements it.
 type Coordinator interface {
 	AllocateKeys(ctx context.Context, node string, n uint64) (rfrb.Range, error)
 	NotifyCommit(ctx context.Context, node string, consumed *rfrb.Bitmap) error
 	WriterRestartGC(ctx context.Context, node string) error
+	// CheckEpoch validates a caller's fence epoch before a mutating
+	// operation: ErrStaleEpoch when the caller is behind, ErrFenced when
+	// this coordinator itself has been deposed. Observing a higher remote
+	// epoch permanently fences the coordinator.
+	CheckEpoch(ctx context.Context, epoch uint64) error
+	// Status reports the node's identity, fence epoch and commit sequence
+	// — the health-probe payload.
+	Status(ctx context.Context) (NodeStatus, error)
+}
+
+// NodeStatus is the health-probe reply: who the node is and where it stands
+// in the fence-epoch order.
+type NodeStatus struct {
+	Node      string
+	Epoch     uint64 // the epoch this node serves at
+	MaxSeen   uint64 // highest fence epoch it has observed
+	Fenced    bool   // MaxSeen > Epoch: deposed, mutating RPCs rejected
+	CommitSeq uint64
 }
 
 // AllocArgs requests a key range for a node.
 type AllocArgs struct {
-	Node string
-	N    uint64
+	Node  string
+	N     uint64
+	Epoch uint64
 }
 
 // AllocReply carries the allocated range.
@@ -43,12 +91,17 @@ type AllocReply struct {
 type NotifyArgs struct {
 	Node     string
 	Consumed []byte // rfrb.Bitmap image
+	Epoch    uint64
 }
 
 // RestartArgs asks the coordinator to GC a restarted writer's allocations.
 type RestartArgs struct {
-	Node string
+	Node  string
+	Epoch uint64
 }
+
+// HealthArgs parameterizes a probe (empty today; a struct for evolvability).
+type HealthArgs struct{}
 
 // service adapts Coordinator to net/rpc's method shape. net/rpc offers no
 // per-call context, so handlers run under the server's base context: derived
@@ -62,6 +115,9 @@ type service struct {
 
 // AllocateKeys implements the RPC method.
 func (s *service) AllocateKeys(args AllocArgs, reply *AllocReply) error {
+	if err := s.api.CheckEpoch(s.base, args.Epoch); err != nil {
+		return err
+	}
 	r, err := s.api.AllocateKeys(s.base, args.Node, args.N)
 	if err != nil {
 		return err
@@ -72,6 +128,9 @@ func (s *service) AllocateKeys(args AllocArgs, reply *AllocReply) error {
 
 // NotifyCommit implements the RPC method.
 func (s *service) NotifyCommit(args NotifyArgs, reply *struct{}) error {
+	if err := s.api.CheckEpoch(s.base, args.Epoch); err != nil {
+		return err
+	}
 	bm, err := rfrb.Unmarshal(args.Consumed)
 	if err != nil {
 		return err
@@ -81,7 +140,22 @@ func (s *service) NotifyCommit(args NotifyArgs, reply *struct{}) error {
 
 // WriterRestartGC implements the RPC method.
 func (s *service) WriterRestartGC(args RestartArgs, reply *struct{}) error {
+	if err := s.api.CheckEpoch(s.base, args.Epoch); err != nil {
+		return err
+	}
 	return s.api.WriterRestartGC(s.base, args.Node)
+}
+
+// Health implements the probe RPC. Probes deliberately skip the epoch check:
+// a controller must be able to observe a fenced or stale node to reason
+// about it.
+func (s *service) Health(args HealthArgs, reply *NodeStatus) error {
+	st, err := s.api.Status(s.base)
+	if err != nil {
+		return err
+	}
+	*reply = st
+	return nil
 }
 
 // Server runs a coordinator RPC endpoint.
@@ -142,6 +216,25 @@ type Client struct {
 	node   string
 	rpc    *rpc.Client
 	faults *faultinject.Plan
+
+	mu    sync.Mutex
+	epoch uint64 // fence epoch stamped on every mutating RPC
+}
+
+// SetEpoch sets the fence epoch the client stamps on every mutating RPC.
+// The cluster controller advances it after a coordinator failover; a client
+// left at an old epoch has its calls rejected with ErrStaleEpoch.
+func (c *Client) SetEpoch(e uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch = e
+}
+
+// Epoch returns the client's current fence epoch.
+func (c *Client) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
 }
 
 // Dial connects to the coordinator as the named node.
@@ -175,7 +268,7 @@ func (c *Client) AllocFunc() keygen.AllocFunc {
 			return rfrb.Range{}, fmt.Errorf("multiplex: allocate: %w", err)
 		}
 		var reply AllocReply
-		if err := c.rpc.Call("Coordinator.AllocateKeys", AllocArgs{Node: c.node, N: n}, &reply); err != nil {
+		if err := c.rpc.Call("Coordinator.AllocateKeys", AllocArgs{Node: c.node, N: n, Epoch: c.Epoch()}, &reply); err != nil {
 			return rfrb.Range{}, fmt.Errorf("multiplex: allocate: %w", err)
 		}
 		if reply.Start >= reply.End {
@@ -195,7 +288,7 @@ func (c *Client) Notify() txn.CommitNotify {
 			return // notification lost in transit
 		}
 		var reply struct{}
-		_ = c.rpc.Call("Coordinator.NotifyCommit", NotifyArgs{Node: node, Consumed: consumed.Marshal()}, &reply)
+		_ = c.rpc.Call("Coordinator.NotifyCommit", NotifyArgs{Node: node, Consumed: consumed.Marshal(), Epoch: c.Epoch()}, &reply)
 	}
 }
 
@@ -210,8 +303,25 @@ func (c *Client) AnnounceRestart(ctx context.Context) error {
 		return fmt.Errorf("multiplex: restart GC: %w", err)
 	}
 	var reply struct{}
-	if err := c.rpc.Call("Coordinator.WriterRestartGC", RestartArgs{Node: c.node}, &reply); err != nil {
+	if err := c.rpc.Call("Coordinator.WriterRestartGC", RestartArgs{Node: c.node, Epoch: c.Epoch()}, &reply); err != nil {
 		return fmt.Errorf("multiplex: restart GC: %w", err)
 	}
 	return nil
+}
+
+// Probe performs a health probe against the coordinator endpoint, gated by
+// the RPCProbe fault site (an injected fault is a probe lost to a network
+// partition — the node may be perfectly healthy).
+func (c *Client) Probe(ctx context.Context) (NodeStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return NodeStatus{}, err
+	}
+	if err := c.faults.Check(faultinject.RPCProbe, c.node); err != nil {
+		return NodeStatus{}, fmt.Errorf("multiplex: probe: %w", err)
+	}
+	var reply NodeStatus
+	if err := c.rpc.Call("Coordinator.Health", HealthArgs{}, &reply); err != nil {
+		return NodeStatus{}, fmt.Errorf("multiplex: probe: %w", err)
+	}
+	return reply, nil
 }

@@ -17,6 +17,29 @@ type fakeCoord struct {
 	mu       sync.Mutex
 	notified []string
 	restarts []string
+	epoch    uint64
+	maxSeen  uint64
+}
+
+func (f *fakeCoord) CheckEpoch(ctx context.Context, remote uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if remote > f.maxSeen {
+		f.maxSeen = remote
+	}
+	if f.maxSeen > f.epoch {
+		return ErrFenced
+	}
+	if remote < f.epoch {
+		return ErrStaleEpoch
+	}
+	return nil
+}
+
+func (f *fakeCoord) Status(ctx context.Context) (NodeStatus, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return NodeStatus{Node: "coord", Epoch: f.epoch, MaxSeen: f.maxSeen, Fenced: f.maxSeen > f.epoch}, nil
 }
 
 func (f *fakeCoord) AllocateKeys(ctx context.Context, node string, n uint64) (rfrb.Range, error) {
@@ -138,6 +161,74 @@ func TestNotifyAndRestartOverRPC(t *testing.T) {
 	defer coord.mu.Unlock()
 	if len(coord.notified) != 1 || len(coord.restarts) != 1 {
 		t.Fatalf("coordinator saw notify=%v restarts=%v", coord.notified, coord.restarts)
+	}
+}
+
+// TestEpochFencingOverRPC drives the fence protocol across the wire: a
+// coordinator at epoch 2 rejects clients stamping older epochs, serves the
+// current one, and — after observing a higher epoch — rejects everyone.
+func TestEpochFencingOverRPC(t *testing.T) {
+	srv, coord := startServer(t)
+	coord.mu.Lock()
+	coord.epoch, coord.maxSeen = 2, 2
+	coord.mu.Unlock()
+
+	client, err := Dial(srv.Addr(), "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Stale client (epoch 1): every mutating RPC rejected.
+	client.SetEpoch(1)
+	if _, err := client.AllocFunc()(ctxb(), 10); !IsStaleEpoch(err) {
+		t.Fatalf("stale alloc err = %v, want stale-epoch", err)
+	}
+	if err := client.AnnounceRestart(ctxb()); !IsStaleEpoch(err) {
+		t.Fatalf("stale restart err = %v, want stale-epoch", err)
+	}
+
+	// Current client (epoch 2): served.
+	client.SetEpoch(2)
+	if _, err := client.AllocFunc()(ctxb(), 10); err != nil {
+		t.Fatalf("current-epoch alloc: %v", err)
+	}
+
+	// A newer epoch announcement deposes the coordinator: even the
+	// previously valid epoch is now rejected, and probes report Fenced.
+	client.SetEpoch(3)
+	var consumed rfrb.Bitmap
+	consumed.Add(1, 2)
+	client.Notify()("w1", &consumed) // best-effort; carries epoch 3
+	client.SetEpoch(2)
+	if _, err := client.AllocFunc()(ctxb(), 10); !IsFenced(err) {
+		t.Fatalf("post-depose alloc err = %v, want fenced", err)
+	}
+	st, err := client.Probe(ctxb())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Fenced || st.Epoch != 2 || st.MaxSeen != 3 {
+		t.Fatalf("probe status = %+v, want fenced at epoch 2, saw 3", st)
+	}
+}
+
+func TestRegistryRolesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Register(Member{Name: "w2", Role: RoleWriter})
+	r.Register(Member{Name: "coord", Role: RoleCoordinator})
+	r.Register(Member{Name: "w1", Role: RoleWriter})
+	r.Register(Member{Name: "r0", Role: RoleReader})
+	ms := r.Members()
+	if len(ms) != 4 || ms[0].Name != "coord" || ms[1].Name != "r0" || ms[2].Name != "w1" || ms[3].Name != "w2" {
+		t.Fatalf("members = %+v", ms)
+	}
+	if ws := r.WithRole(RoleWriter); len(ws) != 2 || ws[0].Name != "w1" {
+		t.Fatalf("writers = %+v", ws)
+	}
+	r.Deregister("w1")
+	if _, ok := r.Get("w1"); ok || r.Len() != 3 {
+		t.Fatal("deregister did not remove w1")
 	}
 }
 

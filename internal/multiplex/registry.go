@@ -1,0 +1,98 @@
+package multiplex
+
+import (
+	"sort"
+	"sync"
+)
+
+// Role classifies a multiplex member. The coordinator role is held by
+// exactly one active node; standbys are warm processes eligible for
+// promotion; writers own their private catalogs; readers serve queries over
+// the shared system dbspace.
+type Role string
+
+// Multiplex roles.
+const (
+	RoleCoordinator Role = "coordinator"
+	RoleStandby     Role = "standby"
+	RoleWriter      Role = "writer"
+	RoleReader      Role = "reader"
+)
+
+// Member is one registered node: its stable name, current role and (for
+// networked deployments) the address its endpoint listens on.
+type Member struct {
+	Name string
+	Role Role
+	Addr string
+	// Gen is the spec generation the member was last (re)started under;
+	// the cluster controller's rolling restart advances members whose Gen
+	// lags the spec.
+	Gen int
+}
+
+// Registry is the multiplex membership directory: the observed side of the
+// cluster controller's reconcile loop. It records who is supposed to exist;
+// liveness comes from probing each member, not from registration.
+type Registry struct {
+	mu      sync.Mutex
+	members map[string]Member
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{members: make(map[string]Member)}
+}
+
+// Register adds or updates a member (keyed by name).
+func (r *Registry) Register(m Member) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.members[m.Name] = m
+}
+
+// Deregister removes a member by name.
+func (r *Registry) Deregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.members, name)
+}
+
+// Get returns a member by name.
+func (r *Registry) Get(name string) (Member, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[name]
+	return m, ok
+}
+
+// Members returns every member sorted by name — the deterministic iteration
+// order the reconcile loop observes the fleet in.
+func (r *Registry) Members() []Member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WithRole returns the members holding the role, sorted by name.
+func (r *Registry) WithRole(role Role) []Member {
+	var out []Member
+	for _, m := range r.Members() {
+		if m.Role == role {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Len returns the member count.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.members)
+}

@@ -218,6 +218,10 @@ type reader struct {
 	name    string
 	slots   int
 	running []*Query
+	// draining: no new dispatches; the reader leaves the fleet once its
+	// running queries finish. Queued queries pinned to it were unpinned
+	// when the drain started.
+	draining bool
 }
 
 // Counters is the conservation ledger: submitted = admitted + rejected, and
@@ -286,6 +290,9 @@ func (c *Core) AddTenant(cfg TenantConfig) error {
 }
 
 // AddReader registers a reader node with the given concurrency slots.
+// Membership is dynamic: the cluster controller adds readers while queries
+// are queued and running (the Scheduler shell pumps the dispatch loop right
+// after, so waiting work lands on the new reader immediately).
 func (c *Core) AddReader(name string, slots int) error {
 	if slots <= 0 {
 		slots = 1
@@ -301,14 +308,86 @@ func (c *Core) AddReader(name string, slots int) error {
 
 // RemoveReader drops a reader (a crash) and returns the queries that were
 // running on it; the caller decides their fate (fail them, or requeue).
+// Queued queries pinned to the removed reader are unpinned — their
+// reader-local scan state died with the reader, so they place fresh on the
+// surviving fleet instead of waiting forever for a name that will never
+// have a free slot again.
 func (c *Core) RemoveReader(name string) []*Query {
 	for i, r := range c.readers {
 		if r.name == name {
 			c.readers = append(c.readers[:i:i], c.readers[i+1:]...)
+			c.unpinQueued(name)
 			return r.running
 		}
 	}
 	return nil
+}
+
+// DrainReader starts a graceful drain: the reader takes no new dispatches,
+// its running queries finish normally (or unpin when they yield), and
+// queued queries pinned to it are released to the rest of the fleet. The
+// reader leaves the fleet the moment it goes idle; the return value reports
+// whether it was removed immediately. Draining an unknown reader is a no-op
+// returning false; conservation is untouched in every case.
+func (c *Core) DrainReader(name string) bool {
+	for i, r := range c.readers {
+		if r.name != name {
+			continue
+		}
+		r.draining = true
+		c.unpinQueued(name)
+		if len(r.running) == 0 {
+			c.readers = append(c.readers[:i:i], c.readers[i+1:]...)
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// Draining reports whether the named reader is present and draining.
+func (c *Core) Draining(name string) bool {
+	for _, r := range c.readers {
+		if r.name == name {
+			return r.draining
+		}
+	}
+	return false
+}
+
+// Readers returns the current reader names in registration order, draining
+// ones included (they still hold running queries).
+func (c *Core) Readers() []string {
+	out := make([]string, len(c.readers))
+	for i, r := range c.readers {
+		out[i] = r.name
+	}
+	return out
+}
+
+// unpinQueued clears the reader pin of every queued query pinned to name,
+// walking tenants in registration order (deterministic).
+func (c *Core) unpinQueued(name string) {
+	for _, tn := range c.order {
+		t := c.tenants[tn]
+		for l := range t.lanes {
+			for _, q := range t.lanes[l] {
+				if q.Reader == name {
+					q.Reader = ""
+				}
+			}
+		}
+	}
+}
+
+// reapDrained removes a draining reader that has gone idle.
+func (c *Core) reapDrained(name string) {
+	for i, r := range c.readers {
+		if r.name == name && r.draining && len(r.running) == 0 {
+			c.readers = append(c.readers[:i:i], c.readers[i+1:]...)
+			return
+		}
+	}
 }
 
 // Submit admits or rejects a query. A nil Rejection means the query is
@@ -369,6 +448,9 @@ func (c *Core) Submit(tenantName string, lane Lane) (*Query, *Rejection) {
 func (c *Core) pickReader(q *Query) *reader {
 	var best *reader
 	for _, r := range c.readers {
+		if r.draining {
+			continue // no new work on a draining reader
+		}
 		if q.Reader != "" && r.name != q.Reader {
 			continue
 		}
@@ -449,12 +531,19 @@ func (c *Core) Dispatch() (*Query, bool) {
 
 // Requeue yields a running query back to the front of its lane (it resumes
 // before queued peers — its scans are warm) and frees its reader slot. The
-// query stays pinned to its reader.
+// query stays pinned to its reader — unless that reader is draining, in
+// which case the pin is released (the drain invalidates reader-local scan
+// state anyway) and the idle reader leaves the fleet.
 func (c *Core) Requeue(q *Query) error {
 	if q.State != Running {
 		return fmt.Errorf("sched: requeue of %s query %d", q.State, q.ID)
 	}
 	c.detach(q)
+	if c.Draining(q.Reader) {
+		name := q.Reader
+		q.Reader = ""
+		c.reapDrained(name)
+	}
 	t := c.tenants[q.Tenant]
 	q.State = Queued
 	t.lanes[q.Lane] = append([]*Query{q}, t.lanes[q.Lane]...)
@@ -486,6 +575,7 @@ func (c *Core) Complete(q *Query, ok bool) error {
 		return fmt.Errorf("sched: complete of %s query %d", q.State, q.ID)
 	}
 	c.detach(q)
+	c.reapDrained(q.Reader)
 	t := c.tenants[q.Tenant]
 	now := c.clock()
 	t.refill(now)
@@ -546,13 +636,60 @@ func (c *Core) ShouldYield(q *Query) bool {
 // Backlog returns the total queued queries across tenants.
 func (c *Core) Backlog() int { return int(c.counters.Queued) }
 
-// FreeSlots returns the total unoccupied reader slots.
+// FreeSlots returns the total unoccupied reader slots. A draining reader's
+// free slots don't count — nothing new may dispatch there.
 func (c *Core) FreeSlots() int {
 	free := 0
 	for _, r := range c.readers {
+		if r.draining {
+			continue
+		}
 		free += r.slots - len(r.running)
 	}
 	return free
+}
+
+// LoadStats is the load snapshot the cluster controller's reader autoscaler
+// consumes: backlog pressure (Queued, OldestWait) argues for scaling out,
+// idle capacity (FreeSlots against Running) argues for scaling in.
+type LoadStats struct {
+	Queued     int           // queries waiting across all tenants and lanes
+	Running    int           // queries occupying reader slots
+	Readers    int           // non-draining readers
+	Draining   int           // draining readers still finishing work
+	FreeSlots  int           // unoccupied slots on non-draining readers
+	OldestWait time.Duration // queue wait of the longest-waiting queued query
+}
+
+// Load takes the load snapshot. It reads the clock at most once (only when
+// something is queued), so it perturbs the charged simulated clock no more
+// than any other scheduling decision.
+func (c *Core) Load() LoadStats {
+	var s LoadStats
+	s.Queued = int(c.counters.Queued)
+	s.Running = int(c.counters.Running)
+	for _, r := range c.readers {
+		if r.draining {
+			s.Draining++
+			continue
+		}
+		s.Readers++
+		s.FreeSlots += r.slots - len(r.running)
+	}
+	if s.Queued > 0 {
+		now := c.clock()
+		for _, tn := range c.order {
+			t := c.tenants[tn]
+			for l := range t.lanes {
+				for _, q := range t.lanes[l] {
+					if w := now - q.SubmitAt; w > s.OldestWait {
+						s.OldestWait = w
+					}
+				}
+			}
+		}
+	}
+	return s
 }
 
 // QueueDepth reports one tenant lane's queue length.

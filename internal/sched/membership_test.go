@@ -1,0 +1,317 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cloudiq/internal/exec"
+)
+
+// ---------------------------------------------------------------------------
+// Dynamic reader membership: graceful drains, crash removal, and the
+// cancel-vs-drain race. These are the regression tests for the static-fleet
+// assumption the core used to bake in (a queued query pinned to a removed
+// reader waited forever).
+// ---------------------------------------------------------------------------
+
+func TestDrainReaderGraceful(t *testing.T) {
+	c := NewCore(nil)
+	if err := c.AddTenant(TenantConfig{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReader("r0", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReader("r1", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	q1, _ := c.Submit("a", LaneNormal)
+	q2, _ := c.Submit("a", LaneNormal)
+	q3, _ := c.Submit("a", LaneNormal)
+	if _, ok := c.Dispatch(); !ok || q1.Reader != "r0" {
+		t.Fatalf("q1 on %q", q1.Reader)
+	}
+	if _, ok := c.Dispatch(); !ok || q2.Reader != "r1" {
+		t.Fatalf("q2 on %q", q2.Reader)
+	}
+	if _, ok := c.Dispatch(); ok {
+		t.Fatal("fleet full, q3 should wait")
+	}
+
+	// Drain r0 while q1 runs on it: not idle, so it stays (draining) and
+	// takes no new work.
+	if gone := c.DrainReader("r0"); gone {
+		t.Fatal("r0 reported idle while q1 runs on it")
+	}
+	if !c.Draining("r0") {
+		t.Fatal("r0 not draining")
+	}
+	if c.FreeSlots() != 0 {
+		t.Fatalf("free slots = %d; draining capacity must not count", c.FreeSlots())
+	}
+
+	// q1 yields: the pin is released (its reader is draining) and the idle
+	// reader leaves the fleet.
+	if err := c.Requeue(q1); err != nil {
+		t.Fatal(err)
+	}
+	if q1.Reader != "" {
+		t.Fatalf("q1 still pinned to %q after drain-requeue", q1.Reader)
+	}
+	if got := c.Readers(); len(got) != 1 || got[0] != "r1" {
+		t.Fatalf("readers = %v, want [r1]", got)
+	}
+
+	// The survivors finish on r1, in order.
+	if err := c.Complete(q2, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []*Query{q1, q3} {
+		if _, ok := c.Dispatch(); !ok || q.Reader != "r1" {
+			t.Fatalf("query %d on %q, want r1", q.ID, q.Reader)
+		}
+		if err := c.Complete(q, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Counters(); n.Completed != 3 {
+		t.Fatalf("counters %+v", n)
+	}
+}
+
+func TestDrainIdleReaderLeavesImmediately(t *testing.T) {
+	c := NewCore(nil)
+	if err := c.AddTenant(TenantConfig{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.AddReader("r0", 1)
+	_ = c.AddReader("r1", 1)
+
+	// Pin a queued query to r0 (dispatch there, then yield).
+	q, _ := c.Submit("a", LaneNormal)
+	c.Dispatch()
+	if err := c.Requeue(q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Reader != "r0" {
+		t.Fatalf("q pinned to %q, want r0", q.Reader)
+	}
+
+	if gone := c.DrainReader("r0"); !gone {
+		t.Fatal("idle r0 should leave immediately")
+	}
+	if q.Reader != "" {
+		t.Fatal("drain did not unpin the queued query")
+	}
+	if _, ok := c.Dispatch(); !ok || q.Reader != "r1" {
+		t.Fatalf("q on %q, want r1", q.Reader)
+	}
+	if c.DrainReader("nope") {
+		t.Fatal("draining an unknown reader succeeded")
+	}
+}
+
+// TestRemoveReaderUnpinsQueued is the regression test for the static-fleet
+// bug: a query that yielded on a reader stayed pinned to it after the reader
+// crashed out of the fleet, waiting forever for a slot that could never free.
+func TestRemoveReaderUnpinsQueued(t *testing.T) {
+	c := NewCore(nil)
+	if err := c.AddTenant(TenantConfig{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.AddReader("r0", 1)
+	_ = c.AddReader("r1", 1)
+
+	q, _ := c.Submit("a", LaneNormal)
+	c.Dispatch() // q -> r0
+	if err := c.Requeue(q); err != nil {
+		t.Fatal(err)
+	}
+	if victims := c.RemoveReader("r0"); len(victims) != 0 {
+		t.Fatalf("victims = %v, want none (q is queued)", victims)
+	}
+	if q.Reader != "" {
+		t.Fatalf("q still pinned to removed reader %q", q.Reader)
+	}
+	if _, ok := c.Dispatch(); !ok || q.Reader != "r1" {
+		t.Fatalf("q on %q, want redispatch on r1", q.Reader)
+	}
+	if err := c.Complete(q, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelVsDrainRace races a queued query's cancellation against a drain
+// of the fleet's only reader (plus a replacement join). Whatever interleaving
+// the race takes — cancelled while queued, granted to the replacement and
+// run, or grant-raced-by-cancel and failed — the ledger must balance.
+func TestCancelVsDrainRace(t *testing.T) {
+	iters := 200
+	if testing.Short() {
+		iters = 50
+	}
+	for i := 0; i < iters; i++ {
+		s := New(Config{})
+		if err := s.AddTenant(TenantConfig{Name: "a", QueueBudget: 8}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddReader("r0", 1); err != nil {
+			t.Fatal(err)
+		}
+
+		gate := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { // occupies r0 until released
+			defer wg.Done()
+			_ = s.Run(context.Background(), "a", LaneNormal, func(context.Context, string) error {
+				<-gate
+				return nil
+			})
+		}()
+		waitFor(t, func() bool { return s.Counters().Running == 1 })
+
+		ctx, cancel := context.WithCancel(context.Background())
+		wg.Add(1)
+		go func() { // the racing query: queued behind the occupier
+			defer wg.Done()
+			_ = s.Run(ctx, "a", LaneNormal, func(context.Context, string) error { return nil })
+		}()
+		waitFor(t, func() bool { return s.Counters().Queued == 1 })
+
+		wg.Add(2)
+		go func() { defer wg.Done(); cancel() }()
+		go func() { // rolling restart of the only reader
+			defer wg.Done()
+			s.DrainReader("r0")
+			if err := s.AddReader("r1", 1); err != nil {
+				t.Error(err)
+			}
+		}()
+		close(gate)
+		wg.Wait()
+		cancel()
+
+		if err := s.CheckConservation(); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		n := s.Counters()
+		if n.Admitted != 2 || n.Completed+n.Cancelled+n.Failed != 2 {
+			t.Fatalf("iter %d: counters %+v", i, n)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scale: thousands of concurrent sessions across all three lanes against a
+// fleet whose membership churns mid-run. Asserts conservation and starvation
+// freedom (every session's query eventually completes, on every lane). The
+// full 2048-session shape runs in the plain test sweep; `go test -short
+// -race` runs a reduced shape under the race detector.
+// ---------------------------------------------------------------------------
+
+func TestScaleConcurrentSessions(t *testing.T) {
+	sessions := 2048
+	if testing.Short() {
+		sessions = 256
+	}
+
+	s := New(Config{})
+	tenants := []TenantConfig{
+		{Name: "gold", Weight: 4, QueueBudget: 256},
+		{Name: "silver", Weight: 2, QueueBudget: 256},
+		{Name: "bronze", Weight: 1, QueueBudget: 256},
+	}
+	for _, cfg := range tenants {
+		if err := s.AddTenant(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.AddReader(fmt.Sprintf("r%d", i), 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var completed int64
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := tenants[i%len(tenants)].Name
+			lane := Lane(i % int(NumLanes))
+			// Starvation freedom is the claim under test: with bounded
+			// retries on backpressure, every session must finish.
+			for attempt := 0; ; attempt++ {
+				err := s.Run(context.Background(), tenant, lane, func(ctx context.Context, reader string) error {
+					return exec.YieldPoint(ctx)
+				})
+				if err == nil {
+					atomic.AddInt64(&completed, 1)
+					return
+				}
+				var rej *Rejection
+				if !errors.As(err, &rej) || attempt > 10*sessions {
+					t.Errorf("session %d: %v (attempt %d)", i, err, attempt)
+					return
+				}
+				time.Sleep(time.Duration(1+attempt%7) * 100 * time.Microsecond)
+			}
+		}(i)
+	}
+
+	// Membership churn while the fleet is under load: a rolling
+	// drain-and-replace of every original reader, then one scale-out.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			s.DrainReader(fmt.Sprintf("r%d", i))
+			if err := s.AddReader(fmt.Sprintf("r%d'", i), 8); err != nil {
+				t.Error(err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if err := s.AddReader("r3", 8); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+
+	if got := atomic.LoadInt64(&completed); got != int64(sessions) {
+		t.Fatalf("completed %d of %d sessions", got, sessions)
+	}
+	if err := s.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range s.Lanes() {
+		if st.Admitted == 0 {
+			t.Fatalf("lane %s starved: nothing admitted", st.Lane)
+		}
+	}
+	for _, cfg := range tenants {
+		if s.Dispatches(cfg.Name) == 0 {
+			t.Fatalf("tenant %s starved", cfg.Name)
+		}
+	}
+	load := s.Load()
+	if load.Queued != 0 || load.Running != 0 {
+		t.Fatalf("load after drain-down: %+v", load)
+	}
+	if load.Readers != 4 { // r0'..r2' plus r3
+		t.Fatalf("readers = %d, want 4 (%v)", load.Readers, s.Readers())
+	}
+}

@@ -81,6 +81,47 @@ func (s *Scheduler) AddReader(name string, slots int) error {
 	return nil
 }
 
+// DrainReader starts a graceful drain of a reader: no new dispatches land on
+// it, running queries finish (or unpin at their next yield), and queued
+// queries pinned to it re-place on the rest of the fleet immediately. The
+// return value reports whether the reader was idle and left at once.
+func (s *Scheduler) DrainReader(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gone := s.core.DrainReader(name)
+	s.pumpLocked() // released queries place on the surviving fleet
+	return gone
+}
+
+// RemoveReader drops a reader abruptly (a crash). Queries running on it are
+// failed — their goroutines observe the terminal state when fn returns — and
+// queued queries pinned to it re-place on the surviving fleet. It returns the
+// number of failed victims.
+func (s *Scheduler) RemoveReader(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	victims := s.core.RemoveReader(name)
+	for _, q := range victims {
+		_ = s.core.Complete(q, false)
+	}
+	s.pumpLocked()
+	return len(victims)
+}
+
+// Readers returns the current reader names (draining ones included).
+func (s *Scheduler) Readers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.Readers()
+}
+
+// Load takes the autoscaler's load snapshot.
+func (s *Scheduler) Load() LoadStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.Load()
+}
+
 // pumpLocked drains the dispatch loop, handing each dispatched query to its
 // waiting goroutine. Reader-stall lags are drawn here, in dispatch order, so
 // a seeded plan yields a deterministic stall sequence.

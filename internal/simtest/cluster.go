@@ -65,10 +65,28 @@ type Cluster struct {
 	coord   *cloudiq.Database
 	writers map[string]*cloudiq.Database
 
+	// epoch is the cluster's fence record — conceptually a tiny object on
+	// shared storage. Every coordinator handle opens at this epoch; a
+	// promotion bumps it and permanently fences the previous handle.
+	epoch uint64
+	// deposed is the most recently fenced coordinator handle, kept alive so
+	// the harness can verify that a deposed coordinator waking up mid-flight
+	// has every mutating RPC rejected.
+	deposed *cloudiq.Database
+
 	coordEverOpened bool
 	inRecovery      bool // recovery re-notifications bypass RPC drop faults
 	gcPending       map[string]bool
 	readerSeq       int
+
+	// OnDepose, when non-nil, runs the moment a promotion fences a live
+	// coordinator handle. Every client session on the deposed process dies
+	// with it: epoch fencing guards the RPC surface, but a client holding an
+	// open transaction on the old process would otherwise keep writing the
+	// shared WAL through the local commit path — the exact split-brain a real
+	// takeover kills by terminating the process's connections. Drivers hook
+	// this to drop their open transactions and pins on "coord".
+	OnDepose func()
 }
 
 // NewCluster returns a cluster over fresh devices. Call OpenCoord (and
@@ -119,6 +137,51 @@ func (c *Cluster) WriterNames() []string {
 // oracle must be skipped.
 func (c *Cluster) GCPending() bool { return len(c.gcPending) > 0 }
 
+// Epoch returns the cluster's fence record: the epoch the active coordinator
+// serves at (and the floor any future promotion must exceed).
+func (c *Cluster) Epoch() uint64 { return c.epoch }
+
+// Deposed returns the most recently fenced coordinator handle, nil if no
+// promotion has deposed a live coordinator yet.
+func (c *Cluster) Deposed() *cloudiq.Database { return c.deposed }
+
+// Promote performs a fenced coordinator takeover at the given epoch, which
+// must exceed the current fence record. The sequence is fence-before-
+// activate: (1) persist the new epoch in the fence record, (2) the reigning
+// handle — if the process is still alive — observes it and is permanently
+// fenced (every later mutating call returns ErrFenced, so it can never again
+// touch the coordinator WAL or allocate keys), (3) a fresh coordinator opens
+// over the shared WAL, replaying the keygen high-water and active sets, and
+// adopts the new epoch. The ClusterPromote fault site fires between the
+// phases, modeling a takeover process killed mid-promotion: the fence may
+// already be raised with no active coordinator, and a later attempt (at a
+// yet higher epoch) must finish the job — which is safe precisely because
+// epochs are monotone.
+func (c *Cluster) Promote(ctx context.Context, epoch uint64) error {
+	if epoch <= c.epoch {
+		return fmt.Errorf("simtest: promote at epoch %d: fence record is %d", epoch, c.epoch)
+	}
+	if err := c.cfg.Plan.Check(faultinject.ClusterPromote, "fence"); err != nil {
+		return fmt.Errorf("simtest: promotion died before fencing: %w", err)
+	}
+	c.epoch = epoch
+	if old := c.coord; old != nil {
+		// The old coordinator observes the fence record; from here on it is
+		// deposed and rejects every mutating call — and its client sessions
+		// are terminated before the successor opens.
+		_ = old.CheckEpoch(ctx, epoch)
+		c.deposed = old
+		c.coord = nil
+		if c.OnDepose != nil {
+			c.OnDepose()
+		}
+	}
+	if err := c.cfg.Plan.Check(faultinject.ClusterPromote, "activate"); err != nil {
+		return fmt.Errorf("simtest: promotion died before activation: %w", err)
+	}
+	return c.OpenCoord(ctx)
+}
+
 func (c *Cluster) readRetries() int {
 	if c.cfg.BrokenRetry {
 		return 1 // ablation: a single attempt, no retry-until-found
@@ -158,6 +221,7 @@ func (c *Cluster) OpenCoord(ctx context.Context) error {
 	if err := db.Recover(ctx); err != nil {
 		return fmt.Errorf("simtest: coordinator recovery: %w", err)
 	}
+	db.SetEpoch(c.epoch) // serve at the current fence record
 	reopen := c.coordEverOpened
 	c.coordEverOpened = true
 	c.coord = db
@@ -211,6 +275,12 @@ func (c *Cluster) OpenWriter(ctx context.Context, name string) error {
 			if co == nil {
 				return rfrb.Range{}, fmt.Errorf("simtest: coordinator down")
 			}
+			// Every coordinator RPC carries the cluster epoch; a handle
+			// fenced by a promotion rejects the call before it can touch
+			// the keygen WAL.
+			if err := co.CheckEpoch(ctx, c.epoch); err != nil {
+				return rfrb.Range{}, err
+			}
 			return co.AllocateKeys(ctx, node, n)
 		},
 		Notify: func(nodeName string, consumed *rfrb.Bitmap) {
@@ -220,7 +290,7 @@ func (c *Cluster) OpenWriter(ctx context.Context, name string) error {
 			if !c.inRecovery && c.cfg.Plan.Check(faultinject.RPCNotify, nodeName) != nil {
 				return
 			}
-			if co := c.coord; co != nil {
+			if co := c.coord; co != nil && co.CheckEpoch(ctx, c.epoch) == nil {
 				_ = co.NotifyCommit(ctx, nodeName, consumed)
 			}
 		},

@@ -1,0 +1,203 @@
+package simtest
+
+import (
+	"strings"
+	"testing"
+
+	"cloudiq/internal/faultinject"
+	"cloudiq/internal/multiplex"
+	"cloudiq/internal/objstore"
+)
+
+// TestClusterBitReproducible holds cluster mode — controller rounds, probe
+// faults, promotions, autoscaling — to the same bar as the base harness: the
+// same seed twice must produce identical fingerprints.
+func TestClusterBitReproducible(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 17}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		a, errA := Run(bg(), Options{Seed: seed, Cluster: true})
+		b, errB := Run(bg(), Options{Seed: seed, Cluster: true})
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("seed %d: inconsistent outcome: %v vs %v", seed, errA, errB)
+		}
+		if errA != nil && errA.Error() != errB.Error() {
+			t.Fatalf("seed %d: error text diverged:\n%v\n%v", seed, errA, errB)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("seed %d: fingerprints diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+				seed, a.Fingerprint(), b.Fingerprint())
+		}
+	}
+}
+
+// TestClusterSmokeSeeds is cluster mode's PR-gate sweep: every oracle —
+// convergence included — must hold on the first 20 seeds (5 under -short),
+// through coordinator kills, mid-promotion crashes, controller crashes and
+// probe partitions.
+func TestClusterSmokeSeeds(t *testing.T) {
+	n := uint64(20)
+	if testing.Short() {
+		n = 5
+	}
+	for seed := uint64(1); seed <= n; seed++ {
+		if _, err := Run(bg(), Options{Seed: seed, Cluster: true}); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestClusterScriptRoundTrip checks cluster scripts survive
+// String → Parse → String unchanged, including the cluster directive, the
+// cluster fault family and the c-* steps.
+func TestClusterScriptRoundTrip(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 5, 42, 413} {
+		sc := GenerateCluster(seed)
+		if !sc.Cluster || !sc.Queries || !sc.FaultCluster {
+			t.Fatalf("seed %d: generator flags: cluster=%t queries=%t faultcluster=%t",
+				seed, sc.Cluster, sc.Queries, sc.FaultCluster)
+		}
+		if sc.Writers < 1 {
+			t.Fatalf("seed %d: cluster script with %d writers", seed, sc.Writers)
+		}
+		text := sc.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		if back.String() != text {
+			t.Fatalf("seed %d: round trip diverged:\n%s\n---\n%s", seed, text, back.String())
+		}
+	}
+}
+
+// TestClusterConvergesAfterCoordinatorKill is the directed failover scenario:
+// commit data, kill the coordinator, and let the quiescent point's fresh
+// controller discover the corpse, start a standby, promote it over the shared
+// WAL, and pass every oracle — the committed data must survive the takeover
+// bit for bit (the equivalence oracle scans it on the new coordinator).
+func TestClusterConvergesAfterCoordinatorKill(t *testing.T) {
+	sc := &Script{
+		Seed: 7, Writers: 1, Tables: 1, SegRows: 8,
+		Cluster: true, Queries: true,
+		Steps: []Step{
+			{Op: OpAppend, Node: "coord", Table: 0, Rows: 5},
+			{Op: OpCommit, Node: "coord", Table: -1},
+			{Op: OpAppend, Node: "w1", Table: 0, Rows: 3},
+			{Op: OpCommit, Node: "w1", Table: -1},
+			{Op: OpCKillCoord, Table: -1},
+			{Op: OpQuiesce, Table: -1},
+			{Op: OpAppend, Node: "coord", Table: 0, Rows: 2},
+			{Op: OpCommit, Node: "coord", Table: -1},
+			{Op: OpQuiesce, Table: -1},
+		},
+	}
+	rep, err := Run(bg(), Options{Script: sc})
+	if err != nil {
+		t.Fatalf("failover scenario: %v\n%s", err, rep.StepLog)
+	}
+	if !strings.Contains(rep.StepLog, "down (fence epoch=0)") {
+		t.Fatalf("coordinator kill not logged:\n%s", rep.StepLog)
+	}
+}
+
+// TestClusterConvergesAfterPartition promotes over a perfectly healthy
+// coordinator: a probe partition longer than ProbeThreshold makes the
+// controller depose it. Fencing keeps the false positive safe — the old
+// handle is cut off before the standby activates — and the post-promotion
+// oracles must still all pass.
+func TestClusterConvergesAfterPartition(t *testing.T) {
+	sc := &Script{
+		Seed: 11, Writers: 1, Tables: 1, SegRows: 8,
+		Cluster: true, Queries: true,
+		Steps: []Step{
+			{Op: OpAppend, Node: "coord", Table: 0, Rows: 8},
+			{Op: OpCommit, Node: "coord", Table: -1},
+			{Op: OpCPartition, Node: "coord", Table: -1, Arg: 4},
+			{Op: OpCReconcile, Table: -1}, // suspicion 1
+			{Op: OpCReconcile, Table: -1}, // suspicion 2 → start standby
+			{Op: OpCReconcile, Table: -1}, // promote over the live coordinator
+			{Op: OpCReconcile, Table: -1},
+			{Op: OpQuiesce, Table: -1},
+		},
+	}
+	rep, err := Run(bg(), Options{Script: sc})
+	if err != nil {
+		t.Fatalf("partition scenario: %v\n%s", err, rep.StepLog)
+	}
+}
+
+// TestDeposedCoordinatorFenced is the split-brain audit (epoch fencing,
+// end to end on the durable substrate): after a promotion, the deposed
+// coordinator handle must reject every mutating RPC, and the new
+// coordinator's key allocations must sit strictly above everything the old
+// one handed out — the WAL replay restored the keygen high-water, so no key
+// can ever be allocated twice across the takeover.
+func TestDeposedCoordinatorFenced(t *testing.T) {
+	ctx := bg()
+	plan := faultinject.New(99)
+	store := objstore.NewMem(objstore.Config{})
+	cl, err := NewCluster(ClusterConfig{Plan: plan, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.OpenCoord(ctx); err != nil {
+		t.Fatal(err)
+	}
+	old := cl.Coord()
+	rng1, err := old.AllocateKeys(ctx, "w1", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cl.Promote(ctx, 1); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if cl.Epoch() != 1 {
+		t.Fatalf("fence record = %d, want 1", cl.Epoch())
+	}
+	dep := cl.Deposed()
+	if dep != old {
+		t.Fatal("deposed handle is not the pre-promotion coordinator")
+	}
+	if !dep.Fenced() {
+		t.Fatal("deposed coordinator not fenced")
+	}
+
+	// Every mutating RPC on the deposed handle is rejected — it can never
+	// touch the keygen WAL again.
+	if _, err := dep.AllocateKeys(ctx, "w1", 8); !multiplex.IsFenced(err) {
+		t.Fatalf("deposed AllocateKeys: %v, want fenced", err)
+	}
+	if err := dep.NotifyCommit(ctx, "w1", nil); !multiplex.IsFenced(err) {
+		t.Fatalf("deposed NotifyCommit: %v, want fenced", err)
+	}
+	if err := dep.WriterRestartGC(ctx, "w1"); !multiplex.IsFenced(err) {
+		t.Fatalf("deposed WriterRestartGC: %v, want fenced", err)
+	}
+	st, err := dep.Status(ctx)
+	if err != nil || !st.Fenced {
+		t.Fatalf("deposed status = %+v, %v; want Fenced", st, err)
+	}
+
+	// Keygen audit: the new coordinator replayed the shared WAL, so its
+	// allocations start at or above the deposed one's high-water.
+	rng2, err := cl.Coord().AllocateKeys(ctx, "w1", 64)
+	if err != nil {
+		t.Fatalf("new coordinator alloc: %v", err)
+	}
+	if rng2.Start < rng1.End {
+		t.Fatalf("double allocation across takeover: old [%d,%d) new [%d,%d)",
+			rng1.Start, rng1.End, rng2.Start, rng2.End)
+	}
+	if got := cl.Coord().Epoch(); got != 1 {
+		t.Fatalf("new coordinator epoch = %d, want 1", got)
+	}
+
+	// A promotion at or below the durable fence record must be rejected.
+	if err := cl.Promote(ctx, 1); err == nil {
+		t.Fatal("promotion at the current fence epoch succeeded")
+	}
+}

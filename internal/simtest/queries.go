@@ -165,6 +165,11 @@ func (r *runner) runQueryScan(ctx context.Context, q *sched.Query) (bool, error)
 	if !nm.committed(name) {
 		return false, nil
 	}
+	if r.cl.Node("coord") == nil {
+		// Cluster mode can kill the coordinator out from under a scheduled
+		// query; the query fails, the oracle does not.
+		return false, nil
+	}
 	tx := r.cl.Node("coord").Begin()
 	defer tx.Rollback(ctx)
 	tbl, err := tx.Table(ctx, r.cl.Space(), name)

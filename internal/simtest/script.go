@@ -8,7 +8,7 @@
 // seed, so a failing run reproduces bit for bit, and a failing script shrinks
 // to a minimal reproducer (see Shrink).
 //
-// The harness checks six oracle families at every quiescent point:
+// The harness checks seven oracle families at every quiescent point:
 //
 //  1. committed-data equivalence: every node's tables, scanned through the
 //     exec pipeline, match the model exactly;
@@ -23,7 +23,13 @@
 //  6. query lifecycle (query-mode scripts): every query the scheduler admits
 //     terminates exactly once — completed, failed or cancelled — through
 //     submissions, cancellations, reader crashes and full drains, and the
-//     scheduler's conservation ledger always balances.
+//     scheduler's conservation ledger always balances;
+//  7. convergence (cluster-mode scripts): from any reachable fleet state —
+//     coordinators killed mid-promotion, controllers crashed, probes
+//     partitioned — a quiescent period drives the reconcile-loop controller
+//     to the spec's fixed point with exactly one active, unfenced
+//     coordinator, every deposed coordinator's mutating RPCs rejected,
+//     writers at the spec generation and readers within bounds.
 package simtest
 
 import (
@@ -69,6 +75,16 @@ const (
 	OpQFinish      Op = "q-finish"       // finish a running query (Arg picks): scan its table, compare to the model, complete
 	OpQCancel      Op = "q-cancel"       // cancel a queued query (Arg picks)
 	OpQCrashReader Op = "q-crash-reader" // crash a scheduler reader (Arg picks): its running queries fail, then it rejoins
+
+	// Cluster-mode steps (Cluster on): drive the reconcile-loop controller
+	// against the multiplex — coordinator kills, controller crashes, probe
+	// partitions and spec edits — audited by the convergence oracle.
+	OpCKillCoord  Op = "c-kill-coord"  // kill the coordinator process (handle abandoned; fence record and WAL survive)
+	OpCKillWriter Op = "c-kill-writer" // kill writer Node's process
+	OpCReconcile  Op = "c-reconcile"   // run one controller reconcile round (at most one primitive action)
+	OpCCrashCtrl  Op = "c-crash-ctrl"  // crash the controller; a fresh one restarts from the spec and probes
+	OpCPartition  Op = "c-partition"   // partition Node's health probes for the next Arg probe attempts
+	OpCSpec       Op = "c-spec"        // edit the spec (Arg picks: bump Generation / flip reader bounds)
 )
 
 // Step is one scripted workload step.
@@ -103,12 +119,18 @@ type Script struct {
 	// driven by the q-* steps and audited by the query-lifecycle oracle.
 	Queries bool
 
+	// Cluster arms the reconcile-loop controller harness (implies Queries):
+	// the c-* steps kill coordinators and controllers, partition probes and
+	// edit the spec; every quiescent point runs the convergence oracle.
+	Cluster bool
+
 	// Ambient fault toggles. Shrinking turns them off one family at a time.
 	FaultPut        bool // transient object PUT failures
 	FaultDelete     bool // transient object DELETE failures
 	FaultVisibility bool // visibility lag spikes on top of MissReads
 	FaultRPC        bool // allocation / notification / restart RPC faults
 	FaultSched      bool // scheduler admission drops and reader-stall lags
+	FaultCluster    bool // probe drops, reconcile-loop crashes, mid-promotion kills
 
 	Steps []Step
 }
@@ -140,15 +162,22 @@ func (sc *Script) Clone() *Script {
 // Generate derives a complete script from one seed: topology, fault toggles
 // and the weighted step mix all come from a private MT19937-64 stream, so the
 // same seed always yields the same script.
-func Generate(seed uint64) *Script { return generate(seed, false) }
+func Generate(seed uint64) *Script { return generate(seed, false, false) }
 
 // GenerateQueries derives a query-mode script: the base workload mix plus
 // the q-* scheduler steps, with the sched fault family armed. It is a
 // separate generator so Generate's seed→script mapping (and every pinned
 // regression seed) stays byte-stable.
-func GenerateQueries(seed uint64) *Script { return generate(seed, true) }
+func GenerateQueries(seed uint64) *Script { return generate(seed, true, false) }
 
-func generate(seed uint64, queries bool) *Script {
+// GenerateCluster derives a cluster-mode script: the full query-mode mix
+// plus the c-* controller steps, with every fault family armed — including
+// probe partitions, reconcile-loop crashes and mid-promotion kills. A third
+// distinct generator mode, so the other two seed→script mappings stay
+// byte-stable.
+func GenerateCluster(seed uint64) *Script { return generate(seed, true, true) }
+
+func generate(seed uint64, queries, cluster bool) *Script {
 	rng := mt.New(seed)
 	draw := func(n int) int {
 		if n <= 1 {
@@ -162,6 +191,11 @@ func generate(seed uint64, queries bool) *Script {
 	sc.SegRows = 8
 	sc.MissReads = draw(3)
 	sc.Retent = int64(40 + draw(40))
+	if cluster && sc.Writers == 0 {
+		// The controller reconciles a multiplex; cluster mode always has at
+		// least one secondary writer (and never snapshot mode).
+		sc.Writers = 1
+	}
 	if sc.Writers == 0 {
 		// Snapshot mode: the snapshot manager persists its metadata with
 		// an unretried write path, so ambient store-write faults stay off
@@ -194,6 +228,14 @@ func generate(seed uint64, queries bool) *Script {
 		ops = append(ops,
 			weighted{OpQSubmit, 16}, weighted{OpQDispatch, 8}, weighted{OpQFinish, 10},
 			weighted{OpQCancel, 3}, weighted{OpQCrashReader, 2})
+	}
+	if cluster {
+		sc.Cluster = true
+		sc.FaultCluster = true
+		ops = append(ops,
+			weighted{OpCReconcile, 12}, weighted{OpCKillWriter, 3},
+			weighted{OpCKillCoord, 2}, weighted{OpCPartition, 3},
+			weighted{OpCSpec, 3}, weighted{OpCCrashCtrl, 2})
 	}
 	total := 0
 	for _, o := range ops {
@@ -244,6 +286,13 @@ func generate(seed uint64, queries bool) *Script {
 			st.Arg = draw(8)
 		case OpQCrashReader:
 			st.Arg = draw(2)
+		case OpCKillWriter:
+			st.Node = nodes[1+draw(len(nodes)-1)]
+		case OpCPartition:
+			st.Node = nodes[draw(len(nodes))]
+			st.Arg = 1 + draw(5)
+		case OpCSpec:
+			st.Arg = draw(6)
 		}
 		sc.Steps = append(sc.Steps, st)
 	}
@@ -264,8 +313,9 @@ func (sc *Script) String() string {
 	fmt.Fprintf(&b, "retention %d\n", sc.Retent)
 	fmt.Fprintf(&b, "snapshots %s\n", onOff(sc.Snapshots))
 	fmt.Fprintf(&b, "queries %s\n", onOff(sc.Queries))
-	fmt.Fprintf(&b, "faults put=%s delete=%s visibility=%s rpc=%s sched=%s\n",
-		onOff(sc.FaultPut), onOff(sc.FaultDelete), onOff(sc.FaultVisibility), onOff(sc.FaultRPC), onOff(sc.FaultSched))
+	fmt.Fprintf(&b, "cluster %s\n", onOff(sc.Cluster))
+	fmt.Fprintf(&b, "faults put=%s delete=%s visibility=%s rpc=%s sched=%s cluster=%s\n",
+		onOff(sc.FaultPut), onOff(sc.FaultDelete), onOff(sc.FaultVisibility), onOff(sc.FaultRPC), onOff(sc.FaultSched), onOff(sc.FaultCluster))
 	for _, st := range sc.Steps {
 		node := st.Node
 		if node == "" {
@@ -290,6 +340,8 @@ var validOps = map[Op]bool{
 	OpExpire: true, OpPin: true, OpCheckPin: true, OpUnpin: true, OpReader: true,
 	OpQSubmit: true, OpQDispatch: true, OpQFinish: true, OpQCancel: true,
 	OpQCrashReader: true,
+	OpCKillCoord:   true, OpCKillWriter: true, OpCReconcile: true,
+	OpCCrashCtrl: true, OpCPartition: true, OpCSpec: true,
 }
 
 // Parse reads the format String writes. Unknown directives and malformed
@@ -346,6 +398,11 @@ func Parse(text string) (*Script, error) {
 				return nil, bad("want: queries on|off")
 			}
 			sc.Queries = f[1] == "on"
+		case "cluster":
+			if len(f) != 2 {
+				return nil, bad("want: cluster on|off")
+			}
+			sc.Cluster = f[1] == "on"
 		case "faults":
 			for _, kv := range f[1:] {
 				k, v, ok := strings.Cut(kv, "=")
@@ -364,6 +421,8 @@ func Parse(text string) (*Script, error) {
 					sc.FaultRPC = on
 				case "sched":
 					sc.FaultSched = on
+				case "cluster":
+					sc.FaultCluster = on
 				default:
 					return nil, bad("unknown fault family " + k)
 				}

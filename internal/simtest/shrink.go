@@ -59,6 +59,7 @@ func Shrink(ctx context.Context, sc *Script, opts Options, maxRuns int) (*Shrink
 		off  func(*Script)
 		on   func(*Script) bool
 	}{
+		{"cluster", func(s *Script) { s.FaultCluster = false }, func(s *Script) bool { return s.FaultCluster }},
 		{"sched", func(s *Script) { s.FaultSched = false }, func(s *Script) bool { return s.FaultSched }},
 		{"rpc", func(s *Script) { s.FaultRPC = false }, func(s *Script) bool { return s.FaultRPC }},
 		{"visibility", func(s *Script) { s.FaultVisibility = false }, func(s *Script) bool { return s.FaultVisibility }},

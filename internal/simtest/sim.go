@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cloudiq"
+	"cloudiq/internal/cluster"
 	"cloudiq/internal/exec"
 	"cloudiq/internal/faultinject"
 	"cloudiq/internal/iomodel"
@@ -38,6 +39,12 @@ var (
 	// query was lost, terminated twice, or the scheduler's conservation
 	// ledger stopped balancing.
 	ErrQueryLost = errors.New("simtest: query lifecycle violated")
+	// ErrConverge means the convergence oracle tripped: after a quiescent
+	// period the reconcile-loop controller did not drive the fleet to the
+	// spec's fixed point, or the converged fleet is wrong (no single active
+	// unfenced coordinator, a deposed coordinator still serving, writers off
+	// the spec generation, readers out of bounds).
+	ErrConverge = errors.New("simtest: cluster did not converge to spec")
 )
 
 // Classify maps a Run error to an oracle category ("" for success,
@@ -58,6 +65,8 @@ func Classify(err error) string {
 		return "visibility"
 	case errors.Is(err, ErrQueryLost):
 		return "query"
+	case errors.Is(err, ErrConverge):
+		return "converge"
 	default:
 		return "harness"
 	}
@@ -72,6 +81,10 @@ type Options struct {
 	// Queries selects the query-mode generator (GenerateQueries) when
 	// Script is nil: the base workload plus scheduler steps.
 	Queries bool
+	// Cluster selects the cluster-mode generator (GenerateCluster) when
+	// Script is nil: the query-mode workload plus reconcile-loop controller
+	// steps and the convergence oracle. Takes precedence over Queries.
+	Cluster bool
 	// BrokenRetry ablates retry-until-found reads to a single attempt;
 	// with an eventual-consistency window armed the oracles must fail.
 	BrokenRetry bool
@@ -132,6 +145,14 @@ type runner struct {
 	qterm  map[uint64]int          // query → terminal transitions (must be 1)
 	qdrops int                     // admissions dropped by the fault site
 
+	// cluster-mode state (nil unless Script.Cluster): the reconcile-loop
+	// controller under test, its actuation fleet, and the authoritative spec
+	// (the "CRD" — c-spec steps edit it; a crashed controller is recreated
+	// from it, never from the dead controller's memory).
+	fleet *Fleet
+	ctrl  *cluster.Controller
+	spec  cluster.Spec
+
 	commits int
 	log     strings.Builder
 
@@ -146,9 +167,12 @@ type runner struct {
 func Run(ctx context.Context, opts Options) (*Report, error) {
 	sc := opts.Script
 	if sc == nil {
-		if opts.Queries {
+		switch {
+		case opts.Cluster:
+			sc = GenerateCluster(opts.Seed)
+		case opts.Queries:
 			sc = GenerateQueries(opts.Seed)
-		} else {
+		default:
 			sc = Generate(opts.Seed)
 		}
 	}
@@ -179,6 +203,11 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		if sc.FaultSched {
 			p.Prob(faultinject.SchedAdmit, 0.05)
 			p.Lag(faultinject.SchedStall, 0, 3)
+		}
+		if sc.FaultCluster {
+			p.Prob(faultinject.RPCProbe, 0.15)
+			p.Prob(faultinject.ClusterReconcile, 0.05)
+			p.Prob(faultinject.ClusterPromote, 0.15)
 		}
 	}
 	ambient(plan)
@@ -213,10 +242,38 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		return nil, err
 	}
 	r.cl = cl
-	if sc.Queries {
+	if sc.Queries || sc.Cluster {
 		if err := r.setupQueries(); err != nil {
 			return nil, err
 		}
+	}
+	if sc.Cluster {
+		// Register the topology up front so the fleet's membership directory
+		// is complete before the first reconcile round.
+		for _, name := range sc.NodeNames()[1:] {
+			cl.AddWriter(name)
+		}
+		r.fleet = NewFleet(cl, r.qcore, plan, scale)
+		r.fleet.PreRestartWriter = r.preRestartWriter
+		// A promotion kills every client session on the deposed coordinator:
+		// open transactions and pins die with the old process, exactly like a
+		// crash. Without this the runner would keep committing through the
+		// deposed handle's local write path — the split-brain fencing exists
+		// to prevent.
+		cl.OnDepose = func() {
+			delete(r.pins, "coord")
+			delete(r.txs, "coord")
+			r.model.node("coord").abort()
+		}
+		r.spec = cluster.Spec{
+			Standbys:     1,
+			Writers:      sc.Writers,
+			ReadersMin:   1,
+			ReadersMax:   4,
+			ScaleOutWait: 5 * time.Millisecond,
+			ScaleInFree:  3,
+		}
+		r.ctrl = cluster.New(r.spec, r.fleet, plan)
 	}
 
 	runErr := r.run(ctx)
@@ -267,6 +324,17 @@ func (r *runner) step(ctx context.Context, i int, st Step) error {
 	if st.Node != "" && !r.valid[st.Node] {
 		r.logf(i, st, "noop: unknown node")
 		return nil
+	}
+	if r.sc.Cluster && st.Node != "" && r.cl.Node(st.Node) == nil {
+		// Cluster mode leaves killed nodes down until the controller (or an
+		// explicit crash-restart step) brings them back; workload steps that
+		// would dereference the dead process are no-ops, like a client whose
+		// connection fails.
+		switch st.Op {
+		case OpBegin, OpAppend, OpDrop, OpCheckpoint, OpGC, OpPin:
+			r.logf(i, st, "noop: node down")
+			return nil
+		}
 	}
 	switch st.Op {
 	case OpBegin:
@@ -388,6 +456,24 @@ func (r *runner) step(ctx context.Context, i int, st Step) error {
 
 	case OpQCrashReader:
 		return r.qCrashReaderStep(i, st)
+
+	case OpCKillCoord:
+		return r.cKillCoordStep(i, st)
+
+	case OpCKillWriter:
+		return r.cKillWriterStep(i, st)
+
+	case OpCReconcile:
+		return r.cReconcileStep(ctx, i, st)
+
+	case OpCCrashCtrl:
+		return r.cCrashCtrlStep(i, st)
+
+	case OpCPartition:
+		return r.cPartitionStep(i, st)
+
+	case OpCSpec:
+		return r.cSpecStep(i, st)
 
 	default:
 		return fmt.Errorf("unknown op %q", st.Op)
@@ -744,6 +830,9 @@ func sameRows(got, want []int64) error {
 // crash and recover the entire multiplex, run restart GC and garbage
 // collection everywhere, then check all five oracle families.
 func (r *runner) quiesce(ctx context.Context) error {
+	if r.sc.Cluster {
+		return r.clusterQuiesce(ctx)
+	}
 	nodes := r.sc.NodeNames()
 	// 0. Drain the query scheduler and audit the lifecycle ledger: every
 	// admitted query must reach exactly one terminal state.
