@@ -10,9 +10,10 @@
 //	iqbench -exp table2 -sf 0.01     # one experiment
 //
 // Experiments: table1, table2, table3, table4, table5, fig6, fig7, fig8,
-// fig9, ablations, sched, all.
+// fig9, ablations, sched, failover, pushdown, all.
 //
 //	iqbench -exp sched -short -schedout BENCH_sched.json
+//	iqbench -exp pushdown -short -pushdownout BENCH_pushdown.json
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 	iostats := flag.String("iostats", "", "write per-layer pageio statistics JSON to this file after the run")
 	schedOut := flag.String("schedout", "", "write the mixed-fleet scheduler report JSON to this file (sched experiment)")
 	failoverOut := flag.String("failoverout", "", "write the coordinator-failover report JSON to this file (failover experiment)")
+	pushdownOut := flag.String("pushdownout", "", "write the predicate-pushdown report JSON to this file (pushdown experiment)")
 	failoverCycles := flag.Int("failover-cycles", 5, "kill/promote cycles for the failover experiment")
 	traceOut := flag.String("trace", "", "write structured span JSON to this file after the run and print the slowest operation tree")
 	flag.Parse()
@@ -61,7 +63,7 @@ func main() {
 		})
 	}
 	ctx := context.Background()
-	if err := run(ctx, strings.ToLower(*exp), base, *schedOut, *failoverOut, *failoverCycles); err != nil {
+	if err := run(ctx, strings.ToLower(*exp), base, *schedOut, *failoverOut, *pushdownOut, *failoverCycles); err != nil {
 		fmt.Fprintln(os.Stderr, "iqbench:", err)
 		os.Exit(1)
 	}
@@ -133,7 +135,16 @@ func writeStats(path string, reg *pageio.StatsRegistry) error {
 	return f.Close()
 }
 
-func run(ctx context.Context, exp string, base bench.Options, schedOut, failoverOut string, failoverCycles int) error {
+// writePushdownReport dumps the predicate-pushdown report as indented JSON.
+func writePushdownReport(path string, rep *bench.PushdownReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(ctx context.Context, exp string, base bench.Options, schedOut, failoverOut, pushdownOut string, failoverCycles int) error {
 	all := exp == "all"
 	started := time.Now()
 
@@ -280,9 +291,24 @@ func run(ctx context.Context, exp string, base bench.Options, schedOut, failover
 		}
 	}
 
+	if all || exp == "pushdown" {
+		rep, err := bench.RunPushdown(ctx, base)
+		if err != nil {
+			return err
+		}
+		section("Pushdown: store-side filter + partial aggregation vs plain reads")
+		fmt.Print(bench.FormatPushdown(rep))
+		if pushdownOut != "" {
+			if err := writePushdownReport(pushdownOut, rep); err != nil {
+				return err
+			}
+			fmt.Printf("pushdown report written to %s\n", pushdownOut)
+		}
+	}
+
 	known := map[string]bool{"all": true, "table1": true, "table2": true, "table3": true,
 		"table4": true, "table5": true, "fig6": true, "fig7": true, "fig8": true,
-		"fig9": true, "ablations": true, "sched": true, "failover": true}
+		"fig9": true, "ablations": true, "sched": true, "failover": true, "pushdown": true}
 	if !known[exp] {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -51,10 +51,23 @@ var reconcilePkgs = map[string]bool{
 // (Controller.ReconcileOnce, Controller.Converge).
 var reconcilePrefixes = []string{"Reconcile", "Converge"}
 
+// selectPkgs are compute-pushdown boundaries: packages whose exported
+// Select-family entry points evaluate plans store-side. Their obligation is
+// the read-path exception to the write rule: a pushdown that cannot be
+// failed by the fault planner is a fallback-to-plain-reads path the
+// simulator never exercises, which is exactly where a scan would silently
+// diverge.
+var selectPkgs = map[string]bool{
+	"objstore": true,
+}
+
+// selectPrefixes identify pushdown entry points by name (MemStore.Select).
+var selectPrefixes = []string{"Select"}
+
 // FaultSite checks that every exported mutating method on the
-// objstore/blockdev/wal/ocm boundary — and every serving or reconcile entry
-// point (sched admission, cluster controller rounds) — routes through a
-// faultinject hook:
+// objstore/blockdev/wal/ocm boundary — and every serving, reconcile, or
+// select entry point (sched admission, cluster controller rounds, objstore
+// pushdown) — routes through a faultinject hook:
 // its same-package transitive call closure must reach Plan.Check or
 // Plan.LagAt, or delegate the mutation to another covered boundary (for
 // example, ocm's write paths delegate to objstore.Store.Put and
@@ -67,7 +80,8 @@ func FaultSite() *Analyzer {
 	a.Run = func(pass *Pass) {
 		base := pkgBase(pass.Pkg.Path())
 		mutating, serving, reconciling := boundaryPkgs[base], servingPkgs[base], reconcilePkgs[base]
-		if !mutating && !serving && !reconciling {
+		selecting := selectPkgs[base]
+		if !mutating && !serving && !reconciling && !selecting {
 			return
 		}
 		// Map every function/method declared in this unit to its body so
@@ -99,6 +113,9 @@ func FaultSite() *Analyzer {
 				case reconciling && isExportedPrefixedMethod(fd, fn, reconcilePrefixes):
 					targets = append(targets, fd)
 					kinds[fd] = "reconcile"
+				case selecting && isExportedPrefixedMethod(fd, fn, selectPrefixes):
+					targets = append(targets, fd)
+					kinds[fd] = "select"
 				}
 			}
 		}

@@ -1,0 +1,59 @@
+package objstore
+
+// Select-family obligations: a pushdown entry point that the fault planner
+// cannot fail is a fallback path the crash simulator never exercises, so
+// every exported context-first Select method on this boundary must reach a
+// Plan hook, exactly like a write.
+
+import (
+	"context"
+
+	"cloudiq/internal/faultinject"
+)
+
+// NakedCompute evaluates a pushdown with no fault hook in its closure.
+type NakedCompute struct {
+	objects map[string][]byte
+}
+
+func (s *NakedCompute) Select(ctx context.Context, key string) (int, error) { // want "faultsite: exported select operation NakedCompute.Select has no faultinject site"
+	return len(s.objects[key]), nil
+}
+
+// HookedCompute consults the plan before evaluating; compliant.
+type HookedCompute struct {
+	faults  *faultinject.Plan
+	objects map[string][]byte
+}
+
+func (s *HookedCompute) Select(ctx context.Context, key string) (int, error) {
+	if err := s.faults.Check(faultinject.ObjSelect, key); err != nil {
+		return 0, err
+	}
+	return len(s.objects[key]), nil
+}
+
+// SelectBatch routes through an unexported evaluator; the transitive closure
+// still reaches the hook, so it is compliant.
+func (s *HookedCompute) SelectBatch(ctx context.Context, keys []string) (int, error) {
+	total := 0
+	for _, k := range keys {
+		n, err := s.eval(ctx, k)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+func (s *HookedCompute) eval(_ context.Context, key string) (int, error) {
+	if err := s.faults.Check(faultinject.ObjSelect, key); err != nil {
+		return 0, err
+	}
+	return len(s.objects[key]), nil
+}
+
+// SelectivityStats shares the Select name prefix but takes no context: it is
+// an accessor, not a pushdown entry point, and must not be flagged.
+func (s *HookedCompute) SelectivityStats() int { return len(s.objects) }

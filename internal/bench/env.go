@@ -35,6 +35,11 @@ type Options struct {
 	FilesPerTable int
 	// Seed perturbs the latency jitter streams.
 	Seed int64
+	// CacheBytes overrides the buffer-manager budget (normally sized from
+	// the instance profile). The pushdown experiment uses a deliberately
+	// small cache so scans run in the cache-miss regime the paper's S3
+	// numbers live in.
+	CacheBytes int64
 	// SkipLoad builds the environment without loading (the bandwidth
 	// experiment drives the load itself).
 	SkipLoad bool
@@ -131,6 +136,9 @@ func Setup(ctx context.Context, opts Options) (*Env, error) {
 	cache := int64(float64(est) * opts.Instance.CacheFrac)
 	if cache < 2<<20 {
 		cache = 2 << 20
+	}
+	if opts.CacheBytes > 0 {
+		cache = opts.CacheBytes
 	}
 	e.LogDev = cloudiq.NewMemBlockDevice(cloudiq.BlockDeviceConfig{Growable: true})
 	db, err := cloudiq.Open(ctx, cloudiq.Config{

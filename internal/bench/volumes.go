@@ -111,3 +111,18 @@ func (n *nodeStore) Exists(ctx context.Context, key string) (bool, error) {
 func (n *nodeStore) List(ctx context.Context, prefix string) ([]string, error) {
 	return n.inner.List(ctx, prefix)
 }
+
+// Select forwards to the store's compute endpoint when it has one, charging
+// the node NIC only for the bytes that actually came back — the asymmetry
+// pushdown exists to exploit.
+func (n *nodeStore) Select(ctx context.Context, req objstore.SelectRequest) (*objstore.SelectResult, error) {
+	sel, ok := n.inner.(objstore.Selector)
+	if !ok {
+		return nil, objstore.ErrUnsupportedPlan
+	}
+	res, err := sel.Select(ctx, req)
+	if err == nil {
+		n.nic.Acquire(int(res.ReturnedBytes))
+	}
+	return res, err
+}

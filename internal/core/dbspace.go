@@ -136,6 +136,11 @@ const (
 type CloudDbspace struct {
 	cfg  CloudConfig
 	pipe pageio.Handler
+	// selPipe is the pushdown pipeline: it terminates directly at the store
+	// adapter, bypassing the OCM — select results are derived data and must
+	// never enter the page cache — while keeping the same tracing, metering
+	// and read-retry stages as the page pipeline.
+	selPipe pageio.Handler
 }
 
 var _ Dbspace = (*CloudDbspace)(nil)
@@ -183,7 +188,21 @@ func NewCloud(cfg CloudConfig) *CloudDbspace {
 		innerTrace,
 		innerMeter,
 	)
-	return &CloudDbspace{cfg: cfg, pipe: pipe}
+	selPipe := pageio.Chain(pageio.NewStore(cfg.Store, nil),
+		pageio.Trace("dbspace:"+cfg.Name),
+		pageio.Meter(cfg.Stats, "dbspace:"+cfg.Name),
+		pageio.Retry(pageio.Policy{
+			ReadAttempts:  cfg.ReadRetries,
+			WriteAttempts: 1,
+			Delay:         cfg.RetryDelay,
+			Cap:           retryCapFactor * cfg.RetryDelay,
+			Scale:         cfg.Scale,
+			Pool:          cfg.Pool,
+		}),
+		pageio.Trace("store:"+cfg.Name),
+		pageio.Meter(cfg.Stats, "store:"+cfg.Name),
+	)
+	return &CloudDbspace{cfg: cfg, pipe: pipe, selPipe: selPipe}
 }
 
 // Name implements Dbspace.
@@ -324,6 +343,39 @@ func (d *CloudDbspace) ReadBatch(ctx context.Context, entries []Entry) ([][]byte
 		out[i] = res[j]
 	}
 	return out, batchError(errs)
+}
+
+// SelectCol names one column page of a segment for pushdown: the column
+// name the plan refers to it by, and the blockmap entry of its stored page.
+type SelectCol struct {
+	Name string
+	E    Entry
+}
+
+// Select pushes filter + projection + partial aggregation to the object
+// store's compute endpoint, reading the named column pages store-side and
+// returning only the qualifying bytes. It bypasses the OCM entirely (the
+// page cache stores whole pages, not select results) but keeps the page
+// path's retry-until-found discipline: a not-yet-visible column object is an
+// eventual-consistency artifact, exactly as on ReadPage. Stores without a
+// compute endpoint answer pageio.ErrSelectUnsupported.
+func (d *CloudDbspace) Select(ctx context.Context, cols []SelectCol, flate bool, plan objstore.SelectPlan) (*objstore.SelectResult, error) {
+	req := objstore.SelectRequest{
+		Cols:  make([]objstore.SelectCol, len(cols)),
+		Flate: flate,
+		Plan:  plan,
+	}
+	for i, c := range cols {
+		if !c.E.IsCloud() {
+			return nil, fmt.Errorf("dbspace %s: select: entry %v is not a cloud entry", d.cfg.Name, c.E)
+		}
+		req.Cols[i] = objstore.SelectCol{Name: c.Name, Key: d.cfg.Namer.Name(c.E.Loc)}
+	}
+	res, err := pageio.Select(d.selPipe, ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("dbspace %s: select: %w", d.cfg.Name, err)
+	}
+	return res, nil
 }
 
 // batchError folds positional errors into a *pageio.BatchError (nil when

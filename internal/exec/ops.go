@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"cloudiq/internal/column"
+	"cloudiq/internal/objstore"
 	"cloudiq/internal/table"
 	"cloudiq/internal/trace"
 )
@@ -48,6 +49,11 @@ type ScanOptions struct {
 	// negative value disables read-ahead entirely, making the scan fully
 	// synchronous (deterministic simulation harnesses rely on this).
 	Prefetch int
+	// Pushdown lets the scan evaluate Filter inside the object store's
+	// compute endpoint, per segment, returning only qualifying rows. Off by
+	// default; results are identical in every mode (failed pushdowns fall
+	// back to plain reads).
+	Pushdown PushdownMode
 }
 
 type scanSource struct {
@@ -58,6 +64,10 @@ type scanSource struct {
 	segs     []int // surviving segments after zone pruning
 	pos      int
 	fetched  int
+
+	planFilter *objstore.PlanExpr // translated Filter, when pushdown is on
+	push       []bool             // per-segment pushdown decision, parallel to segs
+	emitted    bool               // whether any batch has been returned yet
 }
 
 // Scan streams the named columns of t, pruning segments by zone maps and
@@ -95,55 +105,86 @@ func Scan(t *table.Table, cols []string, opts ScanOptions) (Source, error) {
 			s.segs = append(s.segs, seg)
 		}
 	}
+	s.planPushdown()
 	return s, nil
 }
 
 func (s *scanSource) Next(ctx context.Context) (*table.Batch, error) {
-	for {
-		if s.pos >= len(s.segs) {
-			return nil, nil
+	if s.pos >= len(s.segs) {
+		// A scan that pruned (or never had) every segment still yields one
+		// typed empty batch: downstream operators need the schema to type
+		// their output, exactly as a filter that removed every row leaves
+		// behind. Without this, an all-pruned scan diverged from the
+		// equivalent unpruned-but-fully-filtered one.
+		if !s.emitted {
+			s.emitted = true
+			return s.emptyBatch(), nil
 		}
-		// A scan is a schedulable unit: between segments it offers its
-		// reader slot back to whatever scheduler runs it, so one long scan
-		// cannot starve a priority lane.
-		if err := YieldPoint(ctx); err != nil {
-			return nil, err
-		}
-		// Keep the read-ahead window full.
-		if s.fetched < s.pos+s.opts.Prefetch && s.fetched < len(s.segs) {
-			pctx, psp := trace.Start(ctx, "scan.prefetch",
-				trace.String("table", s.tbl.Name()), trace.Int("from", int64(s.fetched)))
-			n := 0
-			for s.fetched < s.pos+s.opts.Prefetch && s.fetched < len(s.segs) {
+		return nil, nil
+	}
+	// A scan is a schedulable unit: between segments it offers its
+	// reader slot back to whatever scheduler runs it, so one long scan
+	// cannot starve a priority lane.
+	if err := YieldPoint(ctx); err != nil {
+		return nil, err
+	}
+	// Keep the read-ahead window full. Segments headed for pushdown are
+	// skipped: prefetching would pull whole column pages into the cache
+	// that the select path never reads.
+	if s.fetched < s.pos+s.opts.Prefetch && s.fetched < len(s.segs) {
+		pctx, psp := trace.Start(ctx, "scan.prefetch",
+			trace.String("table", s.tbl.Name()), trace.Int("from", int64(s.fetched)))
+		n := 0
+		for s.fetched < s.pos+s.opts.Prefetch && s.fetched < len(s.segs) {
+			if s.push == nil || !s.push[s.fetched] {
 				s.tbl.PrefetchSegments(pctx, []int{s.segs[s.fetched]}, s.cols)
-				s.fetched++
 				n++
 			}
-			psp.AddInt("segments", int64(n))
-			psp.End()
+			s.fetched++
 		}
-		rctx, rsp := trace.Start(ctx, "scan.segment",
-			trace.String("table", s.tbl.Name()), trace.Int("seg", int64(s.segs[s.pos])))
-		b, err := s.tbl.ReadSegment(rctx, s.segs[s.pos], s.cols)
+		psp.AddInt("segments", int64(n))
+		psp.End()
+	}
+	rctx, rsp := trace.Start(ctx, "scan.segment",
+		trace.String("table", s.tbl.Name()), trace.Int("seg", int64(s.segs[s.pos])))
+	var b *table.Batch
+	var err error
+	pushed := false
+	if s.push != nil && s.push[s.pos] {
+		b, err = s.pushSegment(rctx, s.segs[s.pos])
+		if err == nil {
+			pushed = true
+			rsp.AddInt("pushdown", 1)
+		} else {
+			// Every pushdown failure — store without the capability,
+			// unsupported plan, injected fault, dirty page — degrades to
+			// the plain read path below.
+			rsp.SetAttr("fallback", err.Error())
+		}
+	}
+	if !pushed {
+		b, err = s.tbl.ReadSegment(rctx, s.segs[s.pos], s.cols)
 		if err != nil {
 			rsp.SetAttr("err", err.Error())
 			rsp.End()
 			return nil, err
 		}
-		rsp.AddInt("rows", int64(b.Rows()))
-		rsp.End()
-		s.pos++
-		if s.opts.Filter != nil {
-			// Empty filtered batches are still returned: their schema lets
-			// downstream operators (joins, aggregations) type their output
-			// even when every row was filtered out.
-			b, err = FilterBatch(b, s.opts.Filter)
-			if err != nil {
-				return nil, err
-			}
-		}
-		return b, nil
 	}
+	rsp.AddInt("rows", int64(b.Rows()))
+	rsp.End()
+	s.pos++
+	if !pushed && s.opts.Filter != nil {
+		// Empty filtered batches are still returned: their schema lets
+		// downstream operators (joins, aggregations) type their output
+		// even when every row was filtered out. Pushed batches arrive
+		// already filtered.
+		b, err = FilterBatch(b, s.opts.Filter)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.emitted = true
+	return b, nil
 }
 
 // SliceSource feeds pre-materialized batches as a Source.

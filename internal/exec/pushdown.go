@@ -1,0 +1,526 @@
+package exec
+
+// Pushdown: lowering scan filters and ungrouped aggregates into the object
+// store's compute endpoint (objstore.Selector). The reader keeps full
+// authority over semantics — the store plan mini-language replicates exec's
+// evaluator exactly, and every pushdown failure (store without the
+// capability, unsupported plan, injected fault, dirty page in cache)
+// degrades to the plain ReadSegment path, so a scan with pushdown enabled
+// returns the same rows as one without.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"cloudiq/internal/column"
+	"cloudiq/internal/objstore"
+	"cloudiq/internal/table"
+	"cloudiq/internal/trace"
+)
+
+// PushdownMode selects whether a scan may evaluate its filter (and partial
+// aggregates) inside the object store instead of shipping whole segments to
+// the reader.
+type PushdownMode uint8
+
+const (
+	// PushdownOff never uses the store's compute endpoint.
+	PushdownOff PushdownMode = iota
+	// PushdownAuto decides per segment: push when the zone-map selectivity
+	// estimate says the filter discards at least half the segment's rows —
+	// an unselective pushdown returns nearly the whole segment and just
+	// adds the compute charge.
+	PushdownAuto
+	// PushdownForce pushes every segment whose plan translates, regardless
+	// of estimated selectivity. Differential harnesses use it to maximize
+	// pushdown coverage.
+	PushdownForce
+)
+
+// autoPushThreshold is the estimated-selectivity ceiling for PushdownAuto.
+const autoPushThreshold = 0.5
+
+var arithOpNames = map[arithOp]string{opAdd: "add", opSub: "sub", opMul: "mul", opDiv: "div"}
+var cmpOpNames = map[cmpOp]string{opEq: "eq", opNe: "ne", opLt: "lt", opLe: "le", opGt: "gt", opGe: "ge"}
+
+// translateExpr lowers a reader expression into the store's plan
+// mini-language. The second result is false for nodes the store does not
+// evaluate (CASE, SUBSTRING, YEAR) — callers then stay on plain reads.
+func translateExpr(e Expr) (*objstore.PlanExpr, bool) {
+	switch x := e.(type) {
+	case colExpr:
+		return &objstore.PlanExpr{Op: "col", Col: string(x)}, true
+	case constI:
+		return &objstore.PlanExpr{Op: "int", I: int64(x)}, true
+	case constF:
+		return &objstore.PlanExpr{Op: "float", F: float64(x)}, true
+	case constS:
+		return &objstore.PlanExpr{Op: "str", S: string(x)}, true
+	case arithExpr:
+		a, ok := translateExpr(x.a)
+		if !ok {
+			return nil, false
+		}
+		b, ok := translateExpr(x.b)
+		if !ok {
+			return nil, false
+		}
+		return &objstore.PlanExpr{Op: arithOpNames[x.op], Args: []*objstore.PlanExpr{a, b}}, true
+	case cmpExpr:
+		a, ok := translateExpr(x.a)
+		if !ok {
+			return nil, false
+		}
+		b, ok := translateExpr(x.b)
+		if !ok {
+			return nil, false
+		}
+		return &objstore.PlanExpr{Op: cmpOpNames[x.op], Args: []*objstore.PlanExpr{a, b}}, true
+	case boolExpr:
+		a, ok := translateExpr(x.a)
+		if !ok {
+			return nil, false
+		}
+		b, ok := translateExpr(x.b)
+		if !ok {
+			return nil, false
+		}
+		op := "or"
+		if x.and {
+			op = "and"
+		}
+		return &objstore.PlanExpr{Op: op, Args: []*objstore.PlanExpr{a, b}}, true
+	case notExpr:
+		a, ok := translateExpr(x.a)
+		if !ok {
+			return nil, false
+		}
+		return &objstore.PlanExpr{Op: "not", Args: []*objstore.PlanExpr{a}}, true
+	case likeExpr:
+		a, ok := translateExpr(x.a)
+		if !ok {
+			return nil, false
+		}
+		return &objstore.PlanExpr{Op: "like", Pattern: x.pattern, Neg: x.neg, Args: []*objstore.PlanExpr{a}}, true
+	case inExpr:
+		a, ok := translateExpr(x.a)
+		if !ok {
+			return nil, false
+		}
+		set := make([]string, 0, len(x.set))
+		for s := range x.set {
+			set = append(set, s)
+		}
+		sort.Strings(set)
+		return &objstore.PlanExpr{Op: "in", Set: set, Args: []*objstore.PlanExpr{a}}, true
+	default:
+		return nil, false
+	}
+}
+
+// --- selectivity estimation -----------------------------------------------
+
+// estimateSelectivity guesses the fraction of a segment's rows a filter
+// keeps, from the segment's zone maps under a uniform-distribution
+// assumption. It only needs to be good enough to separate "returns a sliver"
+// from "returns most of the segment"; anything it cannot model answers 0.5.
+func estimateSelectivity(e Expr, sch table.Schema, zones []column.ZoneMap) float64 {
+	switch x := e.(type) {
+	case cmpExpr:
+		return cmpSelectivity(x, sch, zones)
+	case boolExpr:
+		pa := estimateSelectivity(x.a, sch, zones)
+		pb := estimateSelectivity(x.b, sch, zones)
+		if x.and {
+			return pa * pb
+		}
+		return clamp01(pa + pb - pa*pb)
+	case notExpr:
+		return clamp01(1 - estimateSelectivity(x.a, sch, zones))
+	case likeExpr:
+		if x.neg {
+			return 0.9
+		}
+		return 0.1
+	case inExpr:
+		return clamp01(0.1 * float64(len(x.set)))
+	default:
+		return 0.5
+	}
+}
+
+func exprConst(e Expr) (float64, bool) {
+	switch x := e.(type) {
+	case constI:
+		return float64(int64(x)), true
+	case constF:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+func flipCmp(op cmpOp) cmpOp {
+	switch op {
+	case opLt:
+		return opGt
+	case opLe:
+		return opGe
+	case opGt:
+		return opLt
+	case opGe:
+		return opLe
+	}
+	return op // eq / ne are symmetric
+}
+
+func cmpSelectivity(e cmpExpr, sch table.Schema, zones []column.ZoneMap) float64 {
+	op := e.op
+	col, okCol := e.a.(colExpr)
+	c, okConst := exprConst(e.b)
+	if !okCol || !okConst {
+		// Try the mirrored form: const OP col.
+		if col2, ok := e.b.(colExpr); ok {
+			if c2, ok2 := exprConst(e.a); ok2 {
+				col, c, op = col2, c2, flipCmp(e.op)
+				okCol, okConst = true, true
+			}
+		}
+	}
+	if !okCol || !okConst {
+		return 0.5
+	}
+	ci := sch.ColIndex(string(col))
+	if ci < 0 || ci >= len(zones) {
+		return 0.5
+	}
+	return rangeSelectivity(op, c, zones[ci])
+}
+
+// rangeSelectivity treats the zone-map range as a uniform distribution:
+// integers as max-min+1 equally likely points, floats as a continuum.
+func rangeSelectivity(op cmpOp, c float64, z column.ZoneMap) float64 {
+	var lo, hi float64
+	discrete := false
+	switch z.Typ {
+	case column.Int64:
+		lo, hi = float64(z.MinI64), float64(z.MaxI64)
+		discrete = true
+	case column.Float64:
+		lo, hi = z.MinF64, z.MaxF64
+	default:
+		return 0.5 // string zone maps carry no usable density
+	}
+	if hi < lo {
+		return 0 // empty segment: inverted bounds
+	}
+	width := hi - lo
+	if discrete {
+		width++
+	}
+	if width <= 0 {
+		// Single-point float range: the comparison is decided outright.
+		if cmpHoldsFloat(op, lo, c) {
+			return 1
+		}
+		return 0
+	}
+	point := 0.05 // equality against a continuum
+	if discrete {
+		point = 1 / width
+	}
+	// below(incl) estimates the fraction satisfying "< c" (or "<= c").
+	below := func(incl bool) float64 {
+		f := (c - lo) / width
+		if discrete && incl {
+			f = (c - lo + 1) / width
+		}
+		return clamp01(f)
+	}
+	switch op {
+	case opEq:
+		return clamp01(point)
+	case opNe:
+		return clamp01(1 - point)
+	case opLt:
+		return below(false)
+	case opLe:
+		return below(true)
+	case opGt:
+		return clamp01(1 - below(true))
+	default: // opGe
+		return clamp01(1 - below(false))
+	}
+}
+
+func cmpHoldsFloat(op cmpOp, a, b float64) bool {
+	c := 0
+	if a < b {
+		c = -1
+	} else if a > b {
+		c = 1
+	}
+	return cmpBool(op, c)
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// --- scan integration ------------------------------------------------------
+
+// planPushdown decides, per surviving segment, whether the scan will use the
+// store's compute endpoint. It runs once at Scan time; a per-segment false
+// (or a nil push slice) means plain reads.
+func (s *scanSource) planPushdown() {
+	if s.opts.Pushdown == PushdownOff || len(s.segs) == 0 {
+		return
+	}
+	if s.opts.Filter != nil {
+		pf, ok := translateExpr(s.opts.Filter)
+		if !ok {
+			return // untranslatable filter: plain reads everywhere
+		}
+		s.planFilter = pf
+	} else if s.opts.Pushdown != PushdownForce {
+		return // pushing an unfiltered scan returns every byte anyway
+	}
+	s.push = make([]bool, len(s.segs))
+	sch := s.tbl.Schema()
+	for i, seg := range s.segs {
+		if s.opts.Pushdown == PushdownForce {
+			s.push[i] = true
+			continue
+		}
+		sel := estimateSelectivity(s.opts.Filter, sch, s.tbl.Seg(seg).Zones)
+		s.push[i] = sel <= autoPushThreshold
+	}
+}
+
+// pushSegment reads one segment through the store's compute endpoint: the
+// filter runs store-side and only qualifying rows cross the network, already
+// filtered. Any error sends the caller to the plain ReadSegment path.
+func (s *scanSource) pushSegment(ctx context.Context, seg int) (*table.Batch, error) {
+	res, err := s.tbl.SelectSegment(ctx, seg, s.cols, objstore.SelectPlan{
+		Filter:  s.planFilter,
+		Project: s.colNames,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Cols) != len(s.cols) {
+		return nil, fmt.Errorf("exec: pushdown returned %d columns, want %d", len(res.Cols), len(s.cols))
+	}
+	b := &table.Batch{Vecs: make([]*column.Vector, len(s.cols))}
+	for i, c := range s.cols {
+		b.Schema.Cols = append(b.Schema.Cols, s.tbl.Schema().Cols[c])
+		v, err := column.DecodeSegment(res.Cols[i])
+		if err != nil {
+			return nil, fmt.Errorf("exec: decode pushdown column %q: %w", s.colNames[i], err)
+		}
+		b.Vecs[i] = v
+	}
+	return b, nil
+}
+
+// emptyBatch is the typed zero-row result of a scan whose every segment was
+// pruned: downstream operators still need the schema to type their output,
+// exactly as a filter that removed every row would leave behind.
+func (s *scanSource) emptyBatch() *table.Batch {
+	b := &table.Batch{Vecs: make([]*column.Vector, len(s.cols))}
+	for i, c := range s.cols {
+		def := s.tbl.Schema().Cols[c]
+		b.Schema.Cols = append(b.Schema.Cols, def)
+		b.Vecs[i] = column.NewVector(def.Typ)
+	}
+	return b
+}
+
+// --- aggregate pushdown ----------------------------------------------------
+
+// aggFuncNames maps the pushable aggregate functions to their plan names.
+// Avg and CountDistinct stay reader-side.
+var aggFuncNames = map[AggFunc]string{Count: "count", Sum: "sum", Min: "min", Max: "max"}
+
+// translateAggPlan lowers the filter and aggregate list into a store plan,
+// or reports that some part is not pushable.
+func translateAggPlan(opts ScanOptions, aggs []Agg) (objstore.SelectPlan, bool) {
+	var plan objstore.SelectPlan
+	if opts.Filter != nil {
+		pf, ok := translateExpr(opts.Filter)
+		if !ok {
+			return plan, false
+		}
+		plan.Filter = pf
+	}
+	if len(aggs) == 0 {
+		return plan, false
+	}
+	for _, a := range aggs {
+		name, ok := aggFuncNames[a.Func]
+		if !ok {
+			return plan, false
+		}
+		pa := objstore.PlanAgg{Func: name}
+		if a.Expr != nil {
+			pe, ok := translateExpr(a.Expr)
+			if !ok {
+				return plan, false
+			}
+			pa.Expr = pe
+		} else if a.Func != Count {
+			return plan, false
+		}
+		plan.Aggs = append(plan.Aggs, pa)
+	}
+	return plan, true
+}
+
+// mergeAggState folds a store-side partial state into the reader's
+// accumulator with the same arithmetic updateAgg applies row by row, so
+// counts, integer sums and min/max merge exactly. (Float sums regroup the
+// additions per segment, as any partitioned sum does.)
+func mergeAggState(st *aggState, o objstore.AggState) {
+	if o.Count == 0 && !o.Seen {
+		return
+	}
+	st.typ = o.Typ
+	st.count += o.Count
+	st.sumI += o.SumI
+	st.sumF += o.SumF
+	if o.Seen {
+		switch o.Typ {
+		case column.Int64:
+			if !st.seen || o.MinI < st.minI {
+				st.minI = o.MinI
+			}
+			if !st.seen || o.MaxI > st.maxI {
+				st.maxI = o.MaxI
+			}
+		case column.Float64:
+			if !st.seen || o.MinF < st.minF {
+				st.minF = o.MinF
+			}
+			if !st.seen || o.MaxF > st.maxF {
+				st.maxF = o.MaxF
+			}
+		default:
+			if !st.seen || o.MinS < st.minS {
+				st.minS = o.MinS
+			}
+			if !st.seen || o.MaxS > st.maxS {
+				st.maxS = o.MaxS
+			}
+		}
+		st.seen = true
+	}
+}
+
+// foldBatch accumulates a reader-side batch into the aggregate states,
+// mirroring HashAgg's per-batch input evaluation.
+func foldBatch(states []*aggState, aggs []Agg, b *table.Batch) error {
+	inputs := make([]*column.Vector, len(aggs))
+	for i, a := range aggs {
+		if a.Expr == nil {
+			continue
+		}
+		v, err := a.Expr.Eval(b)
+		if err != nil {
+			return err
+		}
+		inputs[i] = v
+	}
+	for r := 0; r < b.Rows(); r++ {
+		for i, a := range aggs {
+			updateAgg(states[i], a, inputs[i], r)
+		}
+	}
+	return nil
+}
+
+// ScanAgg computes ungrouped aggregates over a table scan, pushing the
+// filter and partial aggregation into the object store when opts.Pushdown
+// allows and every aggregate is pushable (Count, Sum, Min, Max over
+// translatable expressions). Each partial state that comes back is ~64 bytes
+// regardless of how many rows qualified — the extreme case of the
+// scanned/returned asymmetry pushdown exists for — so any allowed aggregate
+// push is taken without a selectivity estimate. Segments whose pushdown
+// fails fall back to plain reads; anything unpushable falls back entirely to
+// HashAgg over Scan. The result is one row, matching
+// HashAgg(Scan(...), nil, aggs).
+func ScanAgg(ctx context.Context, t *table.Table, cols []string, opts ScanOptions, aggs []Agg) (*table.Batch, error) {
+	plan, pushable := translateAggPlan(opts, aggs)
+	if opts.Pushdown == PushdownOff || !pushable {
+		src, err := Scan(t, cols, opts)
+		if err != nil {
+			return nil, err
+		}
+		return HashAgg(ctx, src, nil, aggs)
+	}
+	// Reuse Scan's column resolution and zone pruning, but drive the
+	// segments ourselves.
+	src, err := Scan(t, cols, opts)
+	if err != nil {
+		return nil, err
+	}
+	sc := src.(*scanSource)
+	states := make([]*aggState, len(aggs))
+	for i := range states {
+		states[i] = &aggState{}
+	}
+	for _, seg := range sc.segs {
+		if err := YieldPoint(ctx); err != nil {
+			return nil, err
+		}
+		rctx, rsp := trace.Start(ctx, "scan.agg",
+			trace.String("table", t.Name()), trace.Int("seg", int64(seg)))
+		res, perr := t.SelectSegment(rctx, seg, sc.cols, plan)
+		if perr == nil && len(res.Aggs) == len(aggs) {
+			rsp.AddInt("pushdown", 1)
+			rsp.AddInt("rows", int64(res.Rows))
+			rsp.End()
+			for i := range states {
+				mergeAggState(states[i], res.Aggs[i])
+			}
+			continue
+		}
+		if perr != nil {
+			rsp.SetAttr("fallback", perr.Error())
+		}
+		b, err := t.ReadSegment(rctx, seg, sc.cols)
+		if err != nil {
+			rsp.SetAttr("err", err.Error())
+			rsp.End()
+			return nil, err
+		}
+		rsp.End()
+		if opts.Filter != nil {
+			b, err = FilterBatch(b, opts.Filter)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := foldBatch(states, aggs, b); err != nil {
+			return nil, err
+		}
+	}
+	// Emit exactly as HashAgg's global group would.
+	groups := map[string]*group{"": {states: states}}
+	order := []string{""}
+	out := &table.Batch{}
+	for i, a := range aggs {
+		typ := aggOutputType(a, groups, order, i)
+		out.Schema.Cols = append(out.Schema.Cols, table.ColumnDef{Name: a.As, Typ: typ})
+		out.Vecs = append(out.Vecs, column.NewVector(typ))
+	}
+	for i, a := range aggs {
+		emitAgg(out.Vecs[i], states[i], a)
+	}
+	return out, nil
+}

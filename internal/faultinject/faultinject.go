@@ -51,6 +51,10 @@ const (
 	// ObjVisibility is a lag site: Lag draws extra not-found reads for a
 	// freshly written key (an eventual-consistency visibility spike).
 	ObjVisibility Site = "obj.visibility"
+	// ObjSelect guards the store-side compute endpoint (S3 Select-style
+	// pushdown). A fault here models the store rejecting or aborting a
+	// pushed-down plan; readers must fall back to a plain segment read.
+	ObjSelect Site = "obj.select"
 
 	// Block device I/O (internal/blockdev).
 	DevRead  Site = "dev.read"

@@ -43,6 +43,8 @@ type Metrics struct {
 	puts, gets, deletes, lists atomic.Int64
 	getMisses                  atomic.Int64
 	bytesIn, bytesOut          atomic.Int64
+	selects                    atomic.Int64
+	selScanned, selReturned    atomic.Int64
 }
 
 // Puts returns the number of PUT requests.
@@ -66,6 +68,17 @@ func (m *Metrics) BytesIn() int64 { return m.bytesIn.Load() }
 // BytesOut returns the number of bytes downloaded.
 func (m *Metrics) BytesOut() int64 { return m.bytesOut.Load() }
 
+// Selects returns the number of SELECT (pushdown) requests.
+func (m *Metrics) Selects() int64 { return m.selects.Load() }
+
+// SelectScannedBytes returns the stored bytes scanned by SELECT requests —
+// the basis of the per-GB-scanned compute charge.
+func (m *Metrics) SelectScannedBytes() int64 { return m.selScanned.Load() }
+
+// SelectReturnedBytes returns the bytes SELECT requests sent back over the
+// network (a subset of BytesOut).
+func (m *Metrics) SelectReturnedBytes() int64 { return m.selReturned.Load() }
+
 // Reset zeroes all counters.
 func (m *Metrics) Reset() {
 	m.puts.Store(0)
@@ -75,10 +88,14 @@ func (m *Metrics) Reset() {
 	m.getMisses.Store(0)
 	m.bytesIn.Store(0)
 	m.bytesOut.Store(0)
+	m.selects.Store(0)
+	m.selScanned.Store(0)
+	m.selReturned.Store(0)
 }
 
 // String renders the counters for logs and experiment reports.
 func (m *Metrics) String() string {
-	return fmt.Sprintf("puts=%d gets=%d (misses=%d) deletes=%d lists=%d in=%dB out=%dB",
-		m.Puts(), m.Gets(), m.GetMisses(), m.Deletes(), m.Lists(), m.BytesIn(), m.BytesOut())
+	return fmt.Sprintf("puts=%d gets=%d (misses=%d) selects=%d deletes=%d lists=%d in=%dB out=%dB sel-scan=%dB sel-ret=%dB",
+		m.Puts(), m.Gets(), m.GetMisses(), m.Selects(), m.Deletes(), m.Lists(),
+		m.BytesIn(), m.BytesOut(), m.SelectScannedBytes(), m.SelectReturnedBytes())
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"cloudiq/internal/faultinject"
+	"cloudiq/internal/objstore"
 )
 
 // Faults returns a middleware that consults a fault plan once per request —
@@ -49,6 +50,13 @@ func (f *faultsMW) Delete(ctx context.Context, ref Ref) error {
 		return err
 	}
 	return f.next.Delete(ctx, ref)
+}
+
+// Select forwards the pushdown capability: select injection lives at the
+// store's own obj.select site (the same plan governs it), so this stage adds
+// no second draw — but it must not hide the capability of the layers below.
+func (f *faultsMW) Select(ctx context.Context, req objstore.SelectRequest) (*objstore.SelectResult, error) {
+	return Select(f.next, ctx, req)
 }
 
 func (f *faultsMW) ReadBatch(ctx context.Context, refs []Ref) ([][]byte, error) {

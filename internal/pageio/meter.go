@@ -98,6 +98,7 @@ type LayerStats struct {
 	read   opStats
 	write  opStats
 	delete opStats
+	sel    opStats
 }
 
 func (ls *LayerStats) snapshot() LayerSnapshot {
@@ -105,6 +106,7 @@ func (ls *LayerStats) snapshot() LayerSnapshot {
 		Read:   ls.read.snapshot(),
 		Write:  ls.write.snapshot(),
 		Delete: ls.delete.snapshot(),
+		Select: ls.sel.snapshot(),
 	}
 }
 
@@ -153,6 +155,7 @@ type LayerSnapshot struct {
 	Read   OpSnapshot `json:"read"`
 	Write  OpSnapshot `json:"write"`
 	Delete OpSnapshot `json:"delete"`
+	Select OpSnapshot `json:"select"`
 }
 
 // OpSnapshot is the JSON shape of one operation class. LatNSPow2 is trimmed

@@ -176,7 +176,7 @@ func (r *runner) runQueryScan(ctx context.Context, q *sched.Query) (bool, error)
 	if err != nil {
 		return false, fmt.Errorf("%w: scheduled query %d: open %s: %v", ErrEquivalence, q.ID, name, err)
 	}
-	rows, err := scanRows(ctx, tbl)
+	rows, err := r.scanRowsChecked(ctx, tbl)
 	if err != nil {
 		return false, fmt.Errorf("%w: scheduled query %d: scan %s: %v", ErrEquivalence, q.ID, name, err)
 	}

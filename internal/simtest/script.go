@@ -124,6 +124,13 @@ type Script struct {
 	// edit the spec; every quiescent point runs the convergence oracle.
 	Cluster bool
 
+	// Pushdown arms the store-side pushdown differential oracle: equivalence
+	// scans randomly (from a dedicated seeded stream) re-run with pushdown
+	// forced — unfiltered and under a drawn predicate — and the pushed result
+	// must be identical to the plain read. Combined with the select fault
+	// family this also exercises mid-query fallback to plain reads.
+	Pushdown bool
+
 	// Ambient fault toggles. Shrinking turns them off one family at a time.
 	FaultPut        bool // transient object PUT failures
 	FaultDelete     bool // transient object DELETE failures
@@ -131,6 +138,7 @@ type Script struct {
 	FaultRPC        bool // allocation / notification / restart RPC faults
 	FaultSched      bool // scheduler admission drops and reader-stall lags
 	FaultCluster    bool // probe drops, reconcile-loop crashes, mid-promotion kills
+	FaultSelect     bool // transient object-store SELECT (pushdown) failures
 
 	Steps []Step
 }
@@ -225,6 +233,10 @@ func generate(seed uint64, queries, cluster bool) *Script {
 	if queries {
 		sc.Queries = true
 		sc.FaultSched = true
+		// Arm the pushdown differential oracle without consuming generator
+		// draws, so the seed→step mapping of every pinned script is unchanged.
+		sc.Pushdown = true
+		sc.FaultSelect = true
 		ops = append(ops,
 			weighted{OpQSubmit, 16}, weighted{OpQDispatch, 8}, weighted{OpQFinish, 10},
 			weighted{OpQCancel, 3}, weighted{OpQCrashReader, 2})
@@ -314,8 +326,9 @@ func (sc *Script) String() string {
 	fmt.Fprintf(&b, "snapshots %s\n", onOff(sc.Snapshots))
 	fmt.Fprintf(&b, "queries %s\n", onOff(sc.Queries))
 	fmt.Fprintf(&b, "cluster %s\n", onOff(sc.Cluster))
-	fmt.Fprintf(&b, "faults put=%s delete=%s visibility=%s rpc=%s sched=%s cluster=%s\n",
-		onOff(sc.FaultPut), onOff(sc.FaultDelete), onOff(sc.FaultVisibility), onOff(sc.FaultRPC), onOff(sc.FaultSched), onOff(sc.FaultCluster))
+	fmt.Fprintf(&b, "pushdown %s\n", onOff(sc.Pushdown))
+	fmt.Fprintf(&b, "faults put=%s delete=%s visibility=%s rpc=%s sched=%s cluster=%s select=%s\n",
+		onOff(sc.FaultPut), onOff(sc.FaultDelete), onOff(sc.FaultVisibility), onOff(sc.FaultRPC), onOff(sc.FaultSched), onOff(sc.FaultCluster), onOff(sc.FaultSelect))
 	for _, st := range sc.Steps {
 		node := st.Node
 		if node == "" {
@@ -403,6 +416,11 @@ func Parse(text string) (*Script, error) {
 				return nil, bad("want: cluster on|off")
 			}
 			sc.Cluster = f[1] == "on"
+		case "pushdown":
+			if len(f) != 2 {
+				return nil, bad("want: pushdown on|off")
+			}
+			sc.Pushdown = f[1] == "on"
 		case "faults":
 			for _, kv := range f[1:] {
 				k, v, ok := strings.Cut(kv, "=")
@@ -423,6 +441,8 @@ func Parse(text string) (*Script, error) {
 					sc.FaultSched = on
 				case "cluster":
 					sc.FaultCluster = on
+				case "select":
+					sc.FaultSelect = on
 				default:
 					return nil, bad("unknown fault family " + k)
 				}

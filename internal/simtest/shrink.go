@@ -59,6 +59,8 @@ func Shrink(ctx context.Context, sc *Script, opts Options, maxRuns int) (*Shrink
 		off  func(*Script)
 		on   func(*Script) bool
 	}{
+		{"select", func(s *Script) { s.FaultSelect = false }, func(s *Script) bool { return s.FaultSelect }},
+		{"pushdown", func(s *Script) { s.Pushdown = false }, func(s *Script) bool { return s.Pushdown }},
 		{"cluster", func(s *Script) { s.FaultCluster = false }, func(s *Script) bool { return s.FaultCluster }},
 		{"sched", func(s *Script) { s.FaultSched = false }, func(s *Script) bool { return s.FaultSched }},
 		{"rpc", func(s *Script) { s.FaultRPC = false }, func(s *Script) bool { return s.FaultRPC }},

@@ -13,6 +13,7 @@ import (
 	"cloudiq/internal/exec"
 	"cloudiq/internal/faultinject"
 	"cloudiq/internal/iomodel"
+	"cloudiq/internal/mt"
 	"cloudiq/internal/objstore"
 	"cloudiq/internal/sched"
 )
@@ -137,6 +138,11 @@ type runner struct {
 	valid map[string]bool // node names in the script's topology
 	clock int64
 
+	// pushRng drives the pushdown differential oracle's per-scan choices
+	// (nil unless Script.Pushdown). It is a dedicated stream so arming the
+	// oracle never perturbs the fault-plan draws pinned seeds depend on.
+	pushRng *mt.Source
+
 	// query-mode state (nil/empty unless Script.Queries): the scheduler
 	// core under test and the lifecycle ledger the sixth oracle audits.
 	qcore  *sched.Core
@@ -209,6 +215,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			p.Prob(faultinject.ClusterReconcile, 0.05)
 			p.Prob(faultinject.ClusterPromote, 0.15)
 		}
+		if sc.FaultSelect {
+			p.Prob(faultinject.ObjSelect, 0.1)
+		}
 	}
 	ambient(plan)
 
@@ -225,6 +234,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	}
 	for _, n := range sc.NodeNames() {
 		r.valid[n] = true
+	}
+	if sc.Pushdown {
+		r.pushRng = mt.New(sc.Seed ^ 0x70757368) // "push"
 	}
 	ccfg := ClusterConfig{
 		Plan:        plan,
@@ -783,7 +795,7 @@ func (r *runner) scanDB(ctx context.Context, db *cloudiq.Database, nm *nodeModel
 		if err != nil {
 			return fmt.Errorf("open %s: %v", name, err)
 		}
-		rows, err := scanRows(ctx, tbl)
+		rows, err := r.scanRowsChecked(ctx, tbl)
 		if err != nil {
 			return fmt.Errorf("scan %s: %v", name, err)
 		}
@@ -798,7 +810,12 @@ func (r *runner) scanDB(ctx context.Context, db *cloudiq.Database, nm *nodeModel
 // read-ahead disabled (a prefetching scan would reorder fault-stream draws
 // and break bit-reproducibility) and returns the values sorted.
 func scanRows(ctx context.Context, tbl *cloudiq.Table) ([]int64, error) {
-	src, err := exec.Scan(tbl, []string{"k"}, exec.ScanOptions{Prefetch: -1})
+	return scanRowsOpts(ctx, tbl, exec.ScanOptions{Prefetch: -1})
+}
+
+func scanRowsOpts(ctx context.Context, tbl *cloudiq.Table, opts exec.ScanOptions) ([]int64, error) {
+	opts.Prefetch = -1
+	src, err := exec.Scan(tbl, []string{"k"}, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -811,6 +828,49 @@ func scanRows(ctx context.Context, tbl *cloudiq.Table) ([]int64, error) {
 		rows = append(rows, out.Vecs[0].I64...)
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows, nil
+}
+
+// scanRowsChecked is scanRows plus the pushdown differential oracle: on
+// pushdown scripts a per-scan draw decides whether to re-read the table with
+// store-side pushdown forced — unfiltered, or under a predicate drawn from
+// the data — and the pushed result must match the plain read exactly. With
+// the select fault family armed, injected obj.select failures make some of
+// these scans fall back to plain reads mid-query; the result must still be
+// identical.
+func (r *runner) scanRowsChecked(ctx context.Context, tbl *cloudiq.Table) ([]int64, error) {
+	rows, err := scanRows(ctx, tbl)
+	if err != nil || r.pushRng == nil {
+		return rows, err
+	}
+	switch r.pushRng.Uint64() % 3 {
+	case 0: // plain read only
+	case 1: // unfiltered pushdown vs the plain read
+		pushed, perr := scanRowsOpts(ctx, tbl, exec.ScanOptions{Pushdown: exec.PushdownForce})
+		if perr != nil {
+			return nil, fmt.Errorf("pushdown scan: %v", perr)
+		}
+		if derr := sameRows(pushed, rows); derr != nil {
+			return nil, fmt.Errorf("pushdown scan diverged: %v", derr)
+		}
+	case 2: // the same drawn predicate, pushed down vs evaluated reader-side
+		if len(rows) == 0 {
+			break
+		}
+		cut := rows[r.pushRng.Uint64()%uint64(len(rows))]
+		pred := func() exec.Expr { return exec.Ge(exec.Col("k"), exec.ConstI(cut)) }
+		plain, perr := scanRowsOpts(ctx, tbl, exec.ScanOptions{Filter: pred()})
+		if perr != nil {
+			return nil, fmt.Errorf("filtered scan: %v", perr)
+		}
+		pushed, perr := scanRowsOpts(ctx, tbl, exec.ScanOptions{Filter: pred(), Pushdown: exec.PushdownForce})
+		if perr != nil {
+			return nil, fmt.Errorf("filtered pushdown scan: %v", perr)
+		}
+		if derr := sameRows(pushed, plain); derr != nil {
+			return nil, fmt.Errorf("filtered pushdown (k >= %d) diverged: %v", cut, derr)
+		}
+	}
 	return rows, nil
 }
 

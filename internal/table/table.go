@@ -12,6 +12,7 @@ import (
 	"cloudiq/internal/column"
 	"cloudiq/internal/core"
 	"cloudiq/internal/index"
+	"cloudiq/internal/objstore"
 )
 
 const (
@@ -346,6 +347,34 @@ func (t *Table) ReadSegment(ctx context.Context, seg int, cols []int) (*Batch, e
 		out.Vecs[i] = v
 	}
 	return out, nil
+}
+
+// SelectSegment evaluates plan store-side against sealed segment seg's
+// column pages via the object store's compute endpoint, returning only the
+// qualifying bytes (or partial aggregate states). cols are schema positions;
+// they name every column the plan may reference. Errors wrapping
+// buffer.ErrNoPushdown (or any other failure) mean the caller must fall back
+// to ReadSegment — the plain path always works.
+func (t *Table) SelectSegment(ctx context.Context, seg int, cols []int, plan objstore.SelectPlan) (*objstore.SelectResult, error) {
+	t.mu.Lock()
+	nSegs := len(t.meta.Segs)
+	t.mu.Unlock()
+	if seg < 0 || seg >= nSegs {
+		return nil, fmt.Errorf("table %s: segment %d of %d", t.name, seg, nSegs)
+	}
+	nCols := uint64(len(t.meta.Schema.Cols))
+	pages := make([]buffer.NamedPage, len(cols))
+	for i, c := range cols {
+		pages[i] = buffer.NamedPage{
+			Name:    t.meta.Schema.Cols[c].Name,
+			Logical: dataBase + uint64(seg)*nCols + uint64(c),
+		}
+	}
+	res, err := t.obj.Select(ctx, pages, plan)
+	if err != nil {
+		return nil, fmt.Errorf("table %s: segment %d: %w", t.name, seg, err)
+	}
+	return res, nil
 }
 
 // PrefetchSegments schedules asynchronous loads of the given segments'

@@ -127,6 +127,7 @@ var NewTracer = trace.New
 const (
 	FaultObjPut        = faultinject.ObjPut
 	FaultObjGet        = faultinject.ObjGet
+	FaultObjSelect     = faultinject.ObjSelect
 	FaultObjDelete     = faultinject.ObjDelete
 	FaultObjList       = faultinject.ObjList
 	FaultObjVisibility = faultinject.ObjVisibility
@@ -165,6 +166,16 @@ type (
 	SortKey = exec.SortKey
 	// JoinType selects join semantics.
 	JoinType = exec.JoinType
+	// PushdownMode selects whether scans may evaluate filters and partial
+	// aggregates inside the object store (ScanOptions.Pushdown).
+	PushdownMode = exec.PushdownMode
+)
+
+// Pushdown modes.
+const (
+	PushdownOff   = exec.PushdownOff
+	PushdownAuto  = exec.PushdownAuto
+	PushdownForce = exec.PushdownForce
 )
 
 // Join types.
@@ -228,6 +239,9 @@ var (
 	HashJoin = exec.HashJoin
 	// HashAgg groups and aggregates.
 	HashAgg = exec.HashAgg
+	// ScanAgg computes ungrouped aggregates over a scan, pushing partial
+	// aggregation into the object store when ScanOptions.Pushdown allows.
+	ScanAgg = exec.ScanAgg
 	// SortBatch orders a batch.
 	SortBatch = exec.Sort
 	// Limit truncates a batch.
