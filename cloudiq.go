@@ -29,6 +29,7 @@ import (
 	"cloudiq/internal/buffer"
 	"cloudiq/internal/catalog"
 	"cloudiq/internal/core"
+	"cloudiq/internal/delta"
 	"cloudiq/internal/faultinject"
 	"cloudiq/internal/iomodel"
 	"cloudiq/internal/keygen"
@@ -38,6 +39,7 @@ import (
 	"cloudiq/internal/pageio"
 	"cloudiq/internal/rfrb"
 	"cloudiq/internal/snapshot"
+	"cloudiq/internal/table"
 	"cloudiq/internal/trace"
 	"cloudiq/internal/txn"
 	"cloudiq/internal/wal"
@@ -96,6 +98,21 @@ type Database struct {
 	cat    *catalog.Catalog
 	pool   *buffer.Pool
 	iopool *pageio.WorkPool // shared batch-I/O fan-out across dbspaces
+	delta  *delta.Store     // per-table in-memory delta (trickle inserts)
+
+	// compactMu serializes delta-compaction cycles: each cycle freezes a
+	// table's runs, appends them in a fresh transaction and publishes the
+	// swap, so two concurrent cycles would double-drain the same runs.
+	compactMu sync.Mutex
+
+	// gates holds one compaction gate per table. A transaction writing a
+	// table (append or drop) holds the gate shared from first open to
+	// commit or rollback; the compactor's drain transaction takes it
+	// exclusive — with TryLock, deferring busy tables to a later cycle —
+	// because both publish new identities for the same table and the later
+	// commit would silently supersede the earlier one's segments.
+	gateMu sync.Mutex
+	gates  map[string]*tableGate
 
 	mu     sync.Mutex
 	spaces map[string]core.Dbspace
@@ -145,6 +162,7 @@ func Open(ctx context.Context, cfg Config) (*Database, error) {
 		cat:    catalog.New(),
 		pool:   buffer.NewPool(buffer.Config{Capacity: cfg.CacheBytes, PrefetchWorkers: cfg.PrefetchWorkers}),
 		iopool: pageio.NewPool(workers),
+		delta:  delta.NewStore(),
 		spaces: make(map[string]core.Dbspace),
 	}
 	tcfg := txn.Config{
@@ -152,15 +170,31 @@ func Open(ctx context.Context, cfg Config) (*Database, error) {
 		Log:    log,
 		Notify: cfg.Notify,
 		ExtraCheckpoint: func() ([]byte, error) {
-			return db.cat.Marshal()
+			catImg, err := db.cat.Marshal()
+			if err != nil {
+				return nil, err
+			}
+			dImg, err := db.delta.Marshal()
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(metaImage{Catalog: catImg, Delta: dImg}); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
 		},
 		RestoreExtra: func(img []byte) error {
-			cat, err := catalog.Unmarshal(img)
+			var mi metaImage
+			if err := gob.NewDecoder(bytes.NewReader(img)).Decode(&mi); err != nil {
+				return err
+			}
+			cat, err := catalog.Unmarshal(mi.Catalog)
 			if err != nil {
 				return err
 			}
 			db.cat = cat
-			return nil
+			return db.delta.Restore(mi.Delta)
 		},
 	}
 	if cfg.AllocKeys == nil {
@@ -290,11 +324,34 @@ func (db *Database) Checkpoint(ctx context.Context) error {
 	return db.mgr.Checkpoint(ctx)
 }
 
+// metaImage is the node-metadata image stored in checkpoints (and, with the
+// commit sequence, in database snapshots): the catalog plus the residual
+// delta — trickle inserts not yet drained into column segments, which have
+// no pages of their own and would otherwise be lost when a checkpoint cuts
+// replay short of their RecDeltaInsert records.
+type metaImage struct {
+	Catalog []byte
+	Delta   []byte
+}
+
+// sysImage is the system half of a database snapshot: the commit sequence
+// at snapshot time plus the residual-delta image.
+type sysImage struct {
+	Seq   uint64
+	Delta []byte
+}
+
 // catalogPublication is the commit-record meta payload.
 type catalogPublication struct {
 	Name    string
 	ID      core.Identity
 	Dropped bool
+	// DeltaThrough, when non-zero, marks the table's delta rows with ids
+	// below it as compacted at this publication's sequence: the published
+	// identity carries the drained rows as encoded segments, so older
+	// snapshots keep reading them from the delta while newer ones read
+	// the segments — the atomic half-and-half of the compaction swap.
+	DeltaThrough uint64
 }
 
 // Recover replays the transaction log after a crash or restart: key ranges,
@@ -304,29 +361,57 @@ type catalogPublication struct {
 func (db *Database) Recover(ctx context.Context) error {
 	ctx, sp := trace.Root(ctx, db.cfg.Trace, "db.recover", trace.String("node", db.cfg.Node))
 	defer sp.End()
+	pending := make(map[uint64][]delta.InsertRecord)
 	return db.mgr.Recover(ctx, func(rec wal.Record) error {
-		if rec.Type != wal.RecCommit {
-			return nil
-		}
-		crec, err := txn.UnmarshalCommit(rec.Payload)
+		return db.replayRecord(rec, pending)
+	})
+}
+
+// replayRecord folds one log record into the node's catalog and delta
+// registry during recovery. Delta-insert records are buffered per
+// transaction and land only when that transaction's commit record follows —
+// in the same order (publications first, then inserts in table order) the
+// live commit path applies them, so row ids replay deterministically.
+// Orphaned records (crash before commit) are simply never applied.
+func (db *Database) replayRecord(rec wal.Record, pending map[uint64][]delta.InsertRecord) error {
+	switch rec.Type {
+	case wal.RecDeltaInsert:
+		ins, err := delta.DecodeInsert(rec.Payload)
 		if err != nil {
 			return err
 		}
-		if len(crec.Meta) == 0 {
-			return nil
-		}
+		// Keep post-recovery transaction ids from colliding with this one:
+		// if the owning transaction never committed (doomed mid-commit),
+		// its id appears only here, and a later transaction reusing it
+		// would resurrect these rows at the next replay.
+		db.mgr.NoteReplayedTxn(ins.TxnID)
+		pending[ins.TxnID] = append(pending[ins.TxnID], ins)
+		return nil
+	case wal.RecCommit:
+	default:
+		return nil
+	}
+	crec, err := txn.UnmarshalCommit(rec.Payload)
+	if err != nil {
+		return err
+	}
+	seq := db.mgr.CommitSeq()
+	if len(crec.Meta) > 0 {
 		var pubs []catalogPublication
 		if err := gob.NewDecoder(bytes.NewReader(crec.Meta)).Decode(&pubs); err != nil {
 			return fmt.Errorf("cloudiq: decode commit meta: %w", err)
 		}
-		seq := db.mgr.CommitSeq()
 		for _, p := range pubs {
 			if err := db.applyPublication(p, seq); err != nil {
 				return err
 			}
 		}
-		return nil
-	})
+	}
+	for _, ins := range pending[crec.TxnID] {
+		db.delta.Apply(ins.Table, ins.Rows, seq)
+	}
+	delete(pending, crec.TxnID)
+	return nil
 }
 
 // RecoverAsReader rebuilds this node's view of the database from a shared
@@ -336,28 +421,9 @@ func (db *Database) Recover(ctx context.Context) error {
 func (db *Database) RecoverAsReader(ctx context.Context) error {
 	ctx, sp := trace.Root(ctx, db.cfg.Trace, "db.recover-reader", trace.String("node", db.cfg.Node))
 	defer sp.End()
+	pending := make(map[uint64][]delta.InsertRecord)
 	return db.mgr.RecoverForRead(ctx, func(rec wal.Record) error {
-		if rec.Type != wal.RecCommit {
-			return nil
-		}
-		crec, err := txn.UnmarshalCommit(rec.Payload)
-		if err != nil {
-			return err
-		}
-		if len(crec.Meta) == 0 {
-			return nil
-		}
-		var pubs []catalogPublication
-		if err := gob.NewDecoder(bytes.NewReader(crec.Meta)).Decode(&pubs); err != nil {
-			return fmt.Errorf("cloudiq: decode commit meta: %w", err)
-		}
-		seq := db.mgr.CommitSeq()
-		for _, p := range pubs {
-			if err := db.applyPublication(p, seq); err != nil {
-				return err
-			}
-		}
-		return nil
+		return db.replayRecord(rec, pending)
 	})
 }
 
@@ -373,17 +439,174 @@ func (db *Database) OCMStats() []ocm.Stats {
 	return out
 }
 
-// applyPublication folds one catalog change into the in-memory catalog.
+// applyPublication folds one catalog change into the in-memory catalog (and,
+// for compaction and drop publications, into the delta registry — the two
+// must move together under the commit lock or a reader could see the drained
+// segments and the still-live delta rows at once).
 func (db *Database) applyPublication(p catalogPublication, seq uint64) error {
 	if p.Dropped {
+		db.delta.Drop(p.Name, seq)
 		return db.cat.Drop(p.Name, seq)
 	}
-	return db.cat.Publish(p.Name, p.ID, seq)
+	if err := db.cat.Publish(p.Name, p.ID, seq); err != nil {
+		return err
+	}
+	if p.DeltaThrough > 0 {
+		db.delta.MarkCompacted(p.Name, p.DeltaThrough, seq)
+	}
+	return nil
 }
 
-// CollectGarbage retires page versions no longer visible to any reader.
+// CollectGarbage retires page versions no longer visible to any reader,
+// including delta runs absorbed by compactions every live snapshot has
+// advanced past.
 func (db *Database) CollectGarbage(ctx context.Context) error {
+	db.delta.Retire(db.mgr.OldestSnapshot())
 	return db.mgr.CollectGarbage(ctx)
+}
+
+// --- ingest lane (delta store + compactor) ---
+
+// Insert-lane accessors. DeltaLiveRows counts the delta rows of a table
+// visible at the latest commit sequence; DeltaTables lists tables with live
+// delta rows; FreezeDelta seals every table's current delta as the next
+// compaction watermark and returns how many rows it froze.
+func (db *Database) DeltaLiveRows(name string) int {
+	return db.delta.LiveRows(name, db.mgr.CommitSeq())
+}
+
+// DeltaTables lists, sorted, the tables holding live delta rows.
+func (db *Database) DeltaTables() []string { return db.delta.Tables() }
+
+// FreezeDelta seals the delta watermark of every dirty table.
+func (db *Database) FreezeDelta() int {
+	n := 0
+	for _, name := range db.delta.Tables() {
+		n += db.delta.Freeze(name)
+	}
+	return n
+}
+
+// CompactDelta runs one compaction cycle over every table with live delta
+// rows: each table's frozen runs are appended to its columnar main through
+// the ordinary never-write-twice page path inside a fresh transaction whose
+// commit atomically publishes the new table identity and retires the
+// absorbed delta runs. space names the dbspace holding the tables. Returns
+// the number of rows drained. On error (including injected delta.compact
+// faults and doomed drain commits) the in-flight table's delta rows remain
+// live and a later cycle repeats the drain against fresh object keys.
+func (db *Database) CompactDelta(ctx context.Context, space string) (int, error) {
+	db.compactMu.Lock()
+	defer db.compactMu.Unlock()
+	c := &delta.Compactor{
+		Store:  db.delta,
+		Faults: db.cfg.Faults,
+		Drain: func(ctx context.Context, name string, rows *table.Batch, through uint64) error {
+			return db.drainDelta(ctx, space, name, rows, through)
+		},
+	}
+	return c.CompactAll(ctx)
+}
+
+// tableGate is a table's compaction gate: writer transactions hold it
+// shared from first open to commit or rollback, the compactor's drain
+// transaction holds it exclusive for one cycle. It is a hand-rolled
+// reader/writer latch rather than a sync.RWMutex because the shared side is
+// held across function boundaries (acquired at open, released at commit),
+// and because the exclusive side never waits — a busy table is simply
+// deferred to a later cycle.
+type tableGate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	readers int  // writer transactions holding the gate shared
+	drain   bool // a compaction drain holds the gate exclusively
+}
+
+// enterShared blocks out an in-flight drain, then joins the readers.
+func (g *tableGate) enterShared() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.drain {
+		g.cond.Wait()
+	}
+	g.readers++
+}
+
+// leaveShared releases one shared hold.
+func (g *tableGate) leaveShared() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.readers--
+}
+
+// tryExclusive claims the gate for a drain cycle if no transaction holds it;
+// it never blocks.
+func (g *tableGate) tryExclusive() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.drain || g.readers > 0 {
+		return false
+	}
+	g.drain = true
+	return true
+}
+
+// leaveExclusive ends the drain cycle and wakes blocked writers.
+func (g *tableGate) leaveExclusive() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.drain = false
+	g.cond.Broadcast()
+}
+
+// appendGate returns (creating on first use) the named table's compaction
+// gate.
+func (db *Database) appendGate(name string) *tableGate {
+	db.gateMu.Lock()
+	defer db.gateMu.Unlock()
+	if db.gates == nil {
+		db.gates = make(map[string]*tableGate)
+	}
+	g, ok := db.gates[name]
+	if !ok {
+		g = &tableGate{}
+		g.cond = sync.NewCond(&g.mu)
+		db.gates[name] = g
+	}
+	return g
+}
+
+// ErrDeltaBusy defers a compaction drain: the table is open in a writer
+// transaction whose commit will publish its own identity, so the swap
+// waits for a later cycle. The rows stay live in the delta.
+var ErrDeltaBusy = errors.New("cloudiq: table open in a writer transaction; drain deferred")
+
+// drainDelta is the engine half of one table's compaction cycle: append the
+// frozen rows inside a fresh transaction and commit with the through-mark
+// riding the table's publication.
+func (db *Database) drainDelta(ctx context.Context, space, name string, rows *table.Batch, through uint64) error {
+	gate := db.appendGate(name)
+	if !gate.tryExclusive() {
+		return fmt.Errorf("drain %q: %w", name, ErrDeltaBusy)
+	}
+	defer gate.leaveExclusive()
+	tx := db.Begin()
+	tx.noGate = true // the drain holds the gate exclusively already
+	tbl, err := tx.OpenTableForAppend(ctx, space, name)
+	if err != nil {
+		if rbErr := tx.Rollback(ctx); rbErr != nil {
+			return fmt.Errorf("cloudiq: drain %q: %v; rollback also failed: %w", name, err, rbErr)
+		}
+		return err
+	}
+	if err := tbl.Append(ctx, rows); err != nil {
+		if rbErr := tx.Rollback(ctx); rbErr != nil {
+			return fmt.Errorf("cloudiq: drain %q: %v; rollback also failed: %w", name, err, rbErr)
+		}
+		return err
+	}
+	tx.markCompacted(name, through)
+	return tx.Commit(ctx)
 }
 
 // ReachableKeys returns, sorted, every object-store key reachable from the
@@ -665,8 +888,12 @@ func (db *Database) TakeSnapshot(ctx context.Context) (snapshot.SnapInfo, error)
 	if err != nil {
 		return snapshot.SnapInfo{}, err
 	}
+	dImg, err := db.delta.Marshal()
+	if err != nil {
+		return snapshot.SnapInfo{}, err
+	}
 	var sys bytes.Buffer
-	if err := gob.NewEncoder(&sys).Encode(db.mgr.CommitSeq()); err != nil {
+	if err := gob.NewEncoder(&sys).Encode(sysImage{Seq: db.mgr.CommitSeq(), Delta: dImg}); err != nil {
 		return snapshot.SnapInfo{}, err
 	}
 	return sm.Snapshot(ctx, catImg, sys.Bytes(), db.gen.MaxAllocated())
@@ -703,13 +930,17 @@ func (db *Database) RestoreSnapshot(ctx context.Context, id uint64) error {
 	if n := db.mgr.ActiveCount(); n != 0 {
 		return fmt.Errorf("cloudiq: restore with %d active transactions", n)
 	}
-	info, catImg, _, err := sm.Restore(ctx, id)
+	info, catImg, sysImg, err := sm.Restore(ctx, id)
 	if err != nil {
 		return err
 	}
 	cat, err := catalog.Unmarshal(catImg)
 	if err != nil {
 		return err
+	}
+	var sys sysImage
+	if err := gob.NewDecoder(bytes.NewReader(sysImg)).Decode(&sys); err != nil {
+		return fmt.Errorf("cloudiq: decode snapshot system image: %w", err)
 	}
 	db.mu.Lock()
 	var clouds []core.Dbspace
@@ -763,6 +994,11 @@ func (db *Database) RestoreSnapshot(ctx context.Context, id uint64) error {
 	db.mu.Lock()
 	db.cat = cat
 	db.mu.Unlock()
+	// The delta registry reverts with the catalog: rows inserted after the
+	// snapshot vanish, residual rows the snapshot captured come back.
+	if err := db.delta.Restore(sys.Delta); err != nil {
+		return err
+	}
 	for i, ds := range clouds {
 		postLive, err := liveCloudKeys(ctx, cat, ds)
 		if err != nil {

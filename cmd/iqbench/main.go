@@ -10,10 +10,11 @@
 //	iqbench -exp table2 -sf 0.01     # one experiment
 //
 // Experiments: table1, table2, table3, table4, table5, fig6, fig7, fig8,
-// fig9, ablations, sched, failover, pushdown, all.
+// fig9, ablations, sched, failover, pushdown, ingest, all.
 //
 //	iqbench -exp sched -short -schedout BENCH_sched.json
 //	iqbench -exp pushdown -short -pushdownout BENCH_pushdown.json
+//	iqbench -exp ingest -short -ingestout BENCH_ingest.json
 package main
 
 import (
@@ -40,6 +41,7 @@ func main() {
 	schedOut := flag.String("schedout", "", "write the mixed-fleet scheduler report JSON to this file (sched experiment)")
 	failoverOut := flag.String("failoverout", "", "write the coordinator-failover report JSON to this file (failover experiment)")
 	pushdownOut := flag.String("pushdownout", "", "write the predicate-pushdown report JSON to this file (pushdown experiment)")
+	ingestOut := flag.String("ingestout", "", "write the real-time ingest report JSON to this file (ingest experiment)")
 	failoverCycles := flag.Int("failover-cycles", 5, "kill/promote cycles for the failover experiment")
 	traceOut := flag.String("trace", "", "write structured span JSON to this file after the run and print the slowest operation tree")
 	flag.Parse()
@@ -63,7 +65,7 @@ func main() {
 		})
 	}
 	ctx := context.Background()
-	if err := run(ctx, strings.ToLower(*exp), base, *schedOut, *failoverOut, *pushdownOut, *failoverCycles); err != nil {
+	if err := run(ctx, strings.ToLower(*exp), base, *schedOut, *failoverOut, *pushdownOut, *ingestOut, *failoverCycles); err != nil {
 		fmt.Fprintln(os.Stderr, "iqbench:", err)
 		os.Exit(1)
 	}
@@ -144,7 +146,16 @@ func writePushdownReport(path string, rep *bench.PushdownReport) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func run(ctx context.Context, exp string, base bench.Options, schedOut, failoverOut, pushdownOut string, failoverCycles int) error {
+// writeIngestReport dumps the real-time ingest report as indented JSON.
+func writeIngestReport(path string, rep *bench.IngestReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(ctx context.Context, exp string, base bench.Options, schedOut, failoverOut, pushdownOut, ingestOut string, failoverCycles int) error {
 	all := exp == "all"
 	started := time.Now()
 
@@ -306,9 +317,25 @@ func run(ctx context.Context, exp string, base bench.Options, schedOut, failover
 		}
 	}
 
+	if all || exp == "ingest" {
+		rep, err := bench.RunIngest(ctx, base)
+		if err != nil {
+			return err
+		}
+		section("Ingest: trickle inserts through the delta store, MVCC-merged scans, compaction drain")
+		fmt.Print(bench.FormatIngest(rep))
+		if ingestOut != "" {
+			if err := writeIngestReport(ingestOut, rep); err != nil {
+				return err
+			}
+			fmt.Printf("ingest report written to %s\n", ingestOut)
+		}
+	}
+
 	known := map[string]bool{"all": true, "table1": true, "table2": true, "table3": true,
 		"table4": true, "table5": true, "fig6": true, "fig7": true, "fig8": true,
-		"fig9": true, "ablations": true, "sched": true, "failover": true, "pushdown": true}
+		"fig9": true, "ablations": true, "sched": true, "failover": true, "pushdown": true,
+		"ingest": true}
 	if !known[exp] {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

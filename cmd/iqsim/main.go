@@ -11,6 +11,7 @@
 //	iqsim -seeds 20 -out fails/  # write failing scripts to fails/
 //	iqsim -seeds 50 -queries     # query mode: scheduler steps + lifecycle oracle
 //	iqsim -seeds 200 -cluster    # cluster mode: controller failover + convergence oracle
+//	iqsim -seeds 200 -delta      # delta mode: trickle-ingest lane + compaction drain oracle
 //
 // Exit status is non-zero if any run fails an oracle or the harness errors.
 package main
@@ -36,6 +37,7 @@ func main() {
 		brokenRetry = flag.Bool("broken-retry", false, "ablation: single-attempt reads (the suite must fail)")
 		queries     = flag.Bool("queries", false, "query mode: concurrent-query scheduler steps + lifecycle oracle")
 		clusterMode = flag.Bool("cluster", false, "cluster mode: reconcile-loop controller, coordinator failover, convergence oracle")
+		deltaMode   = flag.Bool("delta", false, "delta mode: trickle ingest, freeze/compact cycles, mid-drain crashes, drain oracle")
 		verbose     = flag.Bool("v", false, "print step logs")
 		outDir      = flag.String("out", "", "directory for failing seeds + shrunken scripts")
 	)
@@ -58,12 +60,12 @@ func main() {
 		}
 	case *seeds > 0:
 		for s := *start; s < *start+uint64(*seeds); s++ {
-			if !runOne(ctx, simtest.Options{Seed: s, BrokenRetry: *brokenRetry, Queries: *queries, Cluster: *clusterMode}, *shrink, *shrinkRuns, *verbose, *outDir) {
+			if !runOne(ctx, simtest.Options{Seed: s, BrokenRetry: *brokenRetry, Queries: *queries, Cluster: *clusterMode, Delta: *deltaMode}, *shrink, *shrinkRuns, *verbose, *outDir) {
 				failures++
 			}
 		}
 	default:
-		if !runOne(ctx, simtest.Options{Seed: *seed, BrokenRetry: *brokenRetry, Queries: *queries, Cluster: *clusterMode}, *shrink, *shrinkRuns, *verbose, *outDir) {
+		if !runOne(ctx, simtest.Options{Seed: *seed, BrokenRetry: *brokenRetry, Queries: *queries, Cluster: *clusterMode, Delta: *deltaMode}, *shrink, *shrinkRuns, *verbose, *outDir) {
 			failures++
 		}
 	}

@@ -1,0 +1,201 @@
+package cloudiq
+
+// Race-detector stress for the ingest lane: writer goroutines trickle
+// inserts while reader goroutines scan through the WDRR scheduler and a
+// compactor drains concurrently. A mutex ledger audits MVCC visibility:
+// every row committed before a reader's snapshot must be visible, no reader
+// may observe a row that was never staged, and a snapshot's view must be
+// repeatable. Run with -race in CI.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"cloudiq/internal/sched"
+)
+
+type insertLedger struct {
+	mu        sync.Mutex
+	staged    map[int64]bool // every key any writer ever handed to Commit
+	committed map[int64]bool // keys whose Commit has returned success
+}
+
+func (l *insertLedger) stage(keys []int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, k := range keys {
+		l.staged[k] = true
+	}
+}
+
+func (l *insertLedger) commit(keys []int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, k := range keys {
+		l.committed[k] = true
+	}
+}
+
+func (l *insertLedger) committedNow() map[int64]bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[int64]bool, len(l.committed))
+	for k := range l.committed {
+		out[k] = true
+	}
+	return out
+}
+
+func (l *insertLedger) isStaged(k int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.staged[k]
+}
+
+func TestDeltaIngestStressUnderScheduler(t *testing.T) {
+	const writers, readers, commitsPerWriter, rowsPerCommit = 4, 4, 25, 8
+	db, _ := newDB(t)
+	tx := db.Begin()
+	tbl, err := tx.CreateTable(ctxb(), "user", "t", demoSchema(), TableOptions{SegRows: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Append(ctxb(), fillBatch(64, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctxb()); err != nil {
+		t.Fatal(err)
+	}
+
+	led := &insertLedger{staged: map[int64]bool{}, committed: map[int64]bool{}}
+	led.stage(seqKeys(0, 64))
+	led.commit(seqKeys(0, 64))
+
+	s := sched.New(sched.Config{})
+	if err := s.AddTenant(sched.TenantConfig{Name: "scanners", QueueBudget: 256}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.AddReader(fmt.Sprintf("r%d", i), readers); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < commitsPerWriter; j++ {
+				base := int64(100000*(w+1) + j*rowsPerCommit)
+				keys := seqKeys(base, rowsPerCommit)
+				led.stage(keys)
+				wtx := db.Begin()
+				if err := wtx.Insert(ctxb(), "t", fillBatch(rowsPerCommit, base)); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := wtx.Commit(ctxb()); err != nil {
+					t.Error(err)
+					return
+				}
+				led.commit(keys)
+			}
+		}(w)
+	}
+
+	// Background compactor racing the writers and readers.
+	var compWG sync.WaitGroup
+	compWG.Add(1)
+	go func() {
+		defer compWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := db.CompactDelta(ctxb(), "user"); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := db.CollectGarbage(ctxb()); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for j := 0; j < 40; j++ {
+				err := s.Run(ctxb(), "scanners", sched.Lane(j%int(sched.NumLanes)), func(ctx context.Context, reader string) error {
+					// The snapshot ordering audit: rows committed before the
+					// transaction begins must all be visible in it.
+					before := led.committedNow()
+					rtx := db.Begin()
+					defer func() { _ = rtx.Rollback(ctxb()) }()
+					got := scanKVAt(t, rtx, "t")
+					seen := make(map[int64]bool, len(got))
+					for _, k := range got {
+						if seen[k] {
+							return fmt.Errorf("reader %d: key %d observed twice in one scan", r, k)
+						}
+						seen[k] = true
+						if !led.isStaged(k) {
+							return fmt.Errorf("reader %d: key %d visible but never staged by any writer", r, k)
+						}
+					}
+					for k := range before {
+						if !seen[k] {
+							return fmt.Errorf("reader %d: key %d committed before snapshot but invisible", r, k)
+						}
+					}
+					// Repeatable read: the same snapshot scans identically
+					// even as commits and compactions land around it.
+					if again := scanKVAt(t, rtx, "t"); !sameKeys(got, again) {
+						return fmt.Errorf("reader %d: snapshot re-scan diverged (%d vs %d rows)", r, len(got), len(again))
+					}
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Writers and readers finish on their own; then stop the compactor.
+	wg.Wait()
+	close(done)
+	compWG.Wait()
+
+	// Quiesce: drain everything and check the final row set exactly matches
+	// the committed ledger.
+	for i := 0; i < 2 && db.DeltaLiveRows("t") > 0; i++ {
+		if _, err := db.CompactDelta(ctxb(), "user"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := scanKV(t, db, "t")
+	final := led.committedNow()
+	if len(got) != len(final) {
+		t.Fatalf("final scan has %d rows, ledger %d", len(got), len(final))
+	}
+	want := make([]int64, 0, len(final))
+	for k := range final {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if !sameKeys(got, want) {
+		t.Fatalf("final row set diverged from the commit ledger")
+	}
+}

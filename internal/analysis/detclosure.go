@@ -52,10 +52,11 @@ func DetClosure() *ModuleAnalyzer {
 }
 
 // detRoots selects the deterministic entry points: the simtest runner's step
-// loop, every method of the sched scheduler core, and every method of the
-// cluster controller — reconcile rounds run under the simulated clock, so a
-// wall-clock read or unseeded draw anywhere in the controller's reach would
-// desynchronize replayed failovers.
+// loop, every method of the sched scheduler core, every method of the
+// cluster controller, and every method of the delta compactor — reconcile
+// rounds and compaction drains run under the simulated clock, so a
+// wall-clock read or unseeded draw anywhere in their reach would
+// desynchronize replayed failovers and crash-mid-drain schedules.
 func detRoots(g *Graph) []*types.Func {
 	var roots []*types.Func
 	for _, n := range g.NodesSorted() {
@@ -71,6 +72,10 @@ func detRoots(g *Graph) []*types.Func {
 			}
 		case "cluster":
 			if recvTypeName(n.Func) == "Controller" {
+				roots = append(roots, n.Func)
+			}
+		case "delta":
+			if recvTypeName(n.Func) == "Compactor" {
 				roots = append(roots, n.Func)
 			}
 		}

@@ -64,10 +64,25 @@ var selectPkgs = map[string]bool{
 // selectPrefixes identify pushdown entry points by name (MemStore.Select).
 var selectPrefixes = []string{"Select"}
 
+// compactPkgs are ingest-lane boundaries: packages whose exported compaction
+// entry points drain delta rows into encoded segments and publish the swap.
+// Their obligation is the write rule for background work — a compaction
+// cycle the fault planner cannot doom is a drain whose crash-mid-swap
+// recovery the simulator never exercises, which is exactly where trickle
+// rows would be lost or duplicated.
+var compactPkgs = map[string]bool{
+	"delta": true,
+}
+
+// compactPrefixes identify compaction entry points by name
+// (Compactor.CompactTable, Compactor.CompactAll).
+var compactPrefixes = []string{"Compact"}
+
 // FaultSite checks that every exported mutating method on the
-// objstore/blockdev/wal/ocm boundary — and every serving, reconcile, or
-// select entry point (sched admission, cluster controller rounds, objstore
-// pushdown) — routes through a faultinject hook:
+// objstore/blockdev/wal/ocm boundary — and every serving, reconcile,
+// select, or compact entry point (sched admission, cluster controller
+// rounds, objstore pushdown, delta compaction) — routes through a
+// faultinject hook:
 // its same-package transitive call closure must reach Plan.Check or
 // Plan.LagAt, or delegate the mutation to another covered boundary (for
 // example, ocm's write paths delegate to objstore.Store.Put and
@@ -80,8 +95,8 @@ func FaultSite() *Analyzer {
 	a.Run = func(pass *Pass) {
 		base := pkgBase(pass.Pkg.Path())
 		mutating, serving, reconciling := boundaryPkgs[base], servingPkgs[base], reconcilePkgs[base]
-		selecting := selectPkgs[base]
-		if !mutating && !serving && !reconciling && !selecting {
+		selecting, compacting := selectPkgs[base], compactPkgs[base]
+		if !mutating && !serving && !reconciling && !selecting && !compacting {
 			return
 		}
 		// Map every function/method declared in this unit to its body so
@@ -116,6 +131,9 @@ func FaultSite() *Analyzer {
 				case selecting && isExportedPrefixedMethod(fd, fn, selectPrefixes):
 					targets = append(targets, fd)
 					kinds[fd] = "select"
+				case compacting && isExportedPrefixedMethod(fd, fn, compactPrefixes):
+					targets = append(targets, fd)
+					kinds[fd] = "compact"
 				}
 			}
 		}

@@ -1,0 +1,56 @@
+// Package delta is the faultsite golden corpus for the compact obligation:
+// the directory base matches the ingest-lane delta package, so exported
+// Compact* entry points (context-first, on exported receivers) must route
+// through a faultinject hook — a compaction cycle the fault planner cannot
+// doom is a drain whose crash-mid-swap recovery the crash simulator never
+// exercises.
+package delta
+
+import (
+	"context"
+
+	"cloudiq/internal/faultinject"
+)
+
+// Compactor draws the delta.compact site before every cycle; clean.
+type Compactor struct {
+	plan *faultinject.Plan
+}
+
+func (c *Compactor) CompactTable(ctx context.Context, name string) (int, error) {
+	if err := c.plan.Check(faultinject.DeltaCompact, name); err != nil {
+		return 0, err
+	}
+	return 0, ctx.Err()
+}
+
+// CompactAll reaches the hook only through the same-package per-table
+// method; the closure walk must follow it. Clean.
+func (c *Compactor) CompactAll(ctx context.Context, names []string) (int, error) {
+	total := 0
+	for _, n := range names {
+		k, err := c.CompactTable(ctx, n)
+		total += k
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Blind drains with no fault site anywhere on the path; a finding.
+type Blind struct{}
+
+func (b *Blind) CompactAll(ctx context.Context) error { // want "faultsite: exported compact operation Blind.CompactAll has no faultinject site"
+	return ctx.Err()
+}
+
+// CompactedRows is not an entry point despite the prefix: no context
+// parameter, so it carries no obligation (accessor shape).
+func (b *Blind) CompactedRows(n int) int { return n }
+
+// drainer mirrors the unexported-receiver exemption: no obligation on
+// unexported types.
+type drainer struct{}
+
+func (d *drainer) CompactTable(ctx context.Context, name string) error { return ctx.Err() }

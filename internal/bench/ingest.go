@@ -1,0 +1,392 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"cloudiq"
+	"cloudiq/internal/faultinject"
+	"cloudiq/internal/mt"
+	"cloudiq/tpch"
+)
+
+// The ingest experiment measures the real-time ingest lane: rows trickled
+// into lineitem through the WAL-fed delta store, the cost a live delta adds
+// to a warm Q6-shaped scan (the MVCC merge of delta rows with encoded
+// segments), and how fast the background compactor drains the backlog into
+// column pages. A separate crash loop dooms compaction drains and commit
+// records mid-cycle and counts rows lost or duplicated across recovery —
+// the number the lane exists to keep at zero.
+
+// IngestPoint is one trickle-rate cell: rows inserted in commit batches of
+// Batch, scanned with the delta live, then drained.
+type IngestPoint struct {
+	// Batch is the rows per trickle commit.
+	Batch int
+	// Rows is the total rows trickled at this point.
+	Rows int
+	// IngestSim is the simulated seconds spent inserting and committing.
+	IngestSim float64
+	// Rate is rows per simulated second.
+	Rate float64
+	// ScanBaseSim is the warm Q6-shaped scan with the delta empty,
+	// measured immediately before the trickle.
+	ScanBaseSim float64
+	// ScanDeltaSim is the same warm scan with the trickled rows still in
+	// the delta store, merged under MVCC.
+	ScanDeltaSim float64
+	// Slowdown is ScanDeltaSim / ScanBaseSim.
+	Slowdown float64
+	// DeltaRows is the live delta backlog at scan time.
+	DeltaRows int
+	// DrainSim is the simulated seconds one compactor cycle took to drain
+	// the backlog into encoded segments; DrainedRows is what it moved.
+	DrainSim    float64
+	DrainedRows int
+}
+
+// IngestCrash summarizes the crash loop: Cycles crash-recovery rounds, each
+// trickling Rows rows and dooming a compaction drain (or the trickle commit
+// itself) mid-cycle. LostRows and DupRows compare every recovered row set
+// against the committed ledger; both must be zero.
+type IngestCrash struct {
+	Cycles   int
+	Rows     int
+	LostRows int
+	DupRows  int
+}
+
+// IngestReport is the full experiment result (iqbench -exp ingest).
+type IngestReport struct {
+	SF     float64
+	Points []IngestPoint
+	Crash  IngestCrash
+}
+
+// lineitemBatch synthesizes n lineitem-shaped rows with Q6-relevant value
+// ranges (shipdates spanning 1992–1998, discounts 0..0.10, quantities
+// 1..50) so trickled rows exercise the same filter paths loaded rows do.
+func lineitemBatch(rng *mt.Source, n int) *cloudiq.Batch {
+	b := cloudiq.NewBatch(tpch.Schemas()["lineitem"])
+	epoch := cloudiq.DateToDays(1992, time.January, 1)
+	for i := 0; i < n; i++ {
+		ship := epoch + int64(rng.Uint64()%2400)
+		b.Vecs[0].AppendInt(int64(rng.Uint64() % 1500000))       // l_orderkey
+		b.Vecs[1].AppendInt(int64(rng.Uint64() % 200000))        // l_partkey
+		b.Vecs[2].AppendInt(int64(rng.Uint64() % 10000))         // l_suppkey
+		b.Vecs[3].AppendInt(int64(i%7) + 1)                      // l_linenumber
+		b.Vecs[4].AppendFloat(float64(rng.Uint64()%50 + 1))      // l_quantity
+		b.Vecs[5].AppendFloat(float64(rng.Uint64()%90000) / 100) // l_extendedprice
+		b.Vecs[6].AppendFloat(float64(rng.Uint64()%11) / 100)    // l_discount
+		b.Vecs[7].AppendFloat(float64(rng.Uint64()%9) / 100)     // l_tax
+		b.Vecs[8].AppendStr("N")                                 // l_returnflag
+		b.Vecs[9].AppendStr("O")                                 // l_linestatus
+		b.Vecs[10].AppendInt(ship)                               // l_shipdate
+		b.Vecs[11].AppendInt(ship + 30)                          // l_commitdate
+		b.Vecs[12].AppendInt(ship + 7)                           // l_receiptdate
+		b.Vecs[13].AppendStr("DELIVER IN PERSON")                // l_shipinstruct
+		b.Vecs[14].AppendStr("TRUCK")                            // l_shipmode
+		b.Vecs[15].AppendStr("trickle row")                      // l_comment
+	}
+	return b
+}
+
+// ingestQ6Scan runs the Q6-shaped aggregate with pushdown off (the delta
+// view disables pushdown anyway; keeping both arms on plain reads makes the
+// with-delta / drained comparison apples-to-apples).
+func ingestQ6Scan(ctx context.Context, conn *tpch.Conn) error {
+	q6lo := cloudiq.DateToDays(1994, time.January, 1)
+	q6hi := cloudiq.DateToDays(1995, time.January, 1)
+	filter := cloudiq.AndE(
+		cloudiq.AndE(
+			cloudiq.GeE(cloudiq.Col("l_shipdate"), cloudiq.ConstI(q6lo)),
+			cloudiq.Lt(cloudiq.Col("l_shipdate"), cloudiq.ConstI(q6hi))),
+		cloudiq.AndE(
+			cloudiq.AndE(
+				cloudiq.GeE(cloudiq.Col("l_discount"), cloudiq.ConstF(0.05)),
+				cloudiq.Le(cloudiq.Col("l_discount"), cloudiq.ConstF(0.07))),
+			cloudiq.Lt(cloudiq.Col("l_quantity"), cloudiq.ConstF(24))))
+	_, err := cloudiq.ScanAgg(ctx, conn.Table("lineitem"),
+		[]string{"l_shipdate", "l_discount", "l_quantity", "l_extendedprice"},
+		cloudiq.ScanOptions{Filter: filter, Pushdown: cloudiq.PushdownOff},
+		[]cloudiq.Agg{{Func: cloudiq.Sum,
+			Expr: cloudiq.MulE(cloudiq.Col("l_extendedprice"), cloudiq.Col("l_discount")),
+			As:   "revenue"}})
+	return err
+}
+
+// countRows counts a table's rows at a fresh snapshot (delta rows included).
+func countRows(ctx context.Context, db *cloudiq.Database, space, name string) (int64, error) {
+	tx := db.Begin()
+	defer tx.Rollback(ctx)
+	tbl, err := tx.Table(ctx, space, name)
+	if err != nil {
+		return 0, err
+	}
+	out, err := cloudiq.ScanAgg(ctx, tbl, []string{tbl.Schema().Cols[0].Name},
+		cloudiq.ScanOptions{Pushdown: cloudiq.PushdownOff},
+		[]cloudiq.Agg{{Func: cloudiq.Count, As: "n"}})
+	if err != nil {
+		return 0, err
+	}
+	return out.Vecs[0].I64[0], nil
+}
+
+// RunIngest runs the trickle-rate points against a loaded environment and
+// the standalone crash loop, and cross-checks row counts after every drain.
+func RunIngest(ctx context.Context, base Options) (*IngestReport, error) {
+	opts := base
+	opts.Volume = "s3"
+	e, err := Setup(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	rep := &IngestReport{SF: e.Opts.SF}
+	rng := mt.New(uint64(opts.Seed)*0x9e3779b9 + 1)
+
+	total, err := countRows(ctx, e.DB, "user", "lineitem")
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range []IngestPoint{
+		{Batch: 64, Rows: 1024},
+		{Batch: 256, Rows: 4096},
+	} {
+		// Per-point baseline: warm drained scan right before the trickle,
+		// so table growth from earlier points cannot pollute the ratio.
+		if err := ingestQ6Scan(ctx, e.Conn()); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := ingestQ6Scan(ctx, e.Conn()); err != nil {
+			return nil, err
+		}
+		p.ScanBaseSim = e.SimSeconds(time.Since(start))
+
+		start = time.Now()
+		for done := 0; done < p.Rows; done += p.Batch {
+			tx := e.DB.Begin()
+			if err := tx.Insert(ctx, "lineitem", lineitemBatch(rng, p.Batch)); err != nil {
+				return nil, err
+			}
+			if err := tx.Commit(ctx); err != nil {
+				return nil, err
+			}
+		}
+		p.IngestSim = e.SimSeconds(time.Since(start))
+		if p.IngestSim > 0 {
+			p.Rate = float64(p.Rows) / p.IngestSim
+		}
+		total += int64(p.Rows)
+		p.DeltaRows = e.DB.DeltaLiveRows("lineitem")
+
+		if err := ingestQ6Scan(ctx, e.Conn()); err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		if err := ingestQ6Scan(ctx, e.Conn()); err != nil {
+			return nil, err
+		}
+		p.ScanDeltaSim = e.SimSeconds(time.Since(start))
+		if p.ScanBaseSim > 0 {
+			p.Slowdown = p.ScanDeltaSim / p.ScanBaseSim
+		}
+
+		e.DB.FreezeDelta()
+		start = time.Now()
+		n, err := e.DB.CompactDelta(ctx, "user")
+		if err != nil {
+			return nil, err
+		}
+		// A freeze watermark can leave post-freeze commits for a second
+		// cycle; drain to empty so the next point starts clean.
+		for e.DB.DeltaLiveRows("lineitem") > 0 {
+			k, err := e.DB.CompactDelta(ctx, "user")
+			if err != nil {
+				return nil, err
+			}
+			n += k
+		}
+		p.DrainSim = e.SimSeconds(time.Since(start))
+		p.DrainedRows = n
+
+		got, err := countRows(ctx, e.DB, "user", "lineitem")
+		if err != nil {
+			return nil, err
+		}
+		if got != total {
+			return nil, fmt.Errorf("bench: ingest drain: %d rows, want %d (lost or duplicated)", got, total)
+		}
+		rep.Points = append(rep.Points, p)
+	}
+
+	crash, err := runIngestCrash(ctx, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rep.Crash = *crash
+	return rep, nil
+}
+
+// runIngestCrash is the crash half: a standalone node (memory store and log
+// device, no simulated clock) trickles rows, dooms the compaction drain —
+// at the cycle site, at the swap site, or at the trickle commit record —
+// crashes, recovers, and compares the recovered row set against the
+// committed ledger.
+func runIngestCrash(ctx context.Context, seed int64) (*IngestCrash, error) {
+	const (
+		cycles  = 6
+		perCyc  = 200
+		space   = "user"
+		tblName = "ingest"
+	)
+	store := cloudiq.NewMemObjectStore(cloudiq.ObjectStoreConfig{})
+	logDev := cloudiq.NewMemBlockDevice(cloudiq.BlockDeviceConfig{Growable: true})
+	plan := faultinject.New(uint64(seed) + 77)
+	open := func() (*cloudiq.Database, error) {
+		db, err := cloudiq.Open(ctx, cloudiq.Config{LogDevice: logDev, Faults: plan})
+		if err != nil {
+			return nil, err
+		}
+		if err := db.AttachCloudDbspace(space, store, cloudiq.CloudOptions{}); err != nil {
+			return nil, err
+		}
+		return db, nil
+	}
+	db, err := open()
+	if err != nil {
+		return nil, err
+	}
+	tx := db.Begin()
+	schema := cloudiq.Schema{Cols: []cloudiq.ColumnDef{{Name: "k", Typ: cloudiq.Int64}}}
+	if _, err := tx.CreateTable(ctx, space, tblName, schema, cloudiq.TableOptions{SegRows: 64}); err != nil {
+		return nil, err
+	}
+	if err := tx.Commit(ctx); err != nil {
+		return nil, err
+	}
+
+	committed := make(map[int64]bool)
+	sites := []faultinject.Site{
+		faultinject.DeltaCompact,
+		faultinject.DeltaCompact.With("swap"),
+		faultinject.WALAppend.With("commit"),
+	}
+	crash := &IngestCrash{Cycles: cycles, Rows: perCyc}
+	for c := 0; c < cycles; c++ {
+		batch := cloudiq.NewBatch(schema)
+		for i := 0; i < perCyc; i++ {
+			batch.Vecs[0].AppendInt(int64(c*perCyc + i))
+		}
+		site := sites[c%len(sites)]
+		plan.Always(site)
+		w := db.Begin()
+		if err := w.Insert(ctx, tblName, batch); err != nil {
+			return nil, err
+		}
+		err := w.Commit(ctx)
+		if err == nil {
+			for i := 0; i < perCyc; i++ {
+				committed[int64(c*perCyc+i)] = true
+			}
+		} else if !errors.Is(err, faultinject.ErrInjected) {
+			return nil, err
+		}
+		db.FreezeDelta()
+		if _, err := db.CompactDelta(ctx, space); err != nil && !errors.Is(err, faultinject.ErrInjected) {
+			return nil, err
+		}
+		plan.Clear(site)
+
+		// Crash: abandon the open handle and recover from the log.
+		db, err = open()
+		if err != nil {
+			return nil, err
+		}
+		if err := db.Recover(ctx); err != nil {
+			return nil, err
+		}
+		lost, dup, err := auditRows(ctx, db, space, tblName, committed)
+		if err != nil {
+			return nil, err
+		}
+		crash.LostRows += lost
+		crash.DupRows += dup
+	}
+	// Final full drain, then one last audit against encoded segments only.
+	for db.DeltaLiveRows(tblName) > 0 {
+		if _, err := db.CompactDelta(ctx, space); err != nil {
+			return nil, err
+		}
+	}
+	lost, dup, err := auditRows(ctx, db, space, tblName, committed)
+	if err != nil {
+		return nil, err
+	}
+	crash.LostRows += lost
+	crash.DupRows += dup
+	return crash, nil
+}
+
+// auditRows scans every key and compares against the committed ledger,
+// returning (lost, duplicated) counts.
+func auditRows(ctx context.Context, db *cloudiq.Database, space, name string, committed map[int64]bool) (int, int, error) {
+	tx := db.Begin()
+	defer tx.Rollback(ctx)
+	tbl, err := tx.Table(ctx, space, name)
+	if err != nil {
+		return 0, 0, err
+	}
+	src, err := cloudiq.Scan(tbl, []string{"k"}, cloudiq.ScanOptions{Pushdown: cloudiq.PushdownOff})
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := cloudiq.Collect(ctx, src)
+	if err != nil {
+		return 0, 0, err
+	}
+	seen := make(map[int64]int, len(committed))
+	for _, k := range b.Vecs[0].I64 {
+		seen[k]++
+	}
+	lost, dup := 0, 0
+	for k := range committed {
+		if seen[k] == 0 {
+			lost++
+		}
+	}
+	for k, n := range seen {
+		if !committed[k] {
+			dup += n
+		} else if n > 1 {
+			dup += n - 1
+		}
+	}
+	return lost, dup, nil
+}
+
+// FormatIngest renders the ingest experiment report.
+func FormatIngest(rep *IngestReport) string {
+	var rows [][]string
+	for _, p := range rep.Points {
+		rows = append(rows, []string{
+			fmt.Sprint(p.Batch), fmt.Sprint(p.Rows),
+			fmt.Sprintf("%.4f", p.IngestSim),
+			fmt.Sprintf("%.0f", p.Rate),
+			fmt.Sprintf("%.4f", p.ScanBaseSim),
+			fmt.Sprintf("%.4f", p.ScanDeltaSim),
+			fmt.Sprintf("%.2fx", p.Slowdown),
+			fmt.Sprint(p.DeltaRows),
+			fmt.Sprintf("%.4f", p.DrainSim),
+			fmt.Sprint(p.DrainedRows),
+		})
+	}
+	out := FormatTable([]string{"batch", "rows", "ingest (s)", "rows/sim-s",
+		"scan base (s)", "scan +delta (s)", "slowdown", "delta rows", "drain (s)", "drained"}, rows)
+	out += fmt.Sprintf("\ncrash loop: %d cycles x %d rows: %d lost, %d duplicated\n",
+		rep.Crash.Cycles, rep.Crash.Rows, rep.Crash.LostRows, rep.Crash.DupRows)
+	return out
+}

@@ -1,0 +1,71 @@
+package delta
+
+import (
+	"context"
+	"fmt"
+
+	"cloudiq/internal/faultinject"
+	"cloudiq/internal/table"
+)
+
+// DrainFunc is the engine-side half of a compaction cycle: append rows to
+// the table's columnar main inside a fresh transaction and commit it with a
+// publication that calls Store.MarkCompacted(table, through, seq) at the
+// commit's sequence. The call must be all-or-nothing — on error the
+// transaction rolls back and the delta rows stay live.
+type DrainFunc func(ctx context.Context, tbl string, rows *table.Batch, through uint64) error
+
+// Compactor drains frozen delta runs into encoded column pages. Each cycle
+// passes the delta.compact fault site twice: once when it picks up a table
+// and once immediately before the drain transaction runs, so the crash
+// simulator can abandon a cycle before any work or between the page writes
+// and the swap. Either way the delta rows remain live and a later cycle
+// (or recovery) repeats the drain against fresh object keys — the
+// never-write-twice discipline makes the retry safe.
+type Compactor struct {
+	// Store is the registry being drained.
+	Store *Store
+	// Faults guards the cycle; a nil plan injects nothing.
+	Faults *faultinject.Plan
+	// Drain performs one table's drain transaction.
+	Drain DrainFunc
+}
+
+// CompactTable runs one compaction cycle for a single table, returning how
+// many rows were drained (zero when the table has nothing below its freeze
+// watermark).
+func (c *Compactor) CompactTable(ctx context.Context, name string) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if err := c.Faults.Check(faultinject.DeltaCompact, name); err != nil {
+		return 0, fmt.Errorf("delta: compact %s: %w", name, err)
+	}
+	rows, through := c.Store.Frozen(name)
+	if rows == nil {
+		return 0, nil
+	}
+	if err := c.Faults.Check(faultinject.DeltaCompact.With("swap"), name); err != nil {
+		return 0, fmt.Errorf("delta: compact %s: swap: %w", name, err)
+	}
+	if err := c.Drain(ctx, name, rows, through); err != nil {
+		return 0, fmt.Errorf("delta: compact %s: %w", name, err)
+	}
+	return rows.Rows(), nil
+}
+
+// CompactAll runs one cycle over every table with live delta rows, in name
+// order, and returns the total rows drained. It stops at the first error;
+// rows drained by earlier tables in the pass stay drained (each table's
+// cycle is its own transaction).
+func (c *Compactor) CompactAll(ctx context.Context) (int, error) {
+	total := 0
+	for _, name := range c.Store.Tables() {
+		n, err := c.CompactTable(ctx, name)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -68,6 +68,7 @@ type scanSource struct {
 	planFilter *objstore.PlanExpr // translated Filter, when pushdown is on
 	push       []bool             // per-segment pushdown decision, parallel to segs
 	emitted    bool               // whether any batch has been returned yet
+	deltaDone  bool               // whether the delta merge batch was emitted
 }
 
 // Scan streams the named columns of t, pruning segments by zone maps and
@@ -111,6 +112,22 @@ func Scan(t *table.Table, cols []string, opts ScanOptions) (Source, error) {
 
 func (s *scanSource) Next(ctx context.Context) (*table.Batch, error) {
 	if s.pos >= len(s.segs) {
+		// After the encoded segments, merge in the table's delta rows (the
+		// trickle inserts visible to this snapshot but not yet compacted).
+		// Zone pruning never applies to them — they carry no zone maps —
+		// but the row filter does, so the merged stream is exactly what a
+		// scan over a compacted table would produce.
+		if !s.deltaDone {
+			s.deltaDone = true
+			b, err := s.deltaBatch()
+			if err != nil {
+				return nil, err
+			}
+			if b != nil {
+				s.emitted = true
+				return b, nil
+			}
+		}
 		// A scan that pruned (or never had) every segment still yields one
 		// typed empty batch: downstream operators need the schema to type
 		// their output, exactly as a filter that removed every row leaves
@@ -184,6 +201,29 @@ func (s *scanSource) Next(ctx context.Context) (*table.Batch, error) {
 		}
 	}
 	s.emitted = true
+	return b, nil
+}
+
+// deltaBatch projects the scan's columns out of the table's attached delta
+// view and applies the row filter, returning nil when there is no view (or
+// it is empty).
+func (s *scanSource) deltaBatch() (*table.Batch, error) {
+	dv := s.tbl.Delta()
+	if dv == nil {
+		return nil, nil
+	}
+	full := dv.DeltaBatch()
+	if full == nil || full.Rows() == 0 {
+		return nil, nil
+	}
+	b := &table.Batch{Vecs: make([]*column.Vector, len(s.cols))}
+	for i, c := range s.cols {
+		b.Schema.Cols = append(b.Schema.Cols, full.Schema.Cols[c])
+		b.Vecs[i] = full.Vecs[c]
+	}
+	if s.opts.Filter != nil {
+		return FilterBatch(b, s.opts.Filter)
+	}
 	return b, nil
 }
 

@@ -282,6 +282,12 @@ func (s *scanSource) planPushdown() {
 	if s.opts.Pushdown == PushdownOff || len(s.segs) == 0 {
 		return
 	}
+	if s.tbl.Delta() != nil {
+		// Delta-dirty table: the store only holds the columnar main, so a
+		// pushed result would be stale the way a dirty cached page is —
+		// stay on plain local reads and merge the delta rows reader-side.
+		return
+	}
 	if s.opts.Filter != nil {
 		pf, ok := translateExpr(s.opts.Filter)
 		if !ok {
@@ -456,7 +462,10 @@ func foldBatch(states []*aggState, aggs []Agg, b *table.Batch) error {
 // HashAgg(Scan(...), nil, aggs).
 func ScanAgg(ctx context.Context, t *table.Table, cols []string, opts ScanOptions, aggs []Agg) (*table.Batch, error) {
 	plan, pushable := translateAggPlan(opts, aggs)
-	if opts.Pushdown == PushdownOff || !pushable {
+	// A delta-dirty table refuses aggregate pushdown outright: the store
+	// cannot see the delta rows, so its partial states would be stale. The
+	// Scan fallback below merges them reader-side.
+	if opts.Pushdown == PushdownOff || !pushable || t.Delta() != nil {
 		src, err := Scan(t, cols, opts)
 		if err != nil {
 			return nil, err

@@ -107,6 +107,15 @@ const (
 	PipeRead   Site = "pipe.read"
 	PipeWrite  Site = "pipe.write"
 	PipeDelete Site = "pipe.delete"
+
+	// Delta-store compaction (internal/delta): checked once when a
+	// compaction cycle picks up a table (detail is the table name) and
+	// again immediately before the drained rows are swapped into the
+	// columnar main (detail "swap:<table>"). A fault at either point
+	// abandons the cycle with the delta rows still live — the crash-mid-
+	// compact case the ingest lane must survive without losing or
+	// duplicating rows.
+	DeltaCompact Site = "delta.compact"
 )
 
 // With returns the site scoped to one detail value. Rules installed on the

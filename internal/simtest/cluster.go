@@ -371,6 +371,33 @@ func (c *Cluster) DoomedCommit(ctx context.Context, tx *cloudiq.Tx, flushes int)
 	return nil
 }
 
+// DoomedCompact runs one delta-compaction pass under the same mid-flush
+// crash schedule as DoomedCommit: after flushes successful page uploads
+// every storage operation fails, the drain's commit WAL record tears, and
+// rollback cannot reach the log either. Unlike DoomedCommit a nil compact
+// error is tolerated — an empty delta drains nothing and arms no faults —
+// because the caller crash-restarts the node regardless. Returns the
+// compactor's error for the step log.
+func (c *Cluster) DoomedCompact(ctx context.Context, db *cloudiq.Database, flushes int) error {
+	if flushes < 1 {
+		flushes = 1
+	}
+	p := c.cfg.Plan
+	p.FailAfter(faultinject.ObjPut, flushes-1, -1)
+	p.Always(faultinject.ObjDelete)
+	p.Lag(faultinject.WALTornTail.With("commit"), 1, 8)
+	p.Always(faultinject.WALAppend.With("rollback"))
+	_, err := db.CompactDelta(ctx, c.cfg.Space)
+	p.Clear(faultinject.ObjPut)
+	p.Clear(faultinject.ObjDelete)
+	p.Clear(faultinject.WALTornTail.With("commit"))
+	p.Clear(faultinject.WALAppend.With("rollback"))
+	if c.cfg.Ambient != nil {
+		c.cfg.Ambient(p)
+	}
+	return err
+}
+
 // OpenReader spins up an ephemeral reader node from a copy of the
 // coordinator's log device (the shared system dbspace of §2): recover
 // read-only, optionally with an OCM cache device, and return the handle. The

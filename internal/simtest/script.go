@@ -76,6 +76,15 @@ const (
 	OpQCancel      Op = "q-cancel"       // cancel a queued query (Arg picks)
 	OpQCrashReader Op = "q-crash-reader" // crash a scheduler reader (Arg picks): its running queries fail, then it rejoins
 
+	// Delta-mode steps (Delta on): drive the real-time ingest lane — trickle
+	// inserts through the WAL-fed delta store, freeze/compact cycles, and
+	// crash-mid-compaction schedules — audited by the post-compaction
+	// equivalence oracle at every quiescent point.
+	OpDInsert       Op = "d-insert"        // trickle-insert Rows rows into Table on Node (implicit begin; creates the table on first use)
+	OpDFreeze       Op = "d-freeze"        // freeze Node's delta runs at a compaction watermark
+	OpDCompact      Op = "d-compact"       // run one compactor pass on Node (ambient faults may doom it; rows must stay live)
+	OpDCrashCompact Op = "d-crash-compact" // doom the compactor's drain commit mid-flush (after Arg uploads), then crash-restart Node
+
 	// Cluster-mode steps (Cluster on): drive the reconcile-loop controller
 	// against the multiplex — coordinator kills, controller crashes, probe
 	// partitions and spec edits — audited by the convergence oracle.
@@ -124,6 +133,15 @@ type Script struct {
 	// edit the spec; every quiescent point runs the convergence oracle.
 	Cluster bool
 
+	// Delta arms the real-time ingest lane: the d-* steps trickle rows
+	// through the WAL-fed delta store, freeze and compact them, and crash
+	// nodes mid-compaction; every quiescent point drains the delta fully and
+	// runs the post-compaction equivalence oracle (compacted segments plus
+	// residual delta must equal the model, byte for byte). Generated delta
+	// scripts always have at least one secondary writer and never snapshot
+	// mode.
+	Delta bool
+
 	// Pushdown arms the store-side pushdown differential oracle: equivalence
 	// scans randomly (from a dedicated seeded stream) re-run with pushdown
 	// forced — unfiltered and under a drawn predicate — and the pushed result
@@ -139,6 +157,7 @@ type Script struct {
 	FaultSched      bool // scheduler admission drops and reader-stall lags
 	FaultCluster    bool // probe drops, reconcile-loop crashes, mid-promotion kills
 	FaultSelect     bool // transient object-store SELECT (pushdown) failures
+	FaultDelta      bool // transient delta-compaction cycle failures
 
 	Steps []Step
 }
@@ -170,22 +189,28 @@ func (sc *Script) Clone() *Script {
 // Generate derives a complete script from one seed: topology, fault toggles
 // and the weighted step mix all come from a private MT19937-64 stream, so the
 // same seed always yields the same script.
-func Generate(seed uint64) *Script { return generate(seed, false, false) }
+func Generate(seed uint64) *Script { return generate(seed, false, false, false) }
 
 // GenerateQueries derives a query-mode script: the base workload mix plus
 // the q-* scheduler steps, with the sched fault family armed. It is a
 // separate generator so Generate's seed→script mapping (and every pinned
 // regression seed) stays byte-stable.
-func GenerateQueries(seed uint64) *Script { return generate(seed, true, false) }
+func GenerateQueries(seed uint64) *Script { return generate(seed, true, false, false) }
 
 // GenerateCluster derives a cluster-mode script: the full query-mode mix
 // plus the c-* controller steps, with every fault family armed — including
 // probe partitions, reconcile-loop crashes and mid-promotion kills. A third
 // distinct generator mode, so the other two seed→script mappings stay
 // byte-stable.
-func GenerateCluster(seed uint64) *Script { return generate(seed, true, true) }
+func GenerateCluster(seed uint64) *Script { return generate(seed, true, true, false) }
 
-func generate(seed uint64, queries, cluster bool) *Script {
+// GenerateDelta derives a delta-mode script: the base workload mix plus the
+// d-* ingest-lane steps, with the delta-compaction fault family armed. A
+// fourth distinct generator mode; every delta-only draw is gated behind the
+// mode flag, so the other three seed→script mappings stay byte-stable.
+func GenerateDelta(seed uint64) *Script { return generate(seed, false, false, true) }
+
+func generate(seed uint64, queries, cluster, delta bool) *Script {
 	rng := mt.New(seed)
 	draw := func(n int) int {
 		if n <= 1 {
@@ -202,6 +227,12 @@ func generate(seed uint64, queries, cluster bool) *Script {
 	if cluster && sc.Writers == 0 {
 		// The controller reconciles a multiplex; cluster mode always has at
 		// least one secondary writer (and never snapshot mode).
+		sc.Writers = 1
+	}
+	if delta && sc.Writers == 0 {
+		// Delta mode crashes nodes mid-compaction and replays trickle rows
+		// from the WAL; snapshot/restore semantics are a separate mode, so it
+		// always runs the multi-writer topology.
 		sc.Writers = 1
 	}
 	if sc.Writers == 0 {
@@ -240,6 +271,13 @@ func generate(seed uint64, queries, cluster bool) *Script {
 		ops = append(ops,
 			weighted{OpQSubmit, 16}, weighted{OpQDispatch, 8}, weighted{OpQFinish, 10},
 			weighted{OpQCancel, 3}, weighted{OpQCrashReader, 2})
+	}
+	if delta {
+		sc.Delta = true
+		sc.FaultDelta = true
+		ops = append(ops,
+			weighted{OpDInsert, 20}, weighted{OpDFreeze, 4},
+			weighted{OpDCompact, 8}, weighted{OpDCrashCompact, 3})
 	}
 	if cluster {
 		sc.Cluster = true
@@ -298,6 +336,15 @@ func generate(seed uint64, queries, cluster bool) *Script {
 			st.Arg = draw(8)
 		case OpQCrashReader:
 			st.Arg = draw(2)
+		case OpDInsert:
+			st.Node = nodes[draw(len(nodes))]
+			st.Table = draw(sc.Tables)
+			st.Rows = 1 + draw(6)
+		case OpDFreeze, OpDCompact:
+			st.Node = nodes[draw(len(nodes))]
+		case OpDCrashCompact:
+			st.Node = nodes[draw(len(nodes))]
+			st.Arg = 1 + draw(8)
 		case OpCKillWriter:
 			st.Node = nodes[1+draw(len(nodes)-1)]
 		case OpCPartition:
@@ -327,8 +374,9 @@ func (sc *Script) String() string {
 	fmt.Fprintf(&b, "queries %s\n", onOff(sc.Queries))
 	fmt.Fprintf(&b, "cluster %s\n", onOff(sc.Cluster))
 	fmt.Fprintf(&b, "pushdown %s\n", onOff(sc.Pushdown))
-	fmt.Fprintf(&b, "faults put=%s delete=%s visibility=%s rpc=%s sched=%s cluster=%s select=%s\n",
-		onOff(sc.FaultPut), onOff(sc.FaultDelete), onOff(sc.FaultVisibility), onOff(sc.FaultRPC), onOff(sc.FaultSched), onOff(sc.FaultCluster), onOff(sc.FaultSelect))
+	fmt.Fprintf(&b, "delta %s\n", onOff(sc.Delta))
+	fmt.Fprintf(&b, "faults put=%s delete=%s visibility=%s rpc=%s sched=%s cluster=%s select=%s delta=%s\n",
+		onOff(sc.FaultPut), onOff(sc.FaultDelete), onOff(sc.FaultVisibility), onOff(sc.FaultRPC), onOff(sc.FaultSched), onOff(sc.FaultCluster), onOff(sc.FaultSelect), onOff(sc.FaultDelta))
 	for _, st := range sc.Steps {
 		node := st.Node
 		if node == "" {
@@ -353,7 +401,8 @@ var validOps = map[Op]bool{
 	OpExpire: true, OpPin: true, OpCheckPin: true, OpUnpin: true, OpReader: true,
 	OpQSubmit: true, OpQDispatch: true, OpQFinish: true, OpQCancel: true,
 	OpQCrashReader: true,
-	OpCKillCoord:   true, OpCKillWriter: true, OpCReconcile: true,
+	OpDInsert:      true, OpDFreeze: true, OpDCompact: true, OpDCrashCompact: true,
+	OpCKillCoord: true, OpCKillWriter: true, OpCReconcile: true,
 	OpCCrashCtrl: true, OpCPartition: true, OpCSpec: true,
 }
 
@@ -421,6 +470,11 @@ func Parse(text string) (*Script, error) {
 				return nil, bad("want: pushdown on|off")
 			}
 			sc.Pushdown = f[1] == "on"
+		case "delta":
+			if len(f) != 2 {
+				return nil, bad("want: delta on|off")
+			}
+			sc.Delta = f[1] == "on"
 		case "faults":
 			for _, kv := range f[1:] {
 				k, v, ok := strings.Cut(kv, "=")
@@ -443,6 +497,8 @@ func Parse(text string) (*Script, error) {
 					sc.FaultCluster = on
 				case "select":
 					sc.FaultSelect = on
+				case "delta":
+					sc.FaultDelta = on
 				default:
 					return nil, bad("unknown fault family " + k)
 				}

@@ -59,6 +59,7 @@ func Shrink(ctx context.Context, sc *Script, opts Options, maxRuns int) (*Shrink
 		off  func(*Script)
 		on   func(*Script) bool
 	}{
+		{"delta", func(s *Script) { s.FaultDelta = false }, func(s *Script) bool { return s.FaultDelta }},
 		{"select", func(s *Script) { s.FaultSelect = false }, func(s *Script) bool { return s.FaultSelect }},
 		{"pushdown", func(s *Script) { s.Pushdown = false }, func(s *Script) bool { return s.Pushdown }},
 		{"cluster", func(s *Script) { s.FaultCluster = false }, func(s *Script) bool { return s.FaultCluster }},

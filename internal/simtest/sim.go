@@ -46,6 +46,10 @@ var (
 	// unfenced coordinator, a deposed coordinator still serving, writers off
 	// the spec generation, readers out of bounds).
 	ErrConverge = errors.New("simtest: cluster did not converge to spec")
+	// ErrDeltaCompact means the post-compaction equivalence oracle tripped:
+	// a quiescent drain left delta rows live, lost rows on the way into the
+	// columnar main, or the drained segments diverge from the model.
+	ErrDeltaCompact = errors.New("simtest: delta compaction diverges from model")
 )
 
 // Classify maps a Run error to an oracle category ("" for success,
@@ -68,6 +72,8 @@ func Classify(err error) string {
 		return "query"
 	case errors.Is(err, ErrConverge):
 		return "converge"
+	case errors.Is(err, ErrDeltaCompact):
+		return "delta"
 	default:
 		return "harness"
 	}
@@ -86,6 +92,10 @@ type Options struct {
 	// Script is nil: the query-mode workload plus reconcile-loop controller
 	// steps and the convergence oracle. Takes precedence over Queries.
 	Cluster bool
+	// Delta selects the delta-mode generator (GenerateDelta) when Script is
+	// nil: the base workload plus ingest-lane steps and the post-compaction
+	// equivalence oracle. Cluster and Queries take precedence.
+	Delta bool
 	// BrokenRetry ablates retry-until-found reads to a single attempt;
 	// with an eventual-consistency window armed the oracles must fail.
 	BrokenRetry bool
@@ -178,6 +188,8 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			sc = GenerateCluster(opts.Seed)
 		case opts.Queries:
 			sc = GenerateQueries(opts.Seed)
+		case opts.Delta:
+			sc = GenerateDelta(opts.Seed)
 		default:
 			sc = Generate(opts.Seed)
 		}
@@ -217,6 +229,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		}
 		if sc.FaultSelect {
 			p.Prob(faultinject.ObjSelect, 0.1)
+		}
+		if sc.FaultDelta {
+			p.Prob(faultinject.DeltaCompact, 0.05)
 		}
 	}
 	ambient(plan)
@@ -343,7 +358,8 @@ func (r *runner) step(ctx context.Context, i int, st Step) error {
 		// would dereference the dead process are no-ops, like a client whose
 		// connection fails.
 		switch st.Op {
-		case OpBegin, OpAppend, OpDrop, OpCheckpoint, OpGC, OpPin:
+		case OpBegin, OpAppend, OpDrop, OpCheckpoint, OpGC, OpPin,
+			OpDInsert, OpDFreeze, OpDCompact, OpDCrashCompact:
 			r.logf(i, st, "noop: node down")
 			return nil
 		}
@@ -468,6 +484,18 @@ func (r *runner) step(ctx context.Context, i int, st Step) error {
 
 	case OpQCrashReader:
 		return r.qCrashReaderStep(i, st)
+
+	case OpDInsert:
+		return r.dInsertStep(ctx, i, st)
+
+	case OpDFreeze:
+		return r.dFreezeStep(i, st)
+
+	case OpDCompact:
+		return r.dCompactStep(ctx, i, st)
+
+	case OpDCrashCompact:
+		return r.dCrashCompactStep(ctx, i, st)
 
 	case OpCKillCoord:
 		return r.cKillCoordStep(i, st)
@@ -931,6 +959,12 @@ func (r *runner) quiesce(ctx context.Context) error {
 		if _, err := r.cl.AnnounceRestart(ctx, node); err != nil {
 			return err
 		}
+	}
+	// 3b. Delta-mode scripts: drain every node's delta store completely and
+	// run the post-compaction equivalence oracle (the eighth family) before
+	// GC retires the absorbed runs.
+	if err := r.deltaQuiesceOracle(ctx); err != nil {
+		return err
 	}
 	// 4. Garbage collect everywhere.
 	for _, node := range nodes {

@@ -63,6 +63,17 @@ type Options struct {
 	IndexCols []string
 }
 
+// DeltaView is a snapshot of a table's in-memory delta rows (trickle
+// inserts not yet compacted into column segments). The engine attaches one
+// to read-only tables whose snapshot can see delta rows; scans merge the
+// batch after the encoded segments, and pushdown planning refuses to push
+// work store-side while a view is attached — the store only holds the
+// columnar main, so a pushed result would silently miss the delta rows.
+type DeltaView interface {
+	// DeltaBatch returns the visible delta rows in the table's full schema.
+	DeltaBatch() *Batch
+}
+
 // Table is a columnar table stored as pages of one buffer.Object. Writable
 // tables (opened with a transaction sink) support Append and Commit;
 // read-only tables support scans.
@@ -75,6 +86,7 @@ type Table struct {
 	writable bool
 	builders map[int]*Batch // open (unsealed) segment per partition
 	indexes  map[int]*index.HG
+	delta    DeltaView // nil when no delta rows are visible
 }
 
 // Create makes an empty writable table whose pages live in obj.
@@ -148,6 +160,21 @@ func Open(ctx context.Context, name string, obj *buffer.Object, writable bool) (
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
+
+// AttachDelta installs (or, with nil, detaches) the delta view scans merge
+// with the encoded segments.
+func (t *Table) AttachDelta(v DeltaView) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.delta = v
+}
+
+// Delta returns the attached delta view, or nil.
+func (t *Table) Delta() DeltaView {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.delta
+}
 
 // Schema returns the table schema.
 func (t *Table) Schema() Schema { return t.meta.Schema }

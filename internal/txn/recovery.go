@@ -316,6 +316,19 @@ func (m *Manager) applyCommittedRecord(rec CommitRecord) error {
 	return nil
 }
 
+// NoteReplayedTxn raises the transaction-id counter past an id observed in
+// the log during replay. Commit records do this implicitly, but a
+// transaction that died before its commit record landed leaves its id only
+// in side records (delta inserts); without the bump a post-crash
+// transaction could reuse the id and claim the orphan's buffered records.
+func (m *Manager) NoteReplayedTxn(id uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id > m.nextTxnID {
+		m.nextTxnID = id
+	}
+}
+
 // RecoverForRead replays the log to rebuild metadata — commit sequences,
 // catalog extras — without performing any garbage collection or freelist
 // mutation. Reader nodes recovering from a shared system dbspace they do

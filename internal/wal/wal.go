@@ -39,6 +39,19 @@ const (
 	RecCheckpoint
 	// RecSnapshot records a database snapshot event (§5).
 	RecSnapshot
+	// RecDeltaInsert records rows staged into a table's in-memory delta
+	// store by a not-yet-committed transaction. The record makes the
+	// trickle-insert lane durable: the rows become visible only when the
+	// transaction's RecCommit follows, so orphaned delta records (from a
+	// crash before commit) are ignored on replay. This is the one record
+	// kind that carries user data — delta rows have no page images to
+	// flush before commit, so the log IS their durable home until the
+	// compactor drains them into encoded column pages.
+	RecDeltaInsert
+
+	// maxRecordType bounds frame validation in readRecord; keep it equal
+	// to the last declared record type.
+	maxRecordType = RecDeltaInsert
 )
 
 func (t RecordType) String() string {
@@ -53,6 +66,8 @@ func (t RecordType) String() string {
 		return "checkpoint"
 	case RecSnapshot:
 		return "snapshot"
+	case RecDeltaInsert:
+		return "delta-insert"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -193,7 +208,7 @@ func (l *Log) readRecord(ctx context.Context, off int64) (Record, int64, error) 
 	}
 	n := binary.LittleEndian.Uint32(head)
 	typ := RecordType(head[4])
-	if typ == 0 || typ > RecSnapshot {
+	if typ == 0 || typ > maxRecordType {
 		return Record{}, 0, fmt.Errorf("wal: bad type %d at %d: %w", typ, off, ErrCorrupt)
 	}
 	if off+frameOverhead+int64(n) > l.dev.Size() {

@@ -134,6 +134,7 @@ const (
 	FaultWALAppend     = faultinject.WALAppend
 	FaultWALTornTail   = faultinject.WALTornTail
 	FaultRPCNotify     = faultinject.RPCNotify
+	FaultDeltaCompact  = faultinject.DeltaCompact
 )
 
 // NewMemObjectStore returns an in-memory simulated object store.

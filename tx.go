@@ -11,9 +11,11 @@ import (
 
 	"cloudiq/internal/buffer"
 	"cloudiq/internal/core"
+	"cloudiq/internal/delta"
 	"cloudiq/internal/table"
 	"cloudiq/internal/trace"
 	"cloudiq/internal/txn"
+	"cloudiq/internal/wal"
 )
 
 // Tx is a transaction with snapshot isolation. Readers see the catalog as of
@@ -27,6 +29,16 @@ type Tx struct {
 	mu       sync.Mutex
 	writable map[string]*openTable
 	dropped  []droppedTable
+	inserts  map[string]*table.Batch // staged delta rows per table
+	compact  map[string]uint64       // delta through-marks per table (compaction txns)
+
+	// gates are the compaction gates this transaction holds shared, one per
+	// table it appends to or drops, released at commit or rollback. While
+	// held they keep the compactor's identity swap from interleaving with
+	// this transaction's own publication of the same table. noGate marks
+	// the drain transaction itself, which holds its gate exclusively.
+	gates  map[string]*tableGate
+	noGate bool
 }
 
 type openTable struct {
@@ -54,6 +66,36 @@ func (tx *Tx) codec() buffer.Codec {
 		return buffer.FlateCodec{}
 	}
 	return nil
+}
+
+// lockAppend takes the table's compaction gate shared for the rest of the
+// transaction, waiting out an in-flight compaction swap so the catalog
+// lookup that follows sees the post-swap identity. Callers hold tx.mu.
+func (tx *Tx) lockAppend(name string) {
+	if tx.noGate {
+		return
+	}
+	if _, held := tx.gates[name]; held {
+		return
+	}
+	g := tx.db.appendGate(name)
+	g.enterShared()
+	if tx.gates == nil {
+		tx.gates = make(map[string]*tableGate)
+	}
+	tx.gates[name] = g
+}
+
+// releaseGates drops every held compaction gate; safe to call twice (commit
+// failure paths roll back internally before returning).
+func (tx *Tx) releaseGates() {
+	tx.mu.Lock()
+	gates := tx.gates
+	tx.gates = nil
+	tx.mu.Unlock()
+	for _, g := range gates {
+		g.leaveShared()
+	}
 }
 
 // CreateTable creates a table in the named dbspace. The new table is visible
@@ -96,6 +138,7 @@ func (tx *Tx) OpenTableForAppend(ctx context.Context, space, name string) (*tabl
 	if ot, ok := tx.writable[name]; ok {
 		return ot.tbl, nil
 	}
+	tx.lockAppend(name)
 	id, ok := tx.db.cat.Lookup(name, math.MaxUint64)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
@@ -117,7 +160,10 @@ func (tx *Tx) OpenTableForAppend(ctx context.Context, space, name string) (*tabl
 	return tbl, nil
 }
 
-// Table opens a table read-only at this transaction's snapshot.
+// Table opens a table read-only at this transaction's snapshot. When the
+// snapshot can see trickle-inserted rows still in the delta store, a delta
+// view is attached so scans merge them with the encoded segments (and
+// pushdown planning falls back to plain local reads).
 func (tx *Tx) Table(ctx context.Context, space, name string) (*table.Table, error) {
 	id, ok := tx.db.cat.Lookup(name, tx.inner.Snapshot())
 	if !ok {
@@ -132,7 +178,71 @@ func (tx *Tx) Table(ctx context.Context, space, name string) (*table.Table, erro
 		return nil, err
 	}
 	obj := tx.db.pool.OpenObject(ds, bm, nil, tx.codec())
-	return table.Open(ctx, name, obj, false)
+	tbl, err := table.Open(ctx, name, obj, false)
+	if err != nil {
+		return nil, err
+	}
+	if v := tx.db.delta.View(name, tx.inner.Snapshot()); v != nil {
+		tbl.AttachDelta(v)
+	}
+	return tbl, nil
+}
+
+// Insert stages rows into the table's in-memory delta store — the trickle
+// lane. The rows must carry the table's full schema. At commit they are
+// logged as a RecDeltaInsert record (their durable home until the compactor
+// drains them into encoded column pages) and become visible, with the
+// commit's sequence, to every later snapshot. The table must already exist
+// (committed, or created earlier in this transaction).
+func (tx *Tx) Insert(ctx context.Context, name string, b *table.Batch) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if b == nil || b.Rows() == 0 {
+		return nil
+	}
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	for _, d := range tx.dropped {
+		if d.name == name {
+			return fmt.Errorf("cloudiq: insert into %q: dropped in this transaction", name)
+		}
+	}
+	if ot, staged := tx.writable[name]; staged {
+		if got, want := len(b.Vecs), len(ot.tbl.Schema().Cols); got != want {
+			return fmt.Errorf("cloudiq: insert into %q: batch has %d columns, schema %d", name, got, want)
+		}
+	} else if _, ok := tx.db.cat.Lookup(name, math.MaxUint64); !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	if tx.inserts == nil {
+		tx.inserts = make(map[string]*table.Batch)
+	}
+	dst, ok := tx.inserts[name]
+	if !ok {
+		dst = table.NewBatch(b.Schema)
+		tx.inserts[name] = dst
+	}
+	if len(dst.Vecs) != len(b.Vecs) {
+		return fmt.Errorf("cloudiq: insert into %q: batch has %d columns, earlier insert had %d", name, len(b.Vecs), len(dst.Vecs))
+	}
+	for r := 0; r < b.Rows(); r++ {
+		for c := range dst.Vecs {
+			dst.Vecs[c].Append(b.Vecs[c], r)
+		}
+	}
+	return nil
+}
+
+// markCompacted records that this transaction's commit retires the table's
+// delta rows below through (the compaction drain path).
+func (tx *Tx) markCompacted(name string, through uint64) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.compact == nil {
+		tx.compact = make(map[string]uint64)
+	}
+	tx.compact[name] = through
 }
 
 // DropTable drops the latest version of a table: every physical page it
@@ -145,6 +255,10 @@ func (tx *Tx) DropTable(ctx context.Context, space, name string) error {
 	if _, staged := tx.writable[name]; staged {
 		return fmt.Errorf("cloudiq: cannot drop %q: created or modified in this transaction", name)
 	}
+	if _, staged := tx.inserts[name]; staged {
+		return fmt.Errorf("cloudiq: cannot drop %q: rows inserted in this transaction", name)
+	}
+	tx.lockAppend(name)
 	id, ok := tx.db.cat.Lookup(name, math.MaxUint64)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
@@ -178,6 +292,7 @@ func (tx *Tx) Tables() []string { return tx.db.cat.Names(tx.inner.Snapshot()) }
 func (tx *Tx) Commit(ctx context.Context) error {
 	ctx, sp := trace.Root(ctx, tx.db.cfg.Trace, "txn.commit", trace.Int("txn", int64(tx.inner.ID())))
 	defer sp.End()
+	defer tx.releaseGates()
 	tx.mu.Lock()
 	names := make([]string, 0, len(tx.writable))
 	for n := range tx.writable {
@@ -195,12 +310,33 @@ func (tx *Tx) Commit(ctx context.Context) error {
 			}
 			return fmt.Errorf("cloudiq: rolled back: %w", err)
 		}
-		pubs = append(pubs, catalogPublication{Name: n, ID: id})
+		pubs = append(pubs, catalogPublication{Name: n, ID: id, DeltaThrough: tx.compact[n]})
 	}
 	for _, d := range tx.dropped {
 		pubs = append(pubs, catalogPublication{Name: d.name, Dropped: true})
 	}
+	insNames := make([]string, 0, len(tx.inserts))
+	for n := range tx.inserts {
+		insNames = append(insNames, n)
+	}
+	sort.Strings(insNames)
 	tx.mu.Unlock()
+
+	// Delta rows are durable in the log, not in pages: append their records
+	// before the commit record. A crash between the two leaves orphans that
+	// replay ignores; a failed append rolls the transaction back whole.
+	for _, n := range insNames {
+		payload, err := delta.EncodeInsert(delta.InsertRecord{TxnID: tx.inner.ID(), Table: n, Rows: tx.inserts[n]})
+		if err != nil {
+			return err
+		}
+		if _, err := tx.db.log.Append(ctx, wal.RecDeltaInsert, payload); err != nil {
+			if rbErr := tx.Rollback(ctx); rbErr != nil {
+				return fmt.Errorf("cloudiq: log delta insert for %q failed (%v); rollback also failed: %w", n, err, rbErr)
+			}
+			return fmt.Errorf("cloudiq: rolled back: %w", err)
+		}
+	}
 
 	var meta []byte
 	if len(pubs) > 0 {
@@ -216,6 +352,9 @@ func (tx *Tx) Commit(ctx context.Context) error {
 				return err
 			}
 		}
+		for _, n := range insNames {
+			tx.db.delta.Apply(n, tx.inserts[n], seq)
+		}
 		return nil
 	})
 }
@@ -228,6 +367,8 @@ func (tx *Tx) Rollback(ctx context.Context) error {
 		ot.obj.Discard()
 	}
 	tx.writable = make(map[string]*openTable)
+	tx.inserts = nil // staged delta rows die with the transaction
 	tx.mu.Unlock()
+	tx.releaseGates()
 	return tx.db.mgr.Rollback(ctx, tx.inner)
 }
